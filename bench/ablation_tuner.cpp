@@ -1,0 +1,73 @@
+// Section V-C2 ablation: how much of the exhaustive (P, T) search does the
+// pruned candidate set keep, and how close does its winner come to the true
+// optimum? Uses MM (D = 6000) under the timing model as the target.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/mm_app.hpp"
+#include "bench_common.hpp"
+#include "rt/tuner.hpp"
+#include "trace/report.hpp"
+
+namespace {
+
+double mm_time_ms(const ms::sim::SimConfig& cfg, int partitions, int tile_grid) {
+  ms::apps::MmConfig mc;
+  mc.common.partitions = partitions;
+  mc.common.functional = false;
+  mc.common.tracing = false;
+  mc.common.protocol_iterations = 1;
+  mc.dim = 6000;
+  mc.tile_grid = tile_grid;
+  return ms::apps::MmApp::run(cfg, mc).ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = ms::bench::parse(argc, argv);
+  const auto cfg = ms::sim::SimConfig::phi_31sp();
+  using ms::rt::Tuner;
+  using ms::trace::Table;
+
+  // The metric maps a (P, T) candidate to MM's virtual time. The tile grid g
+  // must divide D = 6000; round T to the nearest such g^2.
+  const std::vector<int> grids{1, 2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 24};
+  const auto metric = [&](Tuner::Candidate c) {
+    int best_g = grids.front();
+    for (const int g : grids) {
+      if (std::abs(g * g - c.tiles) < std::abs(best_g * best_g - c.tiles)) best_g = g;
+    }
+    return mm_time_ms(cfg, c.partitions, best_g);
+  };
+
+  ms::rt::TunerOptions topt;
+  topt.max_multiplier = opt.quick ? 3 : 8;
+  const auto pruned = Tuner::pruned_space(cfg.device, topt);
+  const auto pruned_result = Tuner::search(pruned, metric);
+
+  const auto exhaustive = Tuner::exhaustive_space(cfg.device, opt.quick ? 16 : 64);
+  const auto full_result = Tuner::search(exhaustive, metric);
+
+  Table t({"search", "candidates", "best P", "best T", "best time [ms]"});
+  t.add_row({"pruned (Sec. V-C2)", std::to_string(pruned_result.evaluated),
+             std::to_string(pruned_result.best.partitions),
+             std::to_string(pruned_result.best.tiles), Table::num(pruned_result.best_metric, 2)});
+  t.add_row({"exhaustive", std::to_string(full_result.evaluated),
+             std::to_string(full_result.best.partitions), std::to_string(full_result.best.tiles),
+             Table::num(full_result.best_metric, 2)});
+  ms::bench::emit(t, "ablation_tuner", "Sec. V-C2 — pruned vs exhaustive (P, T) search on MM",
+                  opt);
+
+  const double gap =
+      (pruned_result.best_metric - full_result.best_metric) / full_result.best_metric * 100.0;
+  std::cout << "\nsearch-space reduction: " << exhaustive.size() << " -> " << pruned.size()
+            << " candidates (" << Table::num(100.0 * static_cast<double>(pruned.size()) /
+                                                  static_cast<double>(exhaustive.size()),
+                                             1)
+            << "% kept); pruned winner within " << Table::num(gap, 2)
+            << "% of the exhaustive optimum\n";
+  return 0;
+}

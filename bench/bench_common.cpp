@@ -1,0 +1,42 @@
+#include "bench_common.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+namespace ms::bench {
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      opt.csv_dir = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--quick] [--csv DIR]\n";
+    }
+  }
+  return opt;
+}
+
+void emit(const trace::Table& table, const std::string& name, const std::string& heading,
+          const Options& opt) {
+  std::cout << "\n== " << heading << " ==\n";
+  table.print(std::cout);
+  if (!opt.csv_dir.empty()) {
+    std::ofstream f(opt.csv_dir + "/" + name + ".csv");
+    if (f) {
+      table.write_csv(f);
+    } else {
+      std::cerr << "warning: cannot write CSV for " << name << " into " << opt.csv_dir << "\n";
+    }
+  }
+}
+
+std::string improvement_cell(double baseline, double streamed) {
+  if (baseline <= 0.0) return "n/a";
+  return trace::Table::num((baseline - streamed) / baseline * 100.0, 1) + "%";
+}
+
+}  // namespace ms::bench

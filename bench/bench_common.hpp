@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "trace/report.hpp"
+
+namespace ms::bench {
+
+/// Shared command-line handling for the figure-reproduction binaries.
+///   --quick      shrink sweeps (CI smoke run; shapes still visible)
+///   --csv DIR    also write each table as DIR/<name>.csv
+struct Options {
+  bool quick = false;
+  std::string csv_dir;
+};
+
+Options parse(int argc, char** argv);
+
+/// Print a table under a heading and optionally persist it as CSV.
+void emit(const trace::Table& table, const std::string& name, const std::string& heading,
+          const Options& opt);
+
+/// Shorthand for a percentage-improvement cell: (base - streamed) / base.
+[[nodiscard]] std::string improvement_cell(double baseline, double streamed);
+
+}  // namespace ms::bench

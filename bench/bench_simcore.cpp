@@ -1,0 +1,72 @@
+// google-benchmark microbenchmarks of the simulator substrate itself: how
+// fast the discrete-event engine, resources, and the full runtime process
+// work. These guard the *host-side* performance of the library (the figure
+// benches measure virtual time; this one measures real time).
+
+#include <benchmark/benchmark.h>
+
+#include "rt/context.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+
+namespace {
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ms::sim::Engine e;
+    for (int i = 0; i < n; ++i) {
+      e.schedule_at(ms::sim::SimTime::micros(i), [] {});
+    }
+    benchmark::DoNotOptimize(e.run_until_idle());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleFire)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_FifoReserve(benchmark::State& state) {
+  ms::sim::FifoResource r("x");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.reserve(ms::sim::SimTime::zero(), ms::sim::SimTime::micros(1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FifoReserve);
+
+void BM_RuntimePipeline(benchmark::State& state) {
+  // One full H2D -> kernel -> D2H pipeline iteration per task, across 4
+  // streams — the end-to-end cost of scheduling one streamed task.
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ms::rt::Context ctx(ms::sim::SimConfig::phi_31sp());
+    ctx.set_tracing(false);
+    ctx.setup(4);
+    const auto buf = ctx.create_virtual_buffer(static_cast<std::size_t>(tasks) << 10);
+    for (int t = 0; t < tasks; ++t) {
+      auto& s = ctx.stream(t % 4);
+      const std::size_t off = static_cast<std::size_t>(t) << 10;
+      s.enqueue_h2d(buf, off, 1 << 10);
+      ms::sim::KernelWork w;
+      w.kind = ms::sim::KernelKind::Streaming;
+      w.elems = 1e5;
+      s.enqueue_kernel({"k", w, {}});
+      s.enqueue_d2h(buf, off, 1 << 10);
+    }
+    ctx.synchronize();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_RuntimePipeline)->Arg(64)->Arg(1024);
+
+void BM_ContextSetup(benchmark::State& state) {
+  for (auto _ : state) {
+    ms::rt::Context ctx(ms::sim::SimConfig::phi_31sp());
+    ctx.setup(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(ctx.stream_count());
+  }
+}
+BENCHMARK(BM_ContextSetup)->Arg(4)->Arg(56);
+
+}  // namespace
+
+BENCHMARK_MAIN();

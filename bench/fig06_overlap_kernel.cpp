@@ -1,0 +1,51 @@
+// Reproduces Fig. 6: the overlapping extent of data transfers and
+// computation as the kernel iteration count sweeps 20..60 (16 MB arrays).
+// Paper shape: Data flat, Kernel linear (crossing at ~40 iterations),
+// Streamed between Ideal and Data+Kernel — overlap works, full overlap is
+// not achievable.
+
+#include <iostream>
+#include <vector>
+
+#include "apps/hbench.hpp"
+#include "bench_common.hpp"
+#include "trace/report.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = ms::bench::parse(argc, argv);
+  const auto cfg = ms::sim::SimConfig::phi_31sp();
+  constexpr std::size_t kElems = 4u << 20;  // 16 MB of floats
+
+  ms::trace::Table table(
+      {"#iterations", "Data [ms]", "Kernel [ms]", "Data+Kernel [ms]", "Streamed [ms]",
+       "Ideal [ms]"});
+  std::vector<double> data, kernel, serial, streamed, ideal;
+  std::vector<std::string> xs;
+  const int step = opt.quick ? 20 : 5;
+  for (int iters = 20; iters <= 60; iters += step) {
+    const auto p = ms::apps::HBench::overlap(cfg, kElems, iters, 4, 4);
+    table.add_row({std::to_string(iters), ms::trace::Table::num(p.data_ms),
+                   ms::trace::Table::num(p.kernel_ms), ms::trace::Table::num(p.serial_ms),
+                   ms::trace::Table::num(p.streamed_ms), ms::trace::Table::num(p.ideal_ms)});
+    data.push_back(p.data_ms);
+    kernel.push_back(p.kernel_ms);
+    serial.push_back(p.serial_ms);
+    streamed.push_back(p.streamed_ms);
+    ideal.push_back(p.ideal_ms);
+    xs.push_back(std::to_string(iters));
+  }
+  ms::bench::emit(table, "fig06", "Fig. 6 — transfer/kernel overlap vs kernel iterations", opt);
+
+  ms::trace::AsciiChart chart("Fig. 6 shape (kernel crosses data ~40; streamed > ideal)");
+  chart.add_series("Data", data);
+  chart.add_series("Kernel", kernel);
+  chart.add_series("Data+Kernel", serial);
+  chart.add_series("Streamed", streamed);
+  chart.add_series("Ideal", ideal);
+  chart.set_x_labels({xs.front(), xs.back()});
+  chart.print(std::cout);
+
+  std::cout << "\npaper: lines intersect at 40 iterations; measured streamed exceeds the ideal\n"
+               "full overlap, matching 'the difficulty of achieving a full overlap'.\n";
+  return 0;
+}

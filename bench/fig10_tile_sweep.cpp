@@ -1,0 +1,180 @@
+// Reproduces Fig. 10(a)-(f): performance vs the number of tiles T with the
+// resource granularity fixed (P = 4, as in the captions). Paper shapes:
+// performance rises to an optimum (T = 4 for most apps, T ~ 100 for CF,
+// T ~ 400 for SRAD) and then falls as per-task overheads dominate.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/cf_app.hpp"
+#include "apps/hotspot_app.hpp"
+#include "apps/kmeans_app.hpp"
+#include "apps/mm_app.hpp"
+#include "apps/nn_app.hpp"
+#include "apps/srad_app.hpp"
+#include "bench_common.hpp"
+#include "trace/report.hpp"
+
+namespace {
+
+using ms::trace::AsciiChart;
+using ms::trace::Table;
+
+ms::apps::CommonConfig sweep_common() {
+  ms::apps::CommonConfig c;
+  c.partitions = 4;
+  c.functional = false;
+  c.tracing = false;
+  c.protocol_iterations = 1;
+  return c;
+}
+
+void chart_out(const std::string& title, const std::vector<std::string>& xs,
+               const std::vector<double>& ys) {
+  AsciiChart chart(title);
+  chart.add_series("measured", ys);
+  chart.set_x_labels(xs);
+  chart.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = ms::bench::parse(argc, argv);
+  const auto cfg = ms::sim::SimConfig::phi_31sp();
+
+  // (a) MM: D = 6000, T = g^2 for g in {1..20} (paper x-axis 1..400).
+  {
+    Table t({"T", "GFLOPS"});
+    std::vector<double> ys;
+    std::vector<std::string> xs;
+    const std::vector<int> grids =
+        opt.quick ? std::vector<int>{1, 4, 12} : std::vector<int>{1, 2, 3, 4, 5, 6, 10, 12, 15, 20};
+    for (const int g : grids) {
+      ms::apps::MmConfig mc;
+      mc.common = sweep_common();
+      mc.dim = 6000;
+      mc.tile_grid = g;
+      const auto r = ms::apps::MmApp::run(cfg, mc);
+      t.add_row({std::to_string(g * g), Table::num(r.gflops, 1)});
+      ys.push_back(r.gflops);
+      xs.push_back(std::to_string(g * g));
+    }
+    ms::bench::emit(t, "fig10a_mm", "Fig. 10(a) MM GFLOPS vs T (paper optimum T=4)", opt);
+    chart_out("Fig. 10(a) shape", {xs.front(), xs.back()}, ys);
+  }
+
+  // (b) CF: D = 9600, T = g^2 for g in {2..20}.
+  {
+    Table t({"T", "GFLOPS"});
+    std::vector<double> ys;
+    std::vector<std::string> xs;
+    const std::vector<int> grids =
+        opt.quick ? std::vector<int>{2, 10, 20} : std::vector<int>{2, 3, 4, 5, 6, 8, 10, 12, 15, 16, 20};
+    for (const int g : grids) {
+      ms::apps::CfConfig cc;
+      cc.common = sweep_common();
+      cc.dim = 9600;
+      cc.tile = 9600 / static_cast<std::size_t>(g);
+      const auto r = ms::apps::CfApp::run(cfg, cc);
+      t.add_row({std::to_string(g * g), Table::num(r.gflops, 1)});
+      ys.push_back(r.gflops);
+      xs.push_back(std::to_string(g * g));
+    }
+    ms::bench::emit(t, "fig10b_cf", "Fig. 10(b) CF GFLOPS vs T (paper optimum T=100)", opt);
+    chart_out("Fig. 10(b) shape", {xs.front(), xs.back()}, ys);
+  }
+
+  // (c) Kmeans: D = 1120000, T in {1..224}.
+  {
+    Table t({"T", "time [s]"});
+    std::vector<double> ys;
+    std::vector<std::string> xs;
+    const std::vector<int> tiles =
+        opt.quick ? std::vector<int>{1, 8, 224}
+                  : std::vector<int>{1, 2, 4, 8, 16, 20, 28, 32, 56, 112, 224};
+    for (const int tcount : tiles) {
+      ms::apps::KmeansConfig kc;
+      kc.common = sweep_common();
+      kc.points = 1120000;
+      kc.tiles = tcount;
+      kc.iterations = 100;
+      const auto r = ms::apps::KmeansApp::run(cfg, kc);
+      t.add_row({std::to_string(tcount), Table::num(r.ms / 1e3, 3)});
+      ys.push_back(r.ms / 1e3);
+      xs.push_back(std::to_string(tcount));
+    }
+    ms::bench::emit(t, "fig10c_kmeans", "Fig. 10(c) Kmeans time vs T", opt);
+    chart_out("Fig. 10(c) shape", {xs.front(), xs.back()}, ys);
+  }
+
+  // (d) Hotspot: 16384^2, T = g^2 for g in {1..256} (paper 1^2..256^2).
+  {
+    Table t({"T", "time [s]"});
+    std::vector<double> ys;
+    std::vector<std::string> xs;
+    const std::vector<std::size_t> grids =
+        opt.quick ? std::vector<std::size_t>{1, 16, 64}
+                  : std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64, 128, 256};
+    for (const std::size_t g : grids) {
+      ms::apps::HotspotConfig hc;
+      hc.common = sweep_common();
+      hc.rows = hc.cols = 16384;
+      hc.tile_rows = hc.tile_cols = 16384 / g;
+      hc.steps = 50;
+      const auto r = ms::apps::HotspotApp::run(cfg, hc);
+      t.add_row({std::to_string(g) + "^2", Table::num(r.ms / 1e3, 3)});
+      ys.push_back(r.ms / 1e3);
+      xs.push_back(std::to_string(g) + "^2");
+    }
+    ms::bench::emit(t, "fig10d_hotspot", "Fig. 10(d) Hotspot time vs T", opt);
+    chart_out("Fig. 10(d) shape", {xs.front(), xs.back()}, ys);
+  }
+
+  // (e) NN: 5242880 records, T = 2^0..2^11.
+  {
+    Table t({"T", "time [ms]"});
+    std::vector<double> ys;
+    std::vector<std::string> xs;
+    std::vector<int> tiles;
+    for (int e = 0; e <= 11; e += opt.quick ? 4 : 1) tiles.push_back(1 << e);
+    for (const int tcount : tiles) {
+      ms::apps::NnConfig nc;
+      nc.common = sweep_common();
+      nc.records = 5242880;
+      nc.tiles = tcount;
+      const auto r = ms::apps::NnApp::run(cfg, nc);
+      t.add_row({std::to_string(tcount), Table::num(r.ms, 1)});
+      ys.push_back(r.ms);
+      xs.push_back(std::to_string(tcount));
+    }
+    ms::bench::emit(t, "fig10e_nn", "Fig. 10(e) NN time vs T (flat between T=1 and 4)", opt);
+    chart_out("Fig. 10(e) shape", {xs.front(), xs.back()}, ys);
+  }
+
+  // (f) SRAD: 10000^2, T = g^2 for g in {1..100}.
+  {
+    Table t({"T", "time [s]"});
+    std::vector<double> ys;
+    std::vector<std::string> xs;
+    const std::vector<std::size_t> grids =
+        opt.quick ? std::vector<std::size_t>{1, 20, 100}
+                  : std::vector<std::size_t>{1, 2, 3, 4, 5, 10, 13, 20, 25, 50, 100};
+    for (const std::size_t g : grids) {
+      ms::apps::SradConfig sc;
+      sc.common = sweep_common();
+      sc.rows = sc.cols = 10000;
+      sc.tile_rows = sc.tile_cols = 10000 / g;
+      sc.iterations = 100;
+      const auto r = ms::apps::SradApp::run(cfg, sc);
+      t.add_row({std::to_string(g * g), Table::num(r.ms / 1e3, 3)});
+      ys.push_back(r.ms / 1e3);
+      xs.push_back(std::to_string(g * g));
+    }
+    ms::bench::emit(t, "fig10f_srad", "Fig. 10(f) SRAD time vs T (paper optimum T=400)", opt);
+    chart_out("Fig. 10(f) shape", {xs.front(), xs.back()}, ys);
+  }
+
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Section VI future work, implemented: "To gain more insights, we would
+// like to run more experiments with a wide range of applications" (on
+// multiple MICs). CF (Fig. 11) scales sub-linearly because its task DAG
+// forces cross-card tile traffic. Matrix multiplication is the natural
+// contrast: C tile rows partition cleanly across cards (each card needs its
+// own copy of the B bands plus only its rows of A), so no inter-card
+// dependencies exist at all — scaling should sit much closer to the
+// projection, bounded only by the duplicated B upload.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kern/gemm.hpp"
+#include "rt/context.hpp"
+#include "rt/tile_plan.hpp"
+#include "trace/report.hpp"
+#include "trace/stats.hpp"
+
+namespace {
+
+/// Timing-only multi-card tiled MM: tile row i of the g x g C grid belongs
+/// to card i * devices / g; every card receives all g BT bands (duplicated)
+/// and its own A bands.
+double run_mm(const ms::sim::SimConfig& cfg, std::size_t d, int g, int partitions) {
+  using namespace ms;
+  rt::Context ctx(cfg);
+  ctx.set_tracing(false);
+  ctx.setup(partitions);
+  const int devices = ctx.device_count();
+
+  const std::size_t n2 = d * d;
+  const rt::BufferId ba = ctx.create_virtual_buffer(n2 * sizeof(double));
+  const rt::BufferId bbt = ctx.create_virtual_buffer(n2 * sizeof(double));
+  const rt::BufferId bc = ctx.create_virtual_buffer(n2 * sizeof(double));
+
+  std::vector<rt::Stream*> io;
+  for (int dev = 0; dev < devices; ++dev) io.push_back(&ctx.add_stream(dev, 0));
+
+  const std::size_t tb = d / static_cast<std::size_t>(g);
+  const std::size_t band_bytes = tb * d * sizeof(double);
+  const std::size_t tile_bytes = tb * tb * sizeof(double);
+  auto owner_dev = [&](int i) { return i * devices / g; };
+
+  ctx.synchronize();
+  const sim::SimTime t0 = ctx.host_time();
+
+  // Band uploads per card, interleaved in shell order as in MmApp.
+  std::vector<std::vector<rt::Event>> ev_a(static_cast<std::size_t>(devices)),
+      ev_bt(static_cast<std::size_t>(devices));
+  for (auto& v : ev_a) v.resize(static_cast<std::size_t>(g));
+  for (auto& v : ev_bt) v.resize(static_cast<std::size_t>(g));
+
+  int rr = 0;
+  auto enqueue_task = [&](int i, int j) {
+    const int dev = owner_dev(i);
+    rt::Stream& s = ctx.stream(dev, rr++ % partitions);
+    sim::KernelWork work;
+    work.kind = sim::KernelKind::Gemm;
+    work.flops = ms::kern::gemm_flops(tb, tb, d);
+    work.elems = static_cast<double>(2 * tb * d + tb * tb);
+    s.enqueue_kernel({"gemm", work, {}}, {ev_a[static_cast<std::size_t>(dev)][static_cast<std::size_t>(i)],
+                                          ev_bt[static_cast<std::size_t>(dev)][static_cast<std::size_t>(j)]});
+    s.enqueue_d2h(bc, static_cast<std::size_t>(i * g + j) * tile_bytes, tile_bytes);
+  };
+
+  for (int k = 0; k < g; ++k) {
+    for (int dev = 0; dev < devices; ++dev) {
+      // Every card needs BT band k; only row-owner cards need A band k.
+      ev_bt[static_cast<std::size_t>(dev)][static_cast<std::size_t>(k)] =
+          io[static_cast<std::size_t>(dev)]->enqueue_h2d(
+              bbt, static_cast<std::size_t>(k) * band_bytes, band_bytes);
+      if (owner_dev(k) == dev) {
+        ev_a[static_cast<std::size_t>(dev)][static_cast<std::size_t>(k)] =
+            io[static_cast<std::size_t>(dev)]->enqueue_h2d(
+                ba, static_cast<std::size_t>(k) * band_bytes, band_bytes);
+      }
+    }
+    for (int j = 0; j < k; ++j) enqueue_task(k, j);
+    for (int i = 0; i < k; ++i) enqueue_task(i, k);
+    enqueue_task(k, k);
+  }
+  ctx.synchronize();
+  return (ctx.host_time() - t0).millis();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = ms::bench::parse(argc, argv);
+  using ms::trace::Table;
+
+  Table t({"dataset", "1-mic [GFLOPS]", "2-mics [GFLOPS]", "projected", "scaling"});
+  const std::vector<std::size_t> dims =
+      opt.quick ? std::vector<std::size_t>{8000} : std::vector<std::size_t>{8000, 12000, 16000};
+  for (const std::size_t d : dims) {
+    const double flops = 2.0 * static_cast<double>(d) * static_cast<double>(d) *
+                         static_cast<double>(d);
+    const double one = run_mm(ms::sim::SimConfig::phi_31sp(), d, 16, 4);
+    const double two = run_mm(ms::sim::SimConfig::phi_31sp_x2(), d, 16, 4);
+    t.add_row({std::to_string(d) + "^2", Table::num(ms::trace::gflops(flops, one), 1),
+               Table::num(ms::trace::gflops(flops, two), 1),
+               Table::num(2.0 * ms::trace::gflops(flops, one), 1),
+               Table::num(one / two, 2) + "x"});
+  }
+  ms::bench::emit(t, "futurework_multi_mic_mm",
+                  "future work — MM on two MICs (no cross-card deps, near-linear scaling)", opt);
+
+  std::cout << "\ncontrast with Fig. 11's CF (~1.3x): MM's row partitioning has no cross-card\n"
+               "dependencies, so two cards approach 2x, paying only the duplicated B upload.\n";
+  return 0;
+}

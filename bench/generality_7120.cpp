@@ -1,0 +1,69 @@
+// Generality check: none of the paper's *mechanisms* are specific to the
+// 57-core 31SP. On a simulated 61-core Phi 7120P the divisor heuristics
+// re-derive themselves: 60 usable cores make P in {2,3,4,5,6,10,...} the
+// core-aligned set (note 7 and 8, good on the 31SP, are now split-core and
+// slow), and the Fig. 9(a)-style peaks move accordingly.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/mm_app.hpp"
+#include "bench_common.hpp"
+#include "rt/tuner.hpp"
+#include "trace/report.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = ms::bench::parse(argc, argv);
+  using ms::trace::Table;
+
+  const auto a = ms::sim::SimConfig::phi_31sp();
+  const auto b = ms::sim::SimConfig::phi_7120p();
+
+  {
+    Table t({"device", "usable cores", "threads", "peak GFLOPS", "recommended P set (head)"});
+    auto head = [](const std::vector<int>& v) {
+      std::string s;
+      for (std::size_t i = 0; i < v.size() && i < 7; ++i) {
+        if (i) s += ",";
+        s += std::to_string(v[i]);
+      }
+      return s + ",...";
+    };
+    t.add_row({"Phi 31SP", std::to_string(a.device.usable_cores()),
+               std::to_string(a.device.usable_threads()), Table::num(a.device.peak_gflops(), 0),
+               head(ms::rt::Tuner::partition_candidates(a.device))});
+    t.add_row({"Phi 7120P", std::to_string(b.device.usable_cores()),
+               std::to_string(b.device.usable_threads()), Table::num(b.device.peak_gflops(), 0),
+               head(ms::rt::Tuner::partition_candidates(b.device))});
+    ms::bench::emit(t, "generality_devices", "device models and their derived candidate sets",
+                    opt);
+  }
+
+  {
+    // P values that are aligned on exactly one of the two cards.
+    Table t({"P", "31SP [GFLOPS]", "7120P [GFLOPS]", "aligned on"});
+    for (const int p : std::vector<int>{4, 5, 6, 7, 8, 10, 12, 14, 15}) {
+      ms::apps::MmConfig mc;
+      mc.common.partitions = p;
+      mc.common.functional = false;
+      mc.common.tracing = false;
+      mc.common.protocol_iterations = 1;
+      mc.dim = 6000;
+      mc.tile_grid = 12;
+      const double g31 = ms::apps::MmApp::run(a, mc).gflops;
+      const double g71 = ms::apps::MmApp::run(b, mc).gflops;
+      std::string aligned;
+      if (56 % p == 0) aligned += "31SP ";
+      if (60 % p == 0) aligned += "7120P";
+      if (aligned.empty()) aligned = "neither";
+      t.add_row({std::to_string(p), Table::num(g31, 1), Table::num(g71, 1), aligned});
+    }
+    ms::bench::emit(t, "generality_mm",
+                    "MM GFLOPS vs P on both cards — peaks follow each card's divisors", opt);
+  }
+
+  std::cout << "\ne.g. P=7/14 are fast on the 31SP (divide 56) but split cores on the 7120P;\n"
+               "P=5/10/15 do the opposite. The heuristic is device-derived, not hard-coded.\n";
+  return 0;
+}

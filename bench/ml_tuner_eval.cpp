@@ -1,0 +1,76 @@
+// Evaluates the three (P, T) selection strategies the paper discusses or
+// proposes as future work, on held-out random workloads:
+//   exhaustive : search the pruned space against the simulator (ground truth)
+//   analytic   : closed-form model prediction as the search metric
+//   ML (k-NN)  : the trained KnnTuner's single-shot prediction
+// Reports each strategy's regret (extra time vs the ground-truth optimum)
+// and how many simulator evaluations it needed.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "model/analytic.hpp"
+#include "model/ml_tuner.hpp"
+#include "model/workload_sim.hpp"
+#include "rt/tuner.hpp"
+#include "trace/report.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = ms::bench::parse(argc, argv);
+  const auto cfg = ms::sim::SimConfig::phi_31sp();
+  using ms::trace::Table;
+
+  const int train_n = opt.quick ? 8 : 32;
+  const int eval_n = opt.quick ? 4 : 12;
+
+  std::cout << "training k-NN tuner on " << train_n << " labelled workloads...\n";
+  const auto ml = ms::model::KnnTuner::train(cfg, train_n, 1000, 3);
+  const ms::model::AnalyticModel model(cfg);
+
+  ms::rt::TunerOptions topt;
+  topt.max_multiplier = 6;
+  const auto space = ms::rt::Tuner::pruned_space(cfg.device, topt);
+
+  Table t({"workload", "optimal [ms]", "analytic regret", "ML regret", "analytic (P,T)",
+           "ML (P,T)"});
+  double sum_analytic = 0.0;
+  double sum_ml = 0.0;
+  for (int i = 0; i < eval_n; ++i) {
+    const auto shape = ms::model::KnnTuner::random_shape(7000 + static_cast<std::uint32_t>(i));
+
+    const auto truth = ms::rt::Tuner::search(space, [&](ms::rt::Tuner::Candidate c) {
+      return ms::model::simulate_streamed_ms(cfg, shape, c.partitions, c.tiles);
+    });
+
+    const auto analytic = ms::rt::Tuner::search(space, [&](ms::rt::Tuner::Candidate c) {
+      return model.predict(shape, c.partitions, c.tiles).streamed_ms;
+    });
+    const double analytic_ms =
+        ms::model::simulate_streamed_ms(cfg, shape, analytic.best.partitions, analytic.best.tiles);
+
+    const auto predicted = ml.predict(shape);
+    const double ml_ms =
+        ms::model::simulate_streamed_ms(cfg, shape, predicted.partitions, predicted.tiles);
+
+    const double ra = analytic_ms / truth.best_metric - 1.0;
+    const double rm = ml_ms / truth.best_metric - 1.0;
+    sum_analytic += ra;
+    sum_ml += rm;
+    t.add_row({"#" + std::to_string(i), Table::num(truth.best_metric),
+               Table::num(ra * 100.0, 1) + "%", Table::num(rm * 100.0, 1) + "%",
+               "(" + std::to_string(analytic.best.partitions) + "," +
+                   std::to_string(analytic.best.tiles) + ")",
+               "(" + std::to_string(predicted.partitions) + "," + std::to_string(predicted.tiles) +
+                   ")"});
+  }
+  ms::bench::emit(t, "ml_tuner_eval", "tuning-strategy regret vs exhaustive simulated search",
+                  opt);
+
+  std::cout << "\nmean regret: analytic " << Table::num(sum_analytic / eval_n * 100.0, 1)
+            << "%  |  ML " << Table::num(sum_ml / eval_n * 100.0, 1) << "%\n"
+            << "simulator evaluations per new workload: exhaustive " << space.size()
+            << ", analytic 0, ML 0 (after " << train_n << "-sample training)\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Validates the analytical performance model (the paper's "future work")
+// against the discrete-event simulator: predicted vs simulated streamed
+// time across a (P, T) grid and across random workload shapes, plus the
+// quality of the model's closed-form T recommendation.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "model/analytic.hpp"
+#include "model/ml_tuner.hpp"
+#include "model/workload_sim.hpp"
+#include "trace/report.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = ms::bench::parse(argc, argv);
+  const auto cfg = ms::sim::SimConfig::phi_31sp();
+  using ms::trace::Table;
+  ms::model::AnalyticModel model(cfg);
+
+  // --- grid accuracy on the canonical balanced workload --------------------
+  {
+    ms::model::OffloadShape shape;
+    shape.h2d_bytes = 16.0 * (1 << 20);
+    shape.d2h_bytes = 16.0 * (1 << 20);
+    shape.work.kind = ms::sim::KernelKind::Streaming;
+    shape.work.elems = 4.0 * (1 << 20) * 40.0;
+
+    Table t({"P", "T", "simulated [ms]", "predicted [ms]", "error"});
+    for (const int p : {1, 2, 4, 8, 14}) {
+      for (const int tiles : {4, 16, 64}) {
+        const double sim_ms = ms::model::simulate_streamed_ms(cfg, shape, p, tiles);
+        const double pred_ms = model.predict(shape, p, tiles).streamed_ms;
+        t.add_row({std::to_string(p), std::to_string(tiles), Table::num(sim_ms),
+                   Table::num(pred_ms),
+                   Table::num((pred_ms / sim_ms - 1.0) * 100.0, 1) + "%"});
+      }
+    }
+    ms::bench::emit(t, "model_grid", "analytic model vs simulator — hBench shape, (P, T) grid",
+                    opt);
+  }
+
+  // --- error distribution over random shapes --------------------------------
+  {
+    const int n = opt.quick ? 10 : 40;
+    double worst = 0.0;
+    double sum_abs = 0.0;
+    int within20 = 0;
+    for (int i = 0; i < n; ++i) {
+      const auto shape = ms::model::KnnTuner::random_shape(9000 + static_cast<std::uint32_t>(i));
+      const double sim_ms = ms::model::simulate_streamed_ms(cfg, shape, 4, 8);
+      const double err = model.predict(shape, 4, 8).streamed_ms / sim_ms - 1.0;
+      worst = std::max(worst, std::abs(err));
+      sum_abs += std::abs(err);
+      if (std::abs(err) <= 0.2) ++within20;
+    }
+    std::cout << "\nrandom shapes (P=4, T=8, n=" << n << "): mean |error| "
+              << Table::num(sum_abs / n * 100.0, 1) << "%, worst "
+              << Table::num(worst * 100.0, 1) << "%, within 20%: " << within20 << "/" << n
+              << "\n";
+  }
+
+  // --- model-driven T choice vs simulated optimum ---------------------------
+  {
+    Table t({"shape", "model T", "simulated-best T", "model choice penalty"});
+    for (int i = 0; i < (opt.quick ? 3 : 8); ++i) {
+      const auto shape = ms::model::KnnTuner::random_shape(400 + static_cast<std::uint32_t>(i));
+      const int model_t = model.best_tiles(shape, 4, 12);
+      int best_t = 4;
+      double best_ms = 1e300;
+      for (int m = 1; m <= 12; ++m) {
+        const double ms = ms::model::simulate_streamed_ms(cfg, shape, 4, 4 * m);
+        if (ms < best_ms) {
+          best_ms = ms;
+          best_t = 4 * m;
+        }
+      }
+      const double model_ms = ms::model::simulate_streamed_ms(cfg, shape, 4, model_t);
+      t.add_row({"#" + std::to_string(i), std::to_string(model_t), std::to_string(best_t),
+                 Table::num((model_ms / best_ms - 1.0) * 100.0, 1) + "%"});
+    }
+    ms::bench::emit(t, "model_tile_choice",
+                    "closed-form best_tiles vs simulated optimum (penalty = extra time)", opt);
+  }
+  return 0;
+}

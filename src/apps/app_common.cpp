@@ -1,0 +1,49 @@
+#include "apps/app_common.hpp"
+
+namespace ms::apps {
+
+namespace {
+
+template <typename T>
+void fill_uniform_impl(std::span<T> out, std::uint32_t seed, T lo, T hi) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<T> dist(lo, hi);
+  for (T& v : out) v = dist(rng);
+}
+
+}  // namespace
+
+void fill_uniform(std::span<float> out, std::uint32_t seed, float lo, float hi) {
+  fill_uniform_impl(out, seed, lo, hi);
+}
+
+void fill_uniform(std::span<double> out, std::uint32_t seed, double lo, double hi) {
+  fill_uniform_impl(out, seed, lo, hi);
+}
+
+void fill_spd(std::span<double> matrix, std::size_t n, std::uint32_t seed) {
+  fill_uniform(matrix, seed, 0.0, 1.0);
+  // Symmetrize and dominate the diagonal: A := (R + R^T)/2 + n*I is SPD.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double avg = 0.5 * (matrix[i * n + j] + matrix[j * n + i]);
+      matrix[i * n + j] = avg;
+      matrix[j * n + i] = avg;
+    }
+    matrix[i * n + i] += static_cast<double>(n);
+  }
+}
+
+double checksum(std::span<const float> v) noexcept {
+  double s = 0.0;
+  for (const float x : v) s += x;
+  return s;
+}
+
+double checksum(std::span<const double> v) noexcept {
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s;
+}
+
+}  // namespace ms::apps

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rt/context.hpp"
+#include "sim/sim_config.hpp"
+#include "trace/stats.hpp"
+#include "trace/timeline.hpp"
+
+namespace ms::apps {
+
+/// Knobs shared by every ported application.
+struct CommonConfig {
+  /// Resource granularity P: partitions (= streams) per device. Ignored by
+  /// the non-streamed baseline, which always uses one whole-device stream.
+  int partitions = 4;
+  /// Streamed (tiled, multi-stream) port vs. the paper's "w/o" baseline
+  /// (single stream, single tile).
+  bool streamed = true;
+  /// Functional mode allocates real data and runs real kernels so results
+  /// can be verified; timing-only mode uses virtual buffers and empty
+  /// functors for paper-scale parameter sweeps.
+  bool functional = true;
+  /// Capture a full action timeline (tests and examples want it; the big
+  /// parameter sweeps turn it off to keep memory flat).
+  bool tracing = true;
+  /// The paper's protocol runs each benchmark 11 times and drops the first.
+  /// The simulator is deterministic, so 2 (one warm-up, one measured) gives
+  /// identical numbers; tests crank this up to prove it.
+  int protocol_iterations = 2;
+};
+
+/// What every application run reports.
+struct AppResult {
+  double ms = 0.0;       ///< mean virtual elapsed per protocol iteration
+  double gflops = 0.0;   ///< 0 when the app reports time instead (paper's choice)
+  double checksum = 0.0; ///< functional fingerprint (0 in timing-only mode)
+  trace::Timeline timeline;  ///< spans of the whole run (all iterations)
+};
+
+/// Run `once(iteration)` under the measurement protocol: each call is
+/// bracketed by the virtual host clock and followed by a full context
+/// synchronize; the first sample is dropped (warm-up) unless there is only
+/// one. Returns the mean in milliseconds.
+template <typename F>
+double measure_ms(rt::Context& ctx, int iterations, F&& once) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    const sim::SimTime t0 = ctx.host_time();
+    once(i);
+    ctx.synchronize();
+    samples.push_back((ctx.host_time() - t0).millis());
+  }
+  return samples.size() == 1 ? samples[0] : trace::mean_skip_first(samples);
+}
+
+/// Deterministically fill a range with uniform values in [lo, hi).
+void fill_uniform(std::span<float> out, std::uint32_t seed, float lo = 0.0f, float hi = 1.0f);
+void fill_uniform(std::span<double> out, std::uint32_t seed, double lo = 0.0, double hi = 1.0);
+
+/// Build a dense symmetric positive-definite matrix (row-major n x n):
+/// random entries in [0,1) plus n on the diagonal.
+void fill_spd(std::span<double> matrix, std::size_t n, std::uint32_t seed);
+
+/// Sum of a span — the standard checksum used by the apps.
+[[nodiscard]] double checksum(std::span<const float> v) noexcept;
+[[nodiscard]] double checksum(std::span<const double> v) noexcept;
+
+}  // namespace ms::apps

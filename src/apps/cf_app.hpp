@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace ms::apps {
+
+/// Tiled right-looking Cholesky factorization (Fig. 4(b) flow — several
+/// dependent kernels; overlappable because tile transfers hide behind the
+/// factorization wavefront). Task (POTRF / TRSM / SYRK / GEMM) dependencies
+/// are expressed as runtime events, so independent tiles factor on
+/// different streams — and, in the Section VI configuration, on different
+/// *cards*, with the tile-coherence layer inserting the extra PCIe round
+/// trips the paper blames for the sub-2x multi-MIC scaling.
+struct CfConfig {
+  CommonConfig common;
+  std::size_t dim = 512;  ///< N: matrix is N x N doubles
+  std::size_t tile = 256; ///< B: tile edge (baseline forces B = N)
+};
+
+class CfApp {
+public:
+  [[nodiscard]] static double total_flops(std::size_t dim) noexcept;
+
+  [[nodiscard]] static AppResult run(const sim::SimConfig& cfg, const CfConfig& cc);
+
+  /// Lower-tile block layout helpers: tile (i, j), i >= j, lives at slot
+  /// i*(i+1)/2 + j, each slot a contiguous tile*tile block.
+  [[nodiscard]] static std::size_t lower_tile_slot(std::size_t i, std::size_t j) noexcept {
+    return i * (i + 1) / 2 + j;
+  }
+  [[nodiscard]] static std::vector<double> pack_lower(const std::vector<double>& dense,
+                                                      std::size_t n, std::size_t tile);
+  static void unpack_lower(const std::vector<double>& packed, std::vector<double>& dense,
+                           std::size_t n, std::size_t tile);
+};
+
+}  // namespace ms::apps

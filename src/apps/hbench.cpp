@@ -1,0 +1,150 @@
+#include "apps/hbench.hpp"
+
+#include <algorithm>
+
+#include "kern/saxpy_iter.hpp"
+#include "rt/context.hpp"
+#include "rt/tile_plan.hpp"
+#include "sim/cost_model.hpp"
+
+namespace ms::apps {
+
+namespace {
+
+sim::KernelWork saxpy_work(std::size_t elems, int iters) {
+  sim::KernelWork w;
+  w.kind = sim::KernelKind::Streaming;
+  w.elems = kern::saxpy_elems(elems, iters);
+  return w;
+}
+
+}  // namespace
+
+double HBench::transfer_pattern(const sim::SimConfig& cfg, int hd_blocks, int dh_blocks,
+                                std::size_t block_bytes) {
+  rt::Context ctx(cfg);
+  ctx.setup(2);  // one stream per direction
+
+  const std::size_t total = block_bytes * static_cast<std::size_t>(std::max(1, hd_blocks + dh_blocks));
+  const rt::BufferId buf = ctx.create_virtual_buffer(total);
+  ctx.synchronize();
+
+  const sim::SimTime t0 = ctx.host_time();
+  for (int b = 0; b < hd_blocks; ++b) {
+    ctx.stream(0).enqueue_h2d(buf, static_cast<std::size_t>(b) * block_bytes, block_bytes);
+  }
+  for (int b = 0; b < dh_blocks; ++b) {
+    ctx.stream(1).enqueue_d2h(
+        buf, static_cast<std::size_t>(hd_blocks + b) * block_bytes, block_bytes);
+  }
+  ctx.synchronize();
+  return (ctx.host_time() - t0).millis();
+}
+
+HBench::OverlapPoint HBench::overlap(const sim::SimConfig& cfg, std::size_t elems,
+                                     int kernel_iters, int streams, int tiles) {
+  const std::size_t bytes = elems * sizeof(float);
+  OverlapPoint out;
+
+  // Transfers only: A host->device, B device->host.
+  {
+    rt::Context ctx(cfg);
+    const rt::BufferId a = ctx.create_virtual_buffer(bytes);
+    const rt::BufferId b = ctx.create_virtual_buffer(bytes);
+    ctx.synchronize();
+    const sim::SimTime t0 = ctx.host_time();
+    ctx.stream(0).enqueue_h2d(a, 0, bytes);
+    ctx.stream(0).enqueue_d2h(b, 0, bytes);
+    ctx.synchronize();
+    out.data_ms = (ctx.host_time() - t0).millis();
+  }
+
+  // Kernel only (whole device, data resident).
+  {
+    rt::Context ctx(cfg);
+    ctx.synchronize();
+    const sim::SimTime t0 = ctx.host_time();
+    ctx.stream(0).enqueue_kernel({"saxpy", saxpy_work(elems, kernel_iters), {}});
+    ctx.synchronize();
+    out.kernel_ms = (ctx.host_time() - t0).millis();
+  }
+
+  // Serial offload: one stream, one tile.
+  {
+    rt::Context ctx(cfg);
+    const rt::BufferId a = ctx.create_virtual_buffer(bytes);
+    const rt::BufferId b = ctx.create_virtual_buffer(bytes);
+    ctx.synchronize();
+    const sim::SimTime t0 = ctx.host_time();
+    ctx.stream(0).enqueue_h2d(a, 0, bytes);
+    ctx.stream(0).enqueue_kernel({"saxpy", saxpy_work(elems, kernel_iters), {}});
+    ctx.stream(0).enqueue_d2h(b, 0, bytes);
+    ctx.synchronize();
+    out.serial_ms = (ctx.host_time() - t0).millis();
+  }
+
+  // Streamed pipeline: `tiles` tasks round-robined over `streams` streams.
+  {
+    rt::Context ctx(cfg);
+    ctx.setup(streams);
+    const rt::BufferId a = ctx.create_virtual_buffer(bytes);
+    const rt::BufferId b = ctx.create_virtual_buffer(bytes);
+    ctx.synchronize();
+    const auto ranges = rt::split_even(elems, static_cast<std::size_t>(tiles));
+    const sim::SimTime t0 = ctx.host_time();
+    for (std::size_t t = 0; t < ranges.size(); ++t) {
+      rt::Stream& s = ctx.stream(static_cast<int>(t) % streams);
+      const std::size_t off = ranges[t].begin * sizeof(float);
+      const std::size_t len = ranges[t].size() * sizeof(float);
+      s.enqueue_h2d(a, off, len);
+      s.enqueue_kernel({"saxpy", saxpy_work(ranges[t].size(), kernel_iters), {}});
+      s.enqueue_d2h(b, off, len);
+    }
+    ctx.synchronize();
+    out.streamed_ms = (ctx.host_time() - t0).millis();
+  }
+
+  out.ideal_ms = std::max(out.data_ms, out.kernel_ms);
+  return out;
+}
+
+double HBench::spatial(const sim::SimConfig& cfg, int partitions, int blocks, int kernel_iters,
+                       std::size_t elems) {
+  rt::Context ctx(cfg);
+  ctx.setup(partitions);
+  const std::size_t bytes = elems * sizeof(float);
+  const rt::BufferId a = ctx.create_virtual_buffer(bytes);
+  ctx.synchronize();
+
+  // Transfers first, then an explicit synchronization: the Fig. 7 experiment
+  // deliberately prevents transfer/kernel overlap so only spatial sharing
+  // remains, and measures kernel execution alone.
+  const auto ranges = rt::split_even(elems, static_cast<std::size_t>(blocks));
+  for (std::size_t t = 0; t < ranges.size(); ++t) {
+    ctx.stream(static_cast<int>(t) % partitions)
+        .enqueue_h2d(a, ranges[t].begin * sizeof(float), ranges[t].size() * sizeof(float));
+  }
+  ctx.synchronize();
+
+  const sim::SimTime t0 = ctx.host_time();
+  for (std::size_t t = 0; t < ranges.size(); ++t) {
+    ctx.stream(static_cast<int>(t) % partitions)
+        .enqueue_kernel({"saxpy", saxpy_work(ranges[t].size(), kernel_iters), {}});
+  }
+  ctx.synchronize();
+  return (ctx.host_time() - t0).millis();
+}
+
+double HBench::spatial_ref(const sim::SimConfig& cfg, int kernel_iters, std::size_t elems) {
+  rt::Context ctx(cfg);
+  const rt::BufferId a = ctx.create_virtual_buffer(elems * sizeof(float));
+  ctx.stream(0).enqueue_h2d(a, 0, elems * sizeof(float));
+  ctx.synchronize();
+
+  const sim::SimTime t0 = ctx.host_time();
+  ctx.stream(0).enqueue_kernel({"saxpy", saxpy_work(elems, kernel_iters), {}});
+  ctx.synchronize();
+  return (ctx.host_time() - t0).millis();
+}
+
+}  // namespace ms::apps

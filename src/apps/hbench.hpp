@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sim/sim_config.hpp"
+
+namespace ms::apps {
+
+/// The paper's microbenchmark (Section III-B1 / IV): B[i] = A[i] + alpha
+/// with a tunable iteration count, used to quantify temporal sharing
+/// (transfer/transfer and transfer/kernel overlap) and spatial sharing
+/// (resource-partitioning) in isolation.
+class HBench {
+public:
+  /// Fig. 5 pattern: move `hd_blocks` host->device and `dh_blocks`
+  /// device->host blocks of `block_bytes` each, each direction issued on its
+  /// own stream so a duplex-capable link *could* overlap them. Returns the
+  /// virtual milliseconds until both finish.
+  [[nodiscard]] static double transfer_pattern(const sim::SimConfig& cfg, int hd_blocks,
+                                               int dh_blocks, std::size_t block_bytes);
+
+  /// Fig. 6 components for one kernel-iteration count.
+  struct OverlapPoint {
+    double data_ms = 0.0;     ///< transfers only (A in, B out)
+    double kernel_ms = 0.0;   ///< kernel only (data resident)
+    double serial_ms = 0.0;   ///< H2D -> EXE -> D2H on one stream, one tile
+    double streamed_ms = 0.0; ///< tiled pipeline on `streams` streams
+    double ideal_ms = 0.0;    ///< max(data, kernel): a hypothetical full overlap
+  };
+  [[nodiscard]] static OverlapPoint overlap(const sim::SimConfig& cfg, std::size_t elems,
+                                            int kernel_iters, int streams, int tiles);
+
+  /// Fig. 7 streamed bar: kernel-only time (transfers synchronized away)
+  /// with the array split into `blocks` tasks over `partitions` partitions.
+  [[nodiscard]] static double spatial(const sim::SimConfig& cfg, int partitions, int blocks,
+                                      int kernel_iters, std::size_t elems);
+
+  /// Fig. 7 `ref` bar: the non-streamed, non-tiled kernel-only time.
+  [[nodiscard]] static double spatial_ref(const sim::SimConfig& cfg, int kernel_iters,
+                                          std::size_t elems);
+};
+
+}  // namespace ms::apps

@@ -1,0 +1,140 @@
+#include "apps/hotspot_app.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "rt/tile_plan.hpp"
+
+namespace ms::apps {
+
+AppResult HotspotApp::run(const sim::SimConfig& cfg, const HotspotConfig& hc) {
+  const bool streamed = hc.common.streamed;
+  const std::size_t trows = streamed ? hc.tile_rows : hc.rows;
+  const std::size_t tcols = streamed ? hc.tile_cols : hc.cols;
+
+  rt::Context ctx(cfg);
+  ctx.set_tracing(hc.common.tracing);
+  ctx.setup(streamed ? hc.common.partitions : 1);
+  const int streams = ctx.stream_count();
+
+  const std::size_t cells = hc.rows * hc.cols;
+  const std::size_t grid_bytes = cells * sizeof(double);
+
+  std::vector<double> temp0, temp1, power;
+  std::array<rt::BufferId, 2> btemp{};
+  rt::BufferId bpower;
+  if (hc.common.functional) {
+    temp0.resize(cells);
+    temp1.assign(cells, 0.0);
+    power.resize(cells);
+    fill_uniform(std::span<double>(temp0), 31, 70.0, 90.0);
+    fill_uniform(std::span<double>(power), 32, 0.0, 0.5);
+    btemp[0] = ctx.create_buffer(std::span<double>(temp0));
+    btemp[1] = ctx.create_buffer(std::span<double>(temp1));
+    bpower = ctx.create_buffer(std::span<double>(power));
+  } else {
+    btemp[0] = ctx.create_virtual_buffer(grid_bytes);
+    btemp[1] = ctx.create_virtual_buffer(grid_bytes);
+    bpower = ctx.create_virtual_buffer(grid_bytes);
+  }
+
+  const auto tiles = rt::grid_tiles(hc.rows, hc.cols, trows, tcols);
+  const std::size_t tiles_per_row =
+      (hc.cols + tcols - 1) / tcols;  // tiles are laid out row-major
+  const std::size_t tile_rows_count = (hc.rows + trows - 1) / trows;
+
+  auto tile_index = [&](std::size_t tr, std::size_t tc) { return tr * tiles_per_row + tc; };
+
+  const std::vector<double> temp0_seed = temp0;  // restore between protocol runs
+
+  AppResult result;
+  result.ms = measure_ms(ctx, hc.common.protocol_iterations, [&](int) {
+    if (hc.common.functional) {
+      std::copy(temp0_seed.begin(), temp0_seed.end(), temp0.begin());
+    }
+    // Initial grid and power map move in as full-width row bands (one DMA
+    // transfer per band), then an explicit barrier: the simulation loop
+    // cannot overlap its own input.
+    const auto bands = rt::split_even(hc.rows, tile_rows_count);
+    int band_stream = 0;
+    for (const rt::Range& band : bands) {
+      const std::size_t off = band.begin * hc.cols * sizeof(double);
+      const std::size_t len = band.size() * hc.cols * sizeof(double);
+      ctx.stream(band_stream % streams).enqueue_h2d(btemp[0], off, len);
+      ctx.stream(band_stream % streams).enqueue_h2d(bpower, off, len);
+      ++band_stream;
+    }
+    ctx.synchronize();
+
+    std::vector<rt::Event> prev(tiles.size());
+    std::vector<rt::Event> cur(tiles.size());
+    for (int step = 0; step < hc.steps; ++step) {
+      const std::size_t in = static_cast<std::size_t>(step % 2);
+      const std::size_t out = 1 - in;
+      for (std::size_t t = 0; t < tiles.size(); ++t) {
+        const rt::Tile2D tile = tiles[t];
+        const std::size_t tr = t / tiles_per_row;
+        const std::size_t tc = t % tiles_per_row;
+
+        std::vector<rt::Event> deps;
+        if (step > 0) {
+          deps.push_back(prev[t]);
+          if (tr > 0) deps.push_back(prev[tile_index(tr - 1, tc)]);
+          if (tr + 1 < tile_rows_count) deps.push_back(prev[tile_index(tr + 1, tc)]);
+          if (tc > 0) deps.push_back(prev[tile_index(tr, tc - 1)]);
+          if (tc + 1 < tiles_per_row) deps.push_back(prev[tile_index(tr, tc + 1)]);
+        }
+
+        sim::KernelWork work;
+        work.kind = sim::KernelKind::Stencil;
+        work.elems = kern::hotspot_elems(tile.rows(), tile.cols());
+        work.flops = kern::hotspot_flops(tile.rows(), tile.cols());
+
+        rt::KernelLaunch launch;
+        launch.label = "hotspot-step";
+        launch.work = work;
+        if (hc.common.functional) {
+          const rt::BufferId bin = btemp[in];
+          const rt::BufferId bout = btemp[out];
+          const rt::BufferId bpw = bpower;
+          const std::size_t rows = hc.rows;
+          const std::size_t cols = hc.cols;
+          const kern::HotspotParams params = hc.params;
+          launch.fn = [&ctx, bin, bout, bpw, tile, rows, cols, params] {
+            kern::hotspot_step(ctx.device_ptr<double>(bin, 0), ctx.device_ptr<double>(bpw, 0),
+                               ctx.device_ptr<double>(bout, 0), rows, cols, tile.row_begin,
+                               tile.row_end, tile.col_begin, tile.col_end, params);
+          };
+        }
+        cur[t] = ctx.stream(static_cast<int>(t) % streams)
+                     .enqueue_kernel(std::move(launch), deps);
+      }
+      std::swap(prev, cur);
+    }
+
+    // Result grid back to the host, band-wise. A band spans several tiles'
+    // rows, so its download must wait for the *last step of every tile* —
+    // a single join barrier expresses that (and matches the flow's final
+    // sync edge in Fig. 4(c)).
+    const rt::Event all_steps_done = ctx.stream(0).enqueue_barrier(prev);
+    const std::size_t final_buf = static_cast<std::size_t>(hc.steps % 2);
+    band_stream = 0;
+    for (const rt::Range& band : bands) {
+      ctx.stream(band_stream % streams)
+          .enqueue_d2h(btemp[final_buf], band.begin * hc.cols * sizeof(double),
+                       band.size() * hc.cols * sizeof(double), {all_steps_done});
+      ++band_stream;
+    }
+  });
+
+  if (hc.common.functional) {
+    const auto& final_host = (hc.steps % 2) == 0 ? temp0 : temp1;
+    result.checksum = checksum(std::span<const double>(final_host));
+  }
+  result.timeline = std::move(ctx.timeline());
+  return result;
+}
+
+}  // namespace ms::apps

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+
+#include "apps/app_common.hpp"
+#include "kern/hotspot.hpp"
+
+namespace ms::apps {
+
+/// Rodinia Hotspot port (Fig. 4(c) flow — non-overlappable: every simulation
+/// step consumes the whole previous grid, so transfers cannot hide behind
+/// kernels; only spatial sharing applies). The grid is cut into 2-D tiles;
+/// a tile's step-s kernel depends on the step-(s-1) kernels of itself and
+/// its four neighbours (halo exchange through shared device memory).
+struct HotspotConfig {
+  CommonConfig common;
+  std::size_t rows = 512;
+  std::size_t cols = 512;
+  std::size_t tile_rows = 256;  ///< tile size (baseline forces whole grid)
+  std::size_t tile_cols = 256;
+  int steps = 50;  ///< paper: "we run 50 simulation iterations"
+  kern::HotspotParams params{};
+};
+
+class HotspotApp {
+public:
+  [[nodiscard]] static AppResult run(const sim::SimConfig& cfg, const HotspotConfig& hc);
+};
+
+}  // namespace ms::apps

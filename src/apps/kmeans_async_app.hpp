@@ -1,0 +1,27 @@
+#pragma once
+
+#include "apps/kmeans_app.hpp"
+
+namespace ms::apps {
+
+/// The paper's future work, implemented: "we would like to investigate how
+/// to transform the non-overlappable applications to overlappable
+/// applications". This is the classic Kmeans transformation — *delayed
+/// (stale) centroids*:
+///
+///   synchronous (Fig. 4(d)):   assign(i) -> barrier -> update(i) -> assign(i+1)
+///   asynchronous (this app):   assign(i+1) uses centroids from update(i-1)
+///
+/// With one iteration of staleness the device never idles at a global
+/// barrier: while the host reduces iteration i-1's partial sums, iteration
+/// i's kernels and the next centroid upload are already in flight, so the
+/// centroid H2D and partials D2H genuinely overlap kernel execution. The
+/// algorithm becomes "asynchronous mini-batch" Kmeans: it converges to the
+/// same kind of fixed point but NOT bit-identically to the synchronous
+/// version, which is exactly the trade-off such transformations make.
+class KmeansAsyncApp {
+public:
+  [[nodiscard]] static AppResult run(const sim::SimConfig& cfg, const KmeansConfig& kc);
+};
+
+}  // namespace ms::apps

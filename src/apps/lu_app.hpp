@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace ms::apps {
+
+/// Tiled right-looking LU factorization (no pivoting) — the comparison
+/// point the paper itself raises when introducing CF: "the Cholesky
+/// factorization is roughly twice as efficient as LU factorization". Same
+/// runtime machinery as the CF port (event DAG, tile coherence, dedicated
+/// transfer streams), but over the full g x g tile grid and with the LU
+/// task set (GETRF / row-panel TRSM / column-panel TRSM / GEMM).
+struct LuConfig {
+  CommonConfig common;
+  std::size_t dim = 512;  ///< N: matrix is N x N doubles
+  std::size_t tile = 256; ///< B: tile edge (baseline forces B = N)
+};
+
+class LuApp {
+public:
+  [[nodiscard]] static double total_flops(std::size_t dim) noexcept;
+
+  [[nodiscard]] static AppResult run(const sim::SimConfig& cfg, const LuConfig& lc);
+
+  /// Tile-major block layout over the full grid: tile (i, j) at slot i*g+j.
+  [[nodiscard]] static std::vector<double> pack_tiles(const std::vector<double>& dense,
+                                                      std::size_t n, std::size_t tile);
+  static void unpack_tiles(const std::vector<double>& packed, std::vector<double>& dense,
+                           std::size_t n, std::size_t tile);
+};
+
+}  // namespace ms::apps

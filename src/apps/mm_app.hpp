@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+
+#include "apps/app_common.hpp"
+
+namespace ms::apps {
+
+/// Tiled matrix multiplication C = A * B (Fig. 4(a) flow — fully
+/// overlappable). The result matrix is cut into a g x g grid of tiles; task
+/// (i, j) consumes row band i of A and column band j of B (stored
+/// transposed so bands are contiguous), computes its C tile, and sends it
+/// back. Bands are transferred once and shared between tasks via events.
+struct MmConfig {
+  CommonConfig common;
+  std::size_t dim = 512;  ///< D: matrices are D x D doubles
+  int tile_grid = 2;      ///< g: T = g*g tasks (baseline forces g = 1)
+};
+
+class MmApp {
+public:
+  /// Total flops of the full multiplication (for GFLOPS reporting).
+  [[nodiscard]] static double total_flops(std::size_t dim) noexcept;
+
+  [[nodiscard]] static AppResult run(const sim::SimConfig& cfg, const MmConfig& mc);
+};
+
+}  // namespace ms::apps

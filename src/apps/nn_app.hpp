@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/app_common.hpp"
+#include "kern/nn.hpp"
+
+namespace ms::apps {
+
+/// Rodinia NN port (Fig. 4(e) flow — overlappable and transfer-bound):
+/// record tiles stream in, the distance kernel runs per tile, distances
+/// stream out, and the host maintains the running top-k list.
+struct NnConfig {
+  CommonConfig common;
+  std::size_t records = 1u << 17;
+  int tiles = 8;  ///< T: record chunks (baseline forces 1)
+  std::size_t k = 10;
+  kern::LatLng target{40.0f, 120.0f};
+};
+
+class NnApp {
+public:
+  [[nodiscard]] static AppResult run(const sim::SimConfig& cfg, const NnConfig& nc);
+
+  /// The top-k list of the final protocol iteration (functional runs only).
+  struct Output {
+    AppResult result;
+    std::vector<kern::Neighbor> neighbors;
+  };
+  [[nodiscard]] static Output run_with_output(const sim::SimConfig& cfg, const NnConfig& nc);
+};
+
+}  // namespace ms::apps

@@ -1,0 +1,253 @@
+#include "apps/srad_app.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "kern/srad.hpp"
+#include "rt/tile_plan.hpp"
+
+namespace ms::apps {
+
+AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
+  const bool streamed = sc.common.streamed;
+  const std::size_t trows = streamed ? sc.tile_rows : sc.rows;
+  const std::size_t tcols = streamed ? sc.tile_cols : sc.cols;
+
+  rt::Context ctx(cfg);
+  ctx.set_tracing(sc.common.tracing);
+  ctx.setup(streamed ? sc.common.partitions : 1);
+  const int streams = ctx.stream_count();
+
+  const std::size_t cells = sc.rows * sc.cols;
+  const std::size_t img_bytes = cells * sizeof(float);
+
+  std::vector<float> image, j_host;
+  rt::BufferId bimg, bj, bc, bdn, bds, bdw, bde, bpart;
+
+  const auto tiles = rt::grid_tiles(sc.rows, sc.cols, trows, tcols);
+  const std::size_t tiles_per_row = (sc.cols + tcols - 1) / tcols;
+  const std::size_t tile_rows_count = (sc.rows + trows - 1) / trows;
+  auto tile_index = [&](std::size_t tr, std::size_t tc) { return tr * tiles_per_row + tc; };
+
+  if (sc.common.functional) {
+    image.resize(cells);
+    fill_uniform(std::span<float>(image), 77, 10.0f, 200.0f);
+    j_host.assign(cells, 0.0f);
+    bimg = ctx.create_buffer(std::span<float>(image));
+    bj = ctx.create_buffer(std::span<float>(j_host));
+  } else {
+    bimg = ctx.create_virtual_buffer(img_bytes);
+    bj = ctx.create_virtual_buffer(img_bytes);
+  }
+  // Scratch planes (coefficient + four derivatives). The *cost* of their
+  // repeated allocation is charged per kernel launch via temp_alloc_bytes;
+  // functionally they are plain persistent planes.
+  std::vector<float> c_host, dn_host, ds_host, dw_host, de_host;
+  std::vector<double> part_host;
+  if (sc.common.functional) {
+    c_host.assign(cells, 0.0f);
+    dn_host.assign(cells, 0.0f);
+    ds_host.assign(cells, 0.0f);
+    dw_host.assign(cells, 0.0f);
+    de_host.assign(cells, 0.0f);
+    part_host.assign(tiles.size() * 2, 0.0);
+    bc = ctx.create_buffer(std::span<float>(c_host));
+    bdn = ctx.create_buffer(std::span<float>(dn_host));
+    bds = ctx.create_buffer(std::span<float>(ds_host));
+    bdw = ctx.create_buffer(std::span<float>(dw_host));
+    bde = ctx.create_buffer(std::span<float>(de_host));
+    bpart = ctx.create_buffer(std::span<double>(part_host));
+  } else {
+    bc = ctx.create_virtual_buffer(img_bytes);
+    bdn = ctx.create_virtual_buffer(img_bytes);
+    bds = ctx.create_virtual_buffer(img_bytes);
+    bdw = ctx.create_virtual_buffer(img_bytes);
+    bde = ctx.create_virtual_buffer(img_bytes);
+    bpart = ctx.create_virtual_buffer(tiles.size() * 2 * sizeof(double));
+  }
+
+  const std::vector<float> image_seed = image;
+  const std::size_t rows = sc.rows;
+  const std::size_t cols = sc.cols;
+
+  AppResult result;
+  result.ms = measure_ms(ctx, sc.common.protocol_iterations, [&](int) {
+    if (sc.common.functional) {
+      std::copy(image_seed.begin(), image_seed.end(), image.begin());
+    }
+
+    // Image extraction: I -> J = exp(I/255), tile by tile, pipelined with
+    // the input transfers (row bands).
+    const auto bands = rt::split_chunks(rows, trows);
+    std::vector<rt::Event> band_ev(bands.size());
+    for (std::size_t b = 0; b < bands.size(); ++b) {
+      band_ev[b] = ctx.stream(static_cast<int>(b) % streams)
+                       .enqueue_h2d(bimg, bands[b].begin * cols * sizeof(float),
+                                    bands[b].size() * cols * sizeof(float));
+    }
+
+    std::vector<rt::Event> update_ev(tiles.size());
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      const rt::Tile2D tile = tiles[t];
+      const std::size_t tr = t / tiles_per_row;
+      sim::KernelWork work;
+      work.kind = sim::KernelKind::Streaming;
+      work.elems = static_cast<double>(tile.elems());
+      rt::KernelLaunch launch{"srad-extract", work, {}};
+      if (sc.common.functional) {
+        launch.fn = [&ctx, bimg, bj, tile, cols] {
+          const float* img = ctx.device_ptr<float>(bimg, 0);
+          float* j = ctx.device_ptr<float>(bj, 0);
+          for (std::size_t r = tile.row_begin; r < tile.row_end; ++r) {
+            kern::srad_extract(img, j, r * cols + tile.col_begin, r * cols + tile.col_end);
+          }
+        };
+      }
+      update_ev[t] = ctx.stream(static_cast<int>(t) % streams)
+                         .enqueue_kernel(std::move(launch), {band_ev[tr]});
+    }
+
+    for (int it = 0; it < sc.iterations; ++it) {
+      // --- statistics: per-tile partial sums, small D2H, host reduce -------
+      for (std::size_t t = 0; t < tiles.size(); ++t) {
+        const rt::Tile2D tile = tiles[t];
+        rt::Stream& s = ctx.stream(static_cast<int>(t) % streams);
+        sim::KernelWork work;
+        work.kind = sim::KernelKind::Reduction;
+        work.elems = static_cast<double>(tile.elems());
+        work.flops = 2.0 * static_cast<double>(tile.elems());
+        rt::KernelLaunch launch{"srad-stats", work, {}};
+        if (sc.common.functional) {
+          launch.fn = [&ctx, bj, bpart, tile, cols, t] {
+            const float* j = ctx.device_ptr<float>(bj, 0);
+            double sum = 0.0;
+            double sum2 = 0.0;
+            for (std::size_t r = tile.row_begin; r < tile.row_end; ++r) {
+              double s1 = 0.0;
+              double s2 = 0.0;
+              kern::srad_statistics(j, r * cols + tile.col_begin, r * cols + tile.col_end, &s1,
+                                    &s2);
+              sum += s1;
+              sum2 += s2;
+            }
+            auto* out = ctx.device_ptr<double>(bpart, 0, t * 2);
+            out[0] = sum;
+            out[1] = sum2;
+          };
+        }
+        s.enqueue_kernel(std::move(launch), {update_ev[t]});
+        s.enqueue_d2h(bpart, t * 2 * sizeof(double), 2 * sizeof(double));
+      }
+      // Host needs the statistics before it can launch the next kernels:
+      // the explicit mid-iteration barrier that kills overlap.
+      ctx.synchronize();
+
+      double q0sqr = 1.0;
+      if (sc.common.functional) {
+        double sum = 0.0;
+        double sum2 = 0.0;
+        for (std::size_t t = 0; t < tiles.size(); ++t) {
+          sum += part_host[t * 2];
+          sum2 += part_host[t * 2 + 1];
+        }
+        q0sqr = kern::srad_q0sqr(sum, sum2, cells);
+      }
+
+      // --- diffusion coefficient ------------------------------------------
+      std::vector<rt::Event> coeff_ev(tiles.size());
+      for (std::size_t t = 0; t < tiles.size(); ++t) {
+        const rt::Tile2D tile = tiles[t];
+        sim::KernelWork work;
+        work.kind = sim::KernelKind::Stencil;
+        work.elems = kern::srad_elems(tile.rows(), tile.cols());
+        work.flops = kern::srad_coeff_flops(tile.rows(), tile.cols());
+        // The per-launch scratch: the four derivative planes for this tile.
+        work.temp_alloc_bytes = 4.0 * static_cast<double>(tile.elems() * sizeof(float));
+        rt::KernelLaunch launch{"srad-coeff", work, {}};
+        if (sc.common.functional) {
+          launch.fn = [&ctx, bj, bc, bdn, bds, bdw, bde, tile, rows, cols, q0sqr] {
+            kern::srad_coeff(ctx.device_ptr<float>(bj, 0), ctx.device_ptr<float>(bc, 0),
+                             ctx.device_ptr<float>(bdn, 0), ctx.device_ptr<float>(bds, 0),
+                             ctx.device_ptr<float>(bdw, 0), ctx.device_ptr<float>(bde, 0), rows,
+                             cols, tile.row_begin, tile.row_end, tile.col_begin, tile.col_end,
+                             q0sqr);
+          };
+        }
+        coeff_ev[t] =
+            ctx.stream(static_cast<int>(t) % streams).enqueue_kernel(std::move(launch));
+      }
+
+      // --- divergence update --------------------------------------------
+      // Reads the coefficient of self/south/east; writes J, whose halo the
+      // coeff kernels of all four neighbours read. Depending on every
+      // neighbour's coeff kernel covers both hazards.
+      for (std::size_t t = 0; t < tiles.size(); ++t) {
+        const rt::Tile2D tile = tiles[t];
+        const std::size_t tr = t / tiles_per_row;
+        const std::size_t tc = t % tiles_per_row;
+        std::vector<rt::Event> deps{coeff_ev[t]};
+        if (tr > 0) deps.push_back(coeff_ev[tile_index(tr - 1, tc)]);
+        if (tc > 0) deps.push_back(coeff_ev[tile_index(tr, tc - 1)]);
+        if (tr + 1 < tile_rows_count) deps.push_back(coeff_ev[tile_index(tr + 1, tc)]);
+        if (tc + 1 < tiles_per_row) deps.push_back(coeff_ev[tile_index(tr, tc + 1)]);
+
+        sim::KernelWork work;
+        work.kind = sim::KernelKind::Stencil;
+        work.elems = kern::srad_elems(tile.rows(), tile.cols());
+        work.flops = kern::srad_update_flops(tile.rows(), tile.cols());
+        rt::KernelLaunch launch{"srad-update", work, {}};
+        if (sc.common.functional) {
+          const double lambda = sc.lambda;
+          launch.fn = [&ctx, bj, bc, bdn, bds, bdw, bde, tile, rows, cols, lambda] {
+            kern::srad_update(ctx.device_ptr<float>(bj, 0), ctx.device_ptr<float>(bc, 0),
+                              ctx.device_ptr<float>(bdn, 0), ctx.device_ptr<float>(bds, 0),
+                              ctx.device_ptr<float>(bdw, 0), ctx.device_ptr<float>(bde, 0), rows,
+                              cols, tile.row_begin, tile.row_end, tile.col_begin, tile.col_end,
+                              lambda);
+          };
+        }
+        update_ev[t] =
+            ctx.stream(static_cast<int>(t) % streams).enqueue_kernel(std::move(launch), deps);
+      }
+    }
+
+    // --- compression + result readback ------------------------------------
+    std::vector<rt::Event> compress_ev(tiles.size());
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      const rt::Tile2D tile = tiles[t];
+      sim::KernelWork work;
+      work.kind = sim::KernelKind::Streaming;
+      work.elems = static_cast<double>(tile.elems());
+      rt::KernelLaunch launch{"srad-compress", work, {}};
+      if (sc.common.functional) {
+        launch.fn = [&ctx, bimg, bj, tile, cols] {
+          const float* j = ctx.device_ptr<float>(bj, 0);
+          float* img = ctx.device_ptr<float>(bimg, 0);
+          for (std::size_t r = tile.row_begin; r < tile.row_end; ++r) {
+            kern::srad_compress(j, img, r * cols + tile.col_begin, r * cols + tile.col_end);
+          }
+        };
+      }
+      compress_ev[t] = ctx.stream(static_cast<int>(t) % streams)
+                           .enqueue_kernel(std::move(launch), {update_ev[t]});
+    }
+    for (std::size_t b = 0; b < bands.size(); ++b) {
+      std::vector<rt::Event> deps;
+      for (std::size_t t = 0; t < tiles.size(); ++t) {
+        if (t / tiles_per_row == b) deps.push_back(compress_ev[t]);
+      }
+      ctx.stream(static_cast<int>(b) % streams)
+          .enqueue_d2h(bimg, bands[b].begin * cols * sizeof(float),
+                       bands[b].size() * cols * sizeof(float), deps);
+    }
+  });
+
+  if (sc.common.functional) {
+    result.checksum = checksum(std::span<const float>(image));
+  }
+  result.timeline = std::move(ctx.timeline());
+  return result;
+}
+
+}  // namespace ms::apps

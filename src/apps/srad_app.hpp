@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+
+#include "apps/app_common.hpp"
+
+namespace ms::apps {
+
+/// Rodinia SRAD port (Fig. 4(f) flow — several kernels per iteration with an
+/// explicit host synchronization in the middle for the ROI statistics, so
+/// the paper classifies it as non-overlappable). Its per-launch scratch
+/// allocation (the four directional-derivative arrays) is the mechanism
+/// behind the paper's "out of our expectation" Fig. 8(f) result: for large
+/// images the streamed version wins even though nothing overlaps.
+struct SradConfig {
+  CommonConfig common;
+  std::size_t rows = 256;
+  std::size_t cols = 256;
+  std::size_t tile_rows = 128;  ///< tile size (baseline forces whole image)
+  std::size_t tile_cols = 128;
+  int iterations = 100;  ///< paper: lambda = 0.5, 100 kernel iterations
+  double lambda = 0.5;
+};
+
+class SradApp {
+public:
+  [[nodiscard]] static AppResult run(const sim::SimConfig& cfg, const SradConfig& sc);
+};
+
+}  // namespace ms::apps

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "rt/context.hpp"
+#include "rt/errors.hpp"
+
+namespace ms::apps {
+
+/// Tracks, per tile, which devices hold a valid copy and which event guards
+/// it — a tiny MSI-style coherence layer over the runtime's explicit
+/// transfers, shared by the tiled factorizations (CF, LU). On one card it
+/// degenerates to last-writer event tracking; on several it materializes
+/// the extra host-mediated D2H/H2D round trips of the paper's Section VI.
+class TileCoherence {
+public:
+  /// `io` supplies one dedicated transfer stream per device so coherence
+  /// round trips are not FIFO-blocked behind queued kernels.
+  TileCoherence(rt::Context& ctx, rt::BufferId buf, std::size_t tile_bytes,
+                std::vector<rt::Stream*> io)
+      : ctx_(&ctx), buf_(buf), tile_bytes_(tile_bytes), io_(std::move(io)) {}
+
+  void track(std::size_t slot) {
+    if (slot >= tiles_.size()) tiles_.resize(slot + 1);
+  }
+
+  /// Guarantee a valid copy of `slot` on `dev`; returns the guarding event.
+  rt::Event ensure_on(std::size_t slot, int dev) {
+    State& st = tiles_.at(slot);
+    auto& entry = st.per_device(dev);
+    if (entry.valid) return entry.ev;
+    if (st.last_writer < 0) {
+      throw rt::Error("TileCoherence: tile read before any write/upload");
+    }
+    // Round trip through host memory on the transfer streams: D2H from the
+    // owning card, then H2D onto the requesting card.
+    auto& src = st.per_device(st.last_writer);
+    const std::size_t off = slot * tile_bytes_;
+    rt::Event d2h = io_[static_cast<std::size_t>(st.last_writer)]->enqueue_d2h(
+        buf_, off, tile_bytes_, {src.ev});
+    rt::Event h2d =
+        io_[static_cast<std::size_t>(dev)]->enqueue_h2d(buf_, off, tile_bytes_, {d2h});
+    entry.valid = true;
+    entry.ev = h2d;
+    return h2d;
+  }
+
+  /// Record that `dev` produced a new version of `slot` guarded by `ev`.
+  void wrote(std::size_t slot, int dev, rt::Event ev) {
+    State& st = tiles_.at(slot);
+    for (auto& e : st.copies) e.valid = false;
+    auto& entry = st.per_device(dev);
+    entry.valid = true;
+    entry.ev = ev;
+    st.last_writer = dev;
+  }
+
+  [[nodiscard]] int last_writer(std::size_t slot) const { return tiles_.at(slot).last_writer; }
+  [[nodiscard]] rt::Event last_event(std::size_t slot) {
+    State& st = tiles_.at(slot);
+    return st.per_device(st.last_writer).ev;
+  }
+
+  void reset() { std::fill(tiles_.begin(), tiles_.end(), State{}); }
+
+private:
+  struct Copy {
+    bool valid = false;
+    rt::Event ev;
+  };
+  struct State {
+    std::vector<Copy> copies;
+    int last_writer = -1;
+    Copy& per_device(int dev) {
+      if (static_cast<std::size_t>(dev) >= copies.size()) {
+        copies.resize(static_cast<std::size_t>(dev) + 1);
+      }
+      return copies[static_cast<std::size_t>(dev)];
+    }
+  };
+
+  rt::Context* ctx_;
+  rt::BufferId buf_;
+  std::size_t tile_bytes_;
+  std::vector<rt::Stream*> io_;
+  std::vector<State> tiles_;
+};
+
+}  // namespace ms::apps

@@ -1,0 +1,80 @@
+#include "kern/cholesky.hpp"
+
+#include <cmath>
+
+namespace ms::kern {
+
+bool potrf_tile(double* a, std::size_t n, std::size_t lda) {
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a[j * lda + j];
+    for (std::size_t p = 0; p < j; ++p) {
+      d -= a[j * lda + p] * a[j * lda + p];
+    }
+    if (d <= 0.0 || !std::isfinite(d)) {
+      return false;
+    }
+    const double djj = std::sqrt(d);
+    a[j * lda + j] = djj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a[i * lda + j];
+      for (std::size_t p = 0; p < j; ++p) {
+        s -= a[i * lda + p] * a[j * lda + p];
+      }
+      a[i * lda + j] = s / djj;
+    }
+  }
+  return true;
+}
+
+void trsm_tile(const double* l, double* b, std::size_t m, std::size_t n, std::size_t lda,
+               std::size_t ldb) {
+  // Solve X * L^T = B row by row: for each row of B, forward-substitute
+  // against L (column j of X depends on columns < j).
+  for (std::size_t i = 0; i < m; ++i) {
+    double* bi = b + i * ldb;
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = bi[j];
+      for (std::size_t p = 0; p < j; ++p) {
+        s -= bi[p] * l[j * lda + p];
+      }
+      bi[j] = s / l[j * lda + j];
+    }
+  }
+}
+
+void syrk_tile(const double* a, double* c, std::size_t n, std::size_t k, std::size_t lda,
+               std::size_t ldc) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = 0.0;
+      const double* ai = a + i * lda;
+      const double* aj = a + j * lda;
+      for (std::size_t p = 0; p < k; ++p) {
+        s += ai[p] * aj[p];
+      }
+      c[i * ldc + j] -= s;
+    }
+  }
+}
+
+void gemm_nt_tile(const double* a, const double* b, double* c, std::size_t m, std::size_t n,
+                  std::size_t k, std::size_t lda, std::size_t ldb, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* bj = b + j * ldb;
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        s += ai[p] * bj[p];
+      }
+      ci[j] -= s;
+    }
+  }
+}
+
+bool cholesky_reference(double* a, std::size_t n, std::size_t lda) {
+  return potrf_tile(a, n, lda);
+}
+
+}  // namespace ms::kern

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ms::kern {
+
+/// Tile tasks of the right-looking tiled Cholesky factorization (lower
+/// triangular, row-major), the decomposition the paper's CF benchmark uses.
+/// The factorization of an N x N matrix with tile size B proceeds over
+/// T = N/B tile-columns; step j runs POTRF(j,j), then TRSM for tiles below,
+/// then SYRK/GEMM updates of the trailing submatrix — the multi-kernel,
+/// sync-between-kernels structure of Fig. 4(b).
+
+/// Unblocked Cholesky of the n x n tile `a` (leading dimension lda),
+/// producing the lower factor in place (upper part left untouched).
+/// Returns false when the tile is not positive definite.
+[[nodiscard]] bool potrf_tile(double* a, std::size_t n, std::size_t lda);
+
+/// Triangular solve: B := B * L^{-T} where L is the n x n lower-triangular
+/// POTRF result (leading dimension lda) and B is m x n (leading dimension
+/// ldb). This is the update applied to tiles below the diagonal.
+void trsm_tile(const double* l, double* b, std::size_t m, std::size_t n, std::size_t lda,
+               std::size_t ldb);
+
+/// Symmetric rank-k update of a diagonal tile: C := C - A * A^T, where C is
+/// n x n (ldc) and A is n x k (lda). Only the lower triangle of C is updated.
+void syrk_tile(const double* a, double* c, std::size_t n, std::size_t k, std::size_t lda,
+               std::size_t ldc);
+
+/// Off-diagonal trailing update: C := C - A * B^T with A m x k, B n x k,
+/// C m x n.
+void gemm_nt_tile(const double* a, const double* b, double* c, std::size_t m, std::size_t n,
+                  std::size_t k, std::size_t lda, std::size_t ldb, std::size_t ldc);
+
+/// Whole-matrix unblocked reference factorization (test oracle).
+[[nodiscard]] bool cholesky_reference(double* a, std::size_t n, std::size_t lda);
+
+/// Flop counts for the individual tile tasks (standard LAPACK counts).
+[[nodiscard]] constexpr double potrf_flops(std::size_t n) noexcept {
+  const double dn = static_cast<double>(n);
+  return dn * dn * dn / 3.0;
+}
+[[nodiscard]] constexpr double trsm_flops(std::size_t m, std::size_t n) noexcept {
+  return static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(n);
+}
+[[nodiscard]] constexpr double syrk_flops(std::size_t n, std::size_t k) noexcept {
+  return static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(k);
+}
+[[nodiscard]] constexpr double cholesky_flops(std::size_t n) noexcept {
+  const double dn = static_cast<double>(n);
+  return dn * dn * dn / 3.0;
+}
+
+}  // namespace ms::kern

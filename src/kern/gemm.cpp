@@ -1,0 +1,52 @@
+#include "kern/gemm.hpp"
+
+namespace ms::kern {
+
+void gemm_tile(const double* a, const double* b, double* c, std::size_t m, std::size_t n,
+               std::size_t k, std::size_t lda, std::size_t ldb, std::size_t ldc) {
+  constexpr std::size_t kc = 64;  // block the k dimension to keep B rows hot
+  for (std::size_t k0 = 0; k0 < k; k0 += kc) {
+    const std::size_t kend = k0 + kc < k ? k0 + kc : k;
+    for (std::size_t i = 0; i < m; ++i) {
+      double* ci = c + i * ldc;
+      for (std::size_t p = k0; p < kend; ++p) {
+        const double aip = a[i * lda + p];
+        const double* bp = b + p * ldb;
+        for (std::size_t j = 0; j < n; ++j) {
+          ci[j] += aip * bp[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_nt_acc(const double* a, const double* b, double* c, std::size_t m, std::size_t n,
+                 std::size_t k, std::size_t lda, std::size_t ldb, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* bj = b + j * ldb;
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        s += ai[p] * bj[p];
+      }
+      ci[j] += s;
+    }
+  }
+}
+
+void gemm_reference(const double* a, const double* b, double* c, std::size_t m, std::size_t n,
+                    std::size_t k, std::size_t lda, std::size_t ldb, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = c[i * ldc + j];
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a[i * lda + p] * b[p * ldb + j];
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+}  // namespace ms::kern

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ms::kern {
+
+/// C += A * B on row-major tiles.
+///
+/// A is m x k with leading dimension lda, B is k x n with ldb, C is m x n
+/// with ldc. Cache-blocked i-k-j loop order; good enough to validate the
+/// tiled matrix-multiplication application functionally (performance on the
+/// host is irrelevant — timing comes from the cost model).
+void gemm_tile(const double* a, const double* b, double* c, std::size_t m, std::size_t n,
+               std::size_t k, std::size_t lda, std::size_t ldb, std::size_t ldc);
+
+/// C += A * B^T on row-major tiles: A is m x k (lda), B is n x k (ldb), C is
+/// m x n (ldc). The tiled MM application stores B transposed so that a
+/// column band of B is a contiguous row band of B^T and can be moved by one
+/// DMA transfer.
+void gemm_nt_acc(const double* a, const double* b, double* c, std::size_t m, std::size_t n,
+                 std::size_t k, std::size_t lda, std::size_t ldb, std::size_t ldc);
+
+/// Naive triple loop used as the test oracle.
+void gemm_reference(const double* a, const double* b, double* c, std::size_t m, std::size_t n,
+                    std::size_t k, std::size_t lda, std::size_t ldb, std::size_t ldc);
+
+/// Floating-point operations in one C += A*B tile update.
+[[nodiscard]] constexpr double gemm_flops(std::size_t m, std::size_t n, std::size_t k) noexcept {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
+}
+
+}  // namespace ms::kern

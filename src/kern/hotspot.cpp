@@ -1,0 +1,28 @@
+#include "kern/hotspot.hpp"
+
+namespace ms::kern {
+
+void hotspot_step(const double* t_in, const double* power, double* t_out, std::size_t rows,
+                  std::size_t cols, std::size_t row_begin, std::size_t row_end,
+                  std::size_t col_begin, std::size_t col_end, const HotspotParams& p) {
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const std::size_t rn = r > 0 ? r - 1 : r;            // clamped north
+    const std::size_t rs = r + 1 < rows ? r + 1 : r;     // clamped south
+    const double* row = t_in + r * cols;
+    const double* north = t_in + rn * cols;
+    const double* south = t_in + rs * cols;
+    const double* pw = power + r * cols;
+    double* out = t_out + r * cols;
+    for (std::size_t c = col_begin; c < col_end; ++c) {
+      const std::size_t cw = c > 0 ? c - 1 : c;          // clamped west
+      const std::size_t ce = c + 1 < cols ? c + 1 : c;   // clamped east
+      const double t = row[c];
+      const double delta =
+          p.dt_over_cap * (pw[c] + (south[c] + north[c] - 2.0 * t) * p.ry_inv +
+                           (row[ce] + row[cw] - 2.0 * t) * p.rx_inv + (p.t_ambient - t) * p.rz_inv);
+      out[c] = t + delta;
+    }
+  }
+}
+
+}  // namespace ms::kern

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ms::kern {
+
+/// Rodinia Hotspot: 2-D transient thermal simulation. Each step solves the
+/// explicit finite-difference update
+///   T'(r,c) = T + (dt/Cap) * ( P(r,c)
+///           + (T(r+1,c)+T(r-1,c)-2T)/Ry + (T(r,c+1)+T(r,c-1)-2T)/Rx
+///           + (Tamb - T)/Rz )
+/// on a rows x cols grid with clamped (replicated) boundaries — the
+/// non-overlappable Fig. 4(c) flow: every step needs the whole previous grid.
+struct HotspotParams {
+  double dt_over_cap = 0.001;
+  double rx_inv = 0.1;
+  double ry_inv = 0.1;
+  double rz_inv = 0.05;
+  double t_ambient = 80.0;
+};
+
+/// One simulation step over the 2-D tile [row_begin, row_end) x
+/// [col_begin, col_end) of the full grid. `t_in` and `power` are rows x
+/// cols; results go to `t_out` (same shape). Cells outside the tile are read
+/// (halo) but not written.
+void hotspot_step(const double* t_in, const double* power, double* t_out, std::size_t rows,
+                  std::size_t cols, std::size_t row_begin, std::size_t row_end,
+                  std::size_t col_begin, std::size_t col_end, const HotspotParams& p);
+
+/// Element visits of one step over a band (5-point stencil + power read).
+[[nodiscard]] constexpr double hotspot_elems(std::size_t band_rows, std::size_t cols) noexcept {
+  return 6.0 * static_cast<double>(band_rows) * static_cast<double>(cols);
+}
+[[nodiscard]] constexpr double hotspot_flops(std::size_t band_rows, std::size_t cols) noexcept {
+  return 12.0 * static_cast<double>(band_rows) * static_cast<double>(cols);
+}
+
+}  // namespace ms::kern

@@ -1,0 +1,64 @@
+#include "kern/kmeans.hpp"
+
+#include <limits>
+
+namespace ms::kern {
+
+void kmeans_assign(const float* points, const float* centroids, std::int32_t* membership,
+                   std::size_t n, std::size_t dims, std::size_t k) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* p = points + i * dims;
+    float best = std::numeric_limits<float>::max();
+    std::int32_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const float* cc = centroids + c * dims;
+      float dist = 0.0f;
+      for (std::size_t d = 0; d < dims; ++d) {
+        const float diff = p[d] - cc[d];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = static_cast<std::int32_t>(c);
+      }
+    }
+    membership[i] = best_c;
+  }
+}
+
+void kmeans_accumulate(const float* points, const std::int32_t* membership, float* sums,
+                       std::int32_t* counts, std::size_t n, std::size_t dims, std::size_t k) {
+  (void)k;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(membership[i]);
+    const float* p = points + i * dims;
+    float* s = sums + c * dims;
+    for (std::size_t d = 0; d < dims; ++d) {
+      s[d] += p[d];
+    }
+    ++counts[c];
+  }
+}
+
+void kmeans_update(const float* sums, const std::int32_t* counts, float* centroids, std::size_t k,
+                   std::size_t dims) {
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] <= 0) continue;  // empty cluster: keep previous centroid
+    const float inv = 1.0f / static_cast<float>(counts[c]);
+    float* cc = centroids + c * dims;
+    const float* s = sums + c * dims;
+    for (std::size_t d = 0; d < dims; ++d) {
+      cc[d] = s[d] * inv;
+    }
+  }
+}
+
+std::size_t kmeans_delta(const std::int32_t* a, const std::int32_t* b, std::size_t n) noexcept {
+  std::size_t delta = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) ++delta;
+  }
+  return delta;
+}
+
+}  // namespace ms::kern

@@ -1,0 +1,84 @@
+#include "kern/lu.hpp"
+
+#include <cmath>
+
+namespace ms::kern {
+
+bool getrf_tile(double* a, std::size_t n, std::size_t lda) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const double pivot = a[k * lda + k];
+    if (std::abs(pivot) < 1e-12 || !std::isfinite(pivot)) {
+      return false;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      a[i * lda + k] /= pivot;
+      const double lik = a[i * lda + k];
+      for (std::size_t j = k + 1; j < n; ++j) {
+        a[i * lda + j] -= lik * a[k * lda + j];
+      }
+    }
+  }
+  return true;
+}
+
+void trsm_lower_left(const double* l, double* b, std::size_t n, std::size_t m, std::size_t lda,
+                     std::size_t ldb) {
+  // Forward substitution per column block: row i of B depends on rows < i.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t p = 0; p < i; ++p) {
+      const double lip = l[i * lda + p];
+      for (std::size_t j = 0; j < m; ++j) {
+        b[i * ldb + j] -= lip * b[p * ldb + j];
+      }
+    }
+    // Unit diagonal: no scaling.
+  }
+}
+
+void trsm_upper_right(const double* u, double* b, std::size_t m, std::size_t n, std::size_t lda,
+                      std::size_t ldb) {
+  // Solve X U = B row by row; column j of X depends on columns < j.
+  for (std::size_t i = 0; i < m; ++i) {
+    double* bi = b + i * ldb;
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = bi[j];
+      for (std::size_t p = 0; p < j; ++p) {
+        s -= bi[p] * u[p * lda + j];
+      }
+      bi[j] = s / u[j * lda + j];
+    }
+  }
+}
+
+void gemm_nn_sub(const double* a, const double* b, double* c, std::size_t m, std::size_t n,
+                 std::size_t k, std::size_t lda, std::size_t ldb, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c + i * ldc;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = a[i * lda + p];
+      const double* bp = b + p * ldb;
+      for (std::size_t j = 0; j < n; ++j) {
+        ci[j] -= aip * bp[j];
+      }
+    }
+  }
+}
+
+bool lu_reference(double* a, std::size_t n, std::size_t lda) { return getrf_tile(a, n, lda); }
+
+void lu_solve(const double* lu, double* b, std::size_t n, std::size_t lda) {
+  // L y = b (unit lower, forward).
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t p = 0; p < i; ++p) s -= lu[i * lda + p] * b[p];
+    b[i] = s;
+  }
+  // U x = y (backward).
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t p = ii + 1; p < n; ++p) s -= lu[ii * lda + p] * b[p];
+    b[ii] = s / lu[ii * lda + ii];
+  }
+}
+
+}  // namespace ms::kern

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ms::kern {
+
+/// Tile tasks of the right-looking tiled LU factorization without pivoting
+/// (row-major, unit-diagonal L, in-place L\U storage). Not part of the
+/// paper's benchmark set, but the paper itself invokes the comparison:
+/// "the Cholesky factorization is roughly twice as efficient as LU
+/// factorization for solving system of linear equations" — `bench/cf_vs_lu`
+/// measures exactly that on this implementation. Pivoting is omitted
+/// deliberately: the apps run it on diagonally dominant matrices (as
+/// unpivoted tiled-LU studies conventionally do).
+
+/// In-place LU of the n x n tile `a` (leading dimension lda): strictly
+/// lower part becomes L (unit diagonal implied), upper part becomes U.
+/// Returns false on a (near-)zero pivot.
+[[nodiscard]] bool getrf_tile(double* a, std::size_t n, std::size_t lda);
+
+/// Row-panel update: B := L^{-1} * B, with L the unit-lower factor of the
+/// diagonal tile (n x n, lda) and B n x m (ldb). Applied to tiles right of
+/// the diagonal.
+void trsm_lower_left(const double* l, double* b, std::size_t n, std::size_t m, std::size_t lda,
+                     std::size_t ldb);
+
+/// Column-panel update: B := B * U^{-1}, with U the upper factor of the
+/// diagonal tile (n x n, lda) and B m x n (ldb). Applied to tiles below the
+/// diagonal.
+void trsm_upper_right(const double* u, double* b, std::size_t m, std::size_t n, std::size_t lda,
+                      std::size_t ldb);
+
+/// Trailing update: C := C - A * B with A m x k (lda), B k x n (ldb),
+/// C m x n (ldc).
+void gemm_nn_sub(const double* a, const double* b, double* c, std::size_t m, std::size_t n,
+                 std::size_t k, std::size_t lda, std::size_t ldb, std::size_t ldc);
+
+/// Whole-matrix unblocked reference factorization (test oracle).
+[[nodiscard]] bool lu_reference(double* a, std::size_t n, std::size_t lda);
+
+/// Forward/backward substitution against the packed L\U factor: solves
+/// A x = b in place (b becomes x).
+void lu_solve(const double* lu, double* b, std::size_t n, std::size_t lda);
+
+/// Standard LAPACK flop counts.
+[[nodiscard]] constexpr double getrf_flops(std::size_t n) noexcept {
+  const double dn = static_cast<double>(n);
+  return 2.0 * dn * dn * dn / 3.0;
+}
+[[nodiscard]] constexpr double lu_trsm_flops(std::size_t n, std::size_t m) noexcept {
+  return static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(m);
+}
+
+}  // namespace ms::kern

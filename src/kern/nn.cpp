@@ -1,0 +1,49 @@
+#include "kern/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ms::kern {
+
+void nn_distances(const LatLng* records, float* dist, std::size_t n, LatLng target) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float dlat = records[i].lat - target.lat;
+    const float dlng = records[i].lng - target.lng;
+    dist[i] = std::sqrt(dlat * dlat + dlng * dlng);
+  }
+}
+
+void nn_merge_topk(const float* dist, std::size_t n, std::size_t base, Neighbor* best,
+                   std::size_t k) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dist[i] >= best[k - 1].dist) continue;
+    // Insertion into the sorted (ascending) list; k is small (10 in the
+    // paper), so linear insertion is the right tool.
+    std::size_t pos = k - 1;
+    while (pos > 0 && best[pos - 1].dist > dist[i]) {
+      best[pos] = best[pos - 1];
+      --pos;
+    }
+    best[pos] = Neighbor{dist[i], base + i};
+  }
+}
+
+std::vector<Neighbor> nn_reference(const LatLng* records, std::size_t n, LatLng target,
+                                   std::size_t k) {
+  std::vector<Neighbor> all(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float dlat = records[i].lat - target.lat;
+    const float dlng = records[i].lng - target.lng;
+    all[i] = Neighbor{std::sqrt(dlat * dlat + dlng * dlng), i};
+  }
+  const std::size_t kk = std::min(k, n);
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(kk), all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      if (a.dist != b.dist) return a.dist < b.dist;
+                      return a.index < b.index;
+                    });
+  all.resize(kk);
+  return all;
+}
+
+}  // namespace ms::kern

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ms::kern {
+
+/// Rodinia NN (nearest neighbour): records carry a latitude/longitude pair;
+/// the kernel computes each record's Euclidean distance to a target
+/// coordinate, and the host keeps a running top-k (smallest distance) list —
+/// the transfer-bound Fig. 4(e) flow.
+struct LatLng {
+  float lat;
+  float lng;
+};
+
+/// Distance of every record in [0, n) to the target; writes `dist[i]`.
+void nn_distances(const LatLng* records, float* dist, std::size_t n, LatLng target);
+
+/// Merge a block of distances into a running ascending top-k list of
+/// (distance, global index) pairs. `best` has `k` entries, initialized by the
+/// caller to +inf distances; `base` is the global index of dist[0].
+struct Neighbor {
+  float dist;
+  std::size_t index;
+};
+void nn_merge_topk(const float* dist, std::size_t n, std::size_t base, Neighbor* best,
+                   std::size_t k);
+
+/// Oracle: exhaustive top-k by full sort.
+[[nodiscard]] std::vector<Neighbor> nn_reference(const LatLng* records, std::size_t n,
+                                                 LatLng target, std::size_t k);
+
+/// Element-visit cost of the distance scan per record. The Rodinia kernel
+/// reads an AoS record, computes a scalar (non-vectorized) sqrt and
+/// branches — roughly forty element-visit equivalents per record on an
+/// in-order KNC core (calibrated against Fig. 8(e)/9(e) magnitudes).
+inline constexpr double kNnElemsPerRecord = 40.0;
+
+[[nodiscard]] constexpr double nn_elems(std::size_t n) noexcept {
+  return kNnElemsPerRecord * static_cast<double>(n);
+}
+[[nodiscard]] constexpr double nn_flops(std::size_t n) noexcept {
+  return 5.0 * static_cast<double>(n);  // 2 subs, 2 mults, 1 add (sqrt folded)
+}
+
+}  // namespace ms::kern

@@ -1,0 +1,21 @@
+#include "kern/saxpy_iter.hpp"
+
+namespace ms::kern {
+
+void saxpy_iter(const float* a, float* b, std::size_t n, float alpha, int iters) {
+  if (iters <= 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = a[i] + alpha;
+  }
+  // The functional result of repeating B[i] = A[i] + alpha is idempotent, so
+  // subsequent iterations only matter for the virtual-time cost model; keep a
+  // token amount of real work so host-side tests can observe `iters` without
+  // making big simulations slow.
+  for (int it = 1; it < iters && static_cast<std::size_t>(it) < 2; ++it) {
+    for (std::size_t i = 0; i < n; ++i) {
+      b[i] = a[i] + alpha;
+    }
+  }
+}
+
+}  // namespace ms::kern

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ms::kern {
+
+/// The hBench microbenchmark kernel: B[i] = A[i] + alpha, applied `iters`
+/// times so the compute/transfer ratio is tunable (Section III-B1 of the
+/// paper: "more iterations consume more computational time").
+void saxpy_iter(const float* a, float* b, std::size_t n, float alpha, int iters);
+
+/// Element visits of one launch: every iteration re-reads and re-writes.
+[[nodiscard]] constexpr double saxpy_elems(std::size_t n, int iters) noexcept {
+  return static_cast<double>(n) * static_cast<double>(iters);
+}
+
+}  // namespace ms::kern

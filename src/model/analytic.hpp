@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sim/cost_model.hpp"
+#include "sim/sim_config.hpp"
+#include "sim/sim_time.hpp"
+
+namespace ms::model {
+
+/// Analytical performance model for streamed offloading, in the spirit of
+/// the models the paper cites (Gomez-Luna et al. for CUDA streams,
+/// van Werkhoven et al. for CPU-GPU transfers) and names as future work for
+/// the Phi ("Using a model on Phi will be investigated as our future
+/// work"). Given the H2D volume, kernel work, and D2H volume of one
+/// offload, the model predicts:
+///
+///   serial     = tH2D + tK + tD2H                      (single stream)
+///   streamed   = pipeline makespan for T tasks over P partitions on a
+///                link that serializes both directions
+///   bounds     = the dominant-transfers / dominant-kernel regimes of
+///                Gomez-Luna, adapted to a *half-duplex* link: full overlap
+///                can at best hide min(tK, tH2D + tD2H) because the two
+///                transfer directions already serialize with each other.
+///
+/// The model is closed-form (no event simulation); `tests/model` and
+/// `bench/model_accuracy` quantify its error against the discrete-event
+/// simulator, and the Tuner can use it as a zero-cost metric.
+struct OffloadShape {
+  double h2d_bytes = 0.0;   ///< total host->device volume
+  double d2h_bytes = 0.0;   ///< total device->host volume
+  sim::KernelWork work{};   ///< total kernel work (all tasks combined)
+};
+
+struct Prediction {
+  double serial_ms = 0.0;    ///< 1 stream, 1 tile
+  double streamed_ms = 0.0;  ///< T tasks over P partitions
+  double ideal_ms = 0.0;     ///< lower bound with perfect overlap
+  double speedup = 0.0;      ///< serial / streamed
+  /// True when transfers dominate (the "dominant transfers" regime of the
+  /// CUDA-streams model): extra streams stop helping beyond small P.
+  bool transfer_bound = false;
+};
+
+class AnalyticModel {
+public:
+  explicit AnalyticModel(const sim::SimConfig& cfg);
+
+  /// Pure transfer time of `bytes` over the PCIe link (one direction).
+  [[nodiscard]] double transfer_ms(double bytes) const;
+
+  /// Kernel time of `work` on `threads` hardware threads (whole device by
+  /// default), including the work-per-thread efficiency ramp.
+  [[nodiscard]] double kernel_ms(const sim::KernelWork& work, int threads,
+                                 int total_partitions = 1) const;
+
+  /// Predict serial and streamed execution of an offload cut into `tiles`
+  /// equal tasks over `partitions` partitions.
+  [[nodiscard]] Prediction predict(const OffloadShape& shape, int partitions, int tiles) const;
+
+  /// The T that minimizes the predicted streamed time for a fixed P, over
+  /// T in {P, 2P, ..., max_multiplier*P} — the model-driven version of the
+  /// Section V-C2 heuristics.
+  [[nodiscard]] int best_tiles(const OffloadShape& shape, int partitions,
+                               int max_multiplier = 16) const;
+
+  /// The (P, T) pair minimizing the predicted streamed time over the
+  /// pruned candidate space (P from the device's divisor set, T = m*P).
+  struct Choice {
+    int partitions = 1;
+    int tiles = 1;
+    double predicted_ms = 0.0;
+  };
+  [[nodiscard]] Choice best_configuration(const OffloadShape& shape,
+                                          int max_multiplier = 16) const;
+
+  [[nodiscard]] const sim::SimConfig& config() const noexcept { return cfg_; }
+
+private:
+  sim::SimConfig cfg_;
+};
+
+}  // namespace ms::model

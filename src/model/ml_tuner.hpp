@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "model/analytic.hpp"
+#include "rt/tuner.hpp"
+#include "sim/sim_config.hpp"
+
+namespace ms::model {
+
+/// Machine-learning (P, T) selection — the paper's stated future work
+/// ("we plan to use machine learning techniques to obtain a proper value
+/// for P and T"). A deliberately simple, dependency-free learner: an
+/// inverse-distance-weighted k-nearest-neighbour predictor over normalized
+/// workload features, trained on labelled samples where the label is the
+/// best (P, T) found by exhausting the pruned search space against the
+/// discrete-event simulator.
+class KnnTuner {
+public:
+  static constexpr std::size_t kFeatures = 4;
+  using Features = std::array<double, kFeatures>;
+
+  struct Sample {
+    Features f{};
+    rt::Tuner::Candidate best{};
+  };
+
+  explicit KnnTuner(int k = 3);
+
+  /// Describe an offload as learning features: log-scaled transfer volume,
+  /// compute volume, compute/transfer balance, and H2D/D2H asymmetry.
+  [[nodiscard]] static Features featurize(const OffloadShape& shape);
+
+  void add_sample(const OffloadShape& shape, rt::Tuner::Candidate best);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Predict a (P, T) configuration for a new offload: each of the k
+  /// nearest training samples votes for its label with weight 1/distance;
+  /// the highest-scoring label wins. Throws when the tuner is empty.
+  [[nodiscard]] rt::Tuner::Candidate predict(const OffloadShape& shape) const;
+
+  /// Build a trained tuner: `samples` random offload shapes (seeded), each
+  /// labelled by searching the pruned candidate space against the
+  /// discrete-event simulator.
+  [[nodiscard]] static KnnTuner train(const sim::SimConfig& cfg, int samples,
+                                      std::uint32_t seed, int k = 3);
+
+  /// Draw the i-th random offload shape of a (seed, count) training or
+  /// evaluation universe — exposed so benches can evaluate on held-out
+  /// shapes drawn from the same distribution.
+  [[nodiscard]] static OffloadShape random_shape(std::uint32_t seed);
+
+private:
+  [[nodiscard]] static double distance(const Features& a, const Features& b);
+
+  int k_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace ms::model

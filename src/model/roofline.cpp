@@ -1,0 +1,28 @@
+#include "model/roofline.hpp"
+
+namespace ms::model {
+
+Roofline analyze_roofline(const sim::SimConfig& cfg, const OffloadShape& shape) {
+  Roofline r;
+  const double bytes = shape.h2d_bytes + shape.d2h_bytes;
+  const double link_gbs = cfg.link.bandwidth_gib_s * 1.073741824;  // GiB/s -> GB/s
+  r.compute_roof_gflops = cfg.device.peak_gflops() * cfg.efficiency.max_flop_efficiency;
+  r.balance = r.compute_roof_gflops / link_gbs;  // flops per byte
+
+  if (shape.work.flops > 0.0 && bytes > 0.0) {
+    r.intensity = shape.work.flops / bytes;
+    r.link_roof_gflops = r.intensity * link_gbs;
+    r.pcie_bound = r.link_roof_gflops < r.compute_roof_gflops;
+    return r;
+  }
+
+  // Memory-bound (element-visit) kernels: compare the pure times instead.
+  const AnalyticModel model(cfg);
+  const double kernel_ms = model.kernel_ms(shape.work, cfg.device.usable_threads());
+  const double transfer_ms = model.transfer_ms(shape.h2d_bytes) + model.transfer_ms(shape.d2h_bytes);
+  r.pcie_bound = transfer_ms > kernel_ms;
+  r.link_roof_gflops = 0.0;
+  return r;
+}
+
+}  // namespace ms::model

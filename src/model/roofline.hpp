@@ -1,0 +1,32 @@
+#pragma once
+
+#include "model/analytic.hpp"
+
+namespace ms::model {
+
+/// Offload roofline over the PCIe link: the classic roofline argument, with
+/// the *interconnect* as the bandwidth roof instead of device memory.
+/// An offload that moves B bytes for F flops has arithmetic intensity
+/// F / B (flops per PCIe byte); its throughput can never exceed
+///   min(compute roof, intensity x link bandwidth)
+/// no matter how well streams pipeline — which is why the paper's NN stays
+/// transfer-bound at every (P, T), while MM escapes the link roof entirely.
+struct Roofline {
+  double intensity = 0.0;        ///< flops per byte crossing PCIe
+  double balance = 0.0;          ///< flops/byte where link and compute roofs meet
+  double compute_roof_gflops = 0.0;  ///< device peak x max efficiency
+  double link_roof_gflops = 0.0;     ///< intensity x link bandwidth
+  bool pcie_bound = false;           ///< link roof below compute roof?
+  /// The binding roof: what perfectly overlapped streaming could reach.
+  [[nodiscard]] double bound_gflops() const noexcept {
+    return pcie_bound ? link_roof_gflops : compute_roof_gflops;
+  }
+};
+
+/// Analyze an offload against a platform. Element-visit work (memory-bound
+/// kernels) has no flop roof of interest; for those, `intensity`/roofs are
+/// computed on flops only and `pcie_bound` falls back to comparing the pure
+/// kernel and transfer times.
+[[nodiscard]] Roofline analyze_roofline(const sim::SimConfig& cfg, const OffloadShape& shape);
+
+}  // namespace ms::model

@@ -1,0 +1,59 @@
+#include "model/workload_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rt/context.hpp"
+
+namespace ms::model {
+
+namespace {
+
+double run(const sim::SimConfig& cfg, const OffloadShape& shape, int partitions, int tiles) {
+  if (partitions < 1 || tiles < 1) {
+    throw std::invalid_argument("workload_sim: partitions and tiles must be >= 1");
+  }
+  rt::Context ctx(cfg);
+  ctx.set_tracing(false);
+  ctx.setup(partitions);
+
+  const std::size_t h2d = static_cast<std::size_t>(std::max(0.0, shape.h2d_bytes));
+  const std::size_t d2h = static_cast<std::size_t>(std::max(0.0, shape.d2h_bytes));
+  const rt::BufferId bin = ctx.create_virtual_buffer(std::max<std::size_t>(1, h2d));
+  const rt::BufferId bout = ctx.create_virtual_buffer(std::max<std::size_t>(1, d2h));
+  ctx.synchronize();
+
+  const auto t = static_cast<std::size_t>(tiles);
+  const sim::SimTime t0 = ctx.host_time();
+  for (std::size_t i = 0; i < t; ++i) {
+    rt::Stream& s = ctx.stream(static_cast<int>(i) % ctx.stream_count());
+    const std::size_t h_lo = h2d * i / t;
+    const std::size_t h_hi = h2d * (i + 1) / t;
+    if (h_hi > h_lo) s.enqueue_h2d(bin, h_lo, h_hi - h_lo);
+
+    sim::KernelWork w = shape.work;
+    w.flops /= static_cast<double>(t);
+    w.elems /= static_cast<double>(t);
+    w.temp_alloc_bytes /= static_cast<double>(t);
+    s.enqueue_kernel({"task", w, {}});
+
+    const std::size_t d_lo = d2h * i / t;
+    const std::size_t d_hi = d2h * (i + 1) / t;
+    if (d_hi > d_lo) s.enqueue_d2h(bout, d_lo, d_hi - d_lo);
+  }
+  ctx.synchronize();
+  return (ctx.host_time() - t0).millis();
+}
+
+}  // namespace
+
+double simulate_streamed_ms(const sim::SimConfig& cfg, const OffloadShape& shape, int partitions,
+                            int tiles) {
+  return run(cfg, shape, partitions, tiles);
+}
+
+double simulate_serial_ms(const sim::SimConfig& cfg, const OffloadShape& shape) {
+  return run(cfg, shape, 1, 1);
+}
+
+}  // namespace ms::model

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "rt/buffer.hpp"
+#include "rt/event.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/sim_time.hpp"
+
+namespace ms::rt {
+
+enum class ActionKind : std::uint8_t { H2D, D2H, Kernel, Barrier };
+
+/// A kernel launch request: the work descriptor feeds the cost model, the
+/// functor performs the real computation against device shadow memory when
+/// the launch completes in virtual time. The functor may be empty for
+/// timing-only studies (hBench does this for its large iteration counts).
+struct KernelLaunch {
+  std::string label;
+  sim::KernelWork work;
+  std::function<void()> fn;
+};
+
+namespace detail {
+
+/// Internal per-action bookkeeping. Owned by the stream that queued it.
+struct Action {
+  ActionKind kind = ActionKind::Kernel;
+  std::string label;
+
+  // Scheduling state -------------------------------------------------------
+  sim::SimTime ready_floor = sim::SimTime::zero();  ///< issue time and dep completions
+  int deps_pending = 0;
+  bool pred_done = false;  ///< predecessor in the stream completed
+  bool armed = false;
+  std::shared_ptr<ActionState> state = std::make_shared<ActionState>();
+
+  // Payload ----------------------------------------------------------------
+  sim::SimTime duration = sim::SimTime::zero();  ///< precomputed service time
+  BufferId buffer;                               ///< transfers only
+  std::size_t offset = 0;
+  std::size_t bytes = 0;
+  std::function<void()> fn;  ///< executed at completion (memcpy / kernel body)
+};
+
+}  // namespace detail
+}  // namespace ms::rt

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace ms::rt {
+
+/// Opaque handle to a logical buffer registered with a Context. A logical
+/// buffer pairs a host memory range with one device-side instantiation per
+/// coprocessor (the hStreams buffer model: one instantiation per domain).
+struct BufferId {
+  std::uint64_t value = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != 0; }
+  friend constexpr auto operator<=>(BufferId, BufferId) noexcept = default;
+};
+
+}  // namespace ms::rt

@@ -1,0 +1,184 @@
+#include "rt/context.hpp"
+
+#include <string>
+
+#include "rt/errors.hpp"
+
+namespace ms::rt {
+
+Context::Context(const sim::SimConfig& cfg) : platform_(std::make_unique<sim::Platform>(cfg)) {
+  setup(1);
+}
+
+Context::~Context() = default;
+
+int Context::device_count() const noexcept { return platform_->device_count(); }
+
+void Context::setup(int partitions_per_device) {
+  require_all_idle("Context::setup");
+  if (partitions_per_device < 1) {
+    throw Error("Context::setup: need at least one partition");
+  }
+
+  const int devices = platform_->device_count();
+  for (int d = 0; d < devices; ++d) {
+    platform_->device(d).set_partitions(partitions_per_device);
+  }
+
+  streams_.clear();
+  partitions_ = partitions_per_device;
+  for (int d = 0; d < devices; ++d) {
+    for (int p = 0; p < partitions_per_device; ++p) {
+      const int index = d * partitions_per_device + p;
+      streams_.push_back(std::unique_ptr<Stream>(new Stream(*this, index, d, p)));
+    }
+  }
+
+  const auto& oh = platform_->config().overhead;
+  host_cursor_ = sim::max(host_cursor_, platform_->now()) + oh.context_setup_base +
+                 oh.context_setup_per_partition *
+                     static_cast<double>(partitions_per_device * devices);
+}
+
+Stream& Context::stream(int index) {
+  if (index < 0 || index >= stream_count()) {
+    throw Error("Context::stream: index " + std::to_string(index) + " out of range");
+  }
+  return *streams_[static_cast<std::size_t>(index)];
+}
+
+Stream& Context::stream(int device, int partition) {
+  if (device < 0 || device >= device_count() || partition < 0 || partition >= partitions_) {
+    throw Error("Context::stream: (device, partition) out of range");
+  }
+  return stream(device * partitions_ + partition);
+}
+
+Stream& Context::add_stream(int device, int partition) {
+  if (device < 0 || device >= device_count() || partition < 0 || partition >= partitions_) {
+    throw Error("Context::add_stream: (device, partition) out of range");
+  }
+  const int index = stream_count();
+  streams_.push_back(std::unique_ptr<Stream>(new Stream(*this, index, device, partition)));
+  host_cursor_ += platform_->config().overhead.context_setup_per_partition;
+  return *streams_.back();
+}
+
+BufferId Context::create_buffer(void* host, std::size_t bytes) {
+  if (host == nullptr || bytes == 0) {
+    throw Error("Context::create_buffer: need a non-empty host range");
+  }
+  BufferRec rec;
+  rec.host = static_cast<std::byte*>(host);
+  rec.bytes = bytes;
+  rec.device_handles.reserve(static_cast<std::size_t>(device_count()));
+  for (int d = 0; d < device_count(); ++d) {
+    rec.device_handles.push_back(platform_->device(d).memory().allocate(bytes));
+  }
+
+  const BufferId id{next_buffer_++};
+  buffers_.emplace(id.value, std::move(rec));
+
+  // Creation is a synchronous host call: charge base + per-MiB cost once.
+  const auto& oh = platform_->config().overhead;
+  const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  host_cursor_ += oh.alloc_base + oh.alloc_per_mib * mib;
+  return id;
+}
+
+BufferId Context::create_virtual_buffer(std::size_t bytes) {
+  if (bytes == 0) {
+    throw Error("Context::create_virtual_buffer: need a non-zero size");
+  }
+  BufferRec rec;
+  rec.host = nullptr;
+  rec.bytes = bytes;
+
+  const BufferId id{next_buffer_++};
+  buffers_.emplace(id.value, std::move(rec));
+
+  const auto& oh = platform_->config().overhead;
+  const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  host_cursor_ += oh.alloc_base + oh.alloc_per_mib * mib;
+  return id;
+}
+
+void Context::destroy_buffer(BufferId id) {
+  require_all_idle("Context::destroy_buffer");
+  auto it = buffers_.find(id.value);
+  if (it == buffers_.end()) {
+    throw Error("Context::destroy_buffer: unknown buffer");
+  }
+  if (it->second.host != nullptr) {
+    for (int d = 0; d < device_count(); ++d) {
+      platform_->device(d).memory().free(it->second.device_handles[static_cast<std::size_t>(d)]);
+    }
+  }
+  buffers_.erase(it);
+  host_cursor_ += platform_->config().overhead.alloc_base;
+}
+
+std::size_t Context::buffer_size(BufferId id) const { return buffer_rec(id).bytes; }
+
+std::byte* Context::device_data(BufferId id, int device) {
+  const BufferRec& rec = buffer_rec(id);
+  if (rec.host == nullptr) {
+    throw Error("Context::device_data: virtual buffers have no storage");
+  }
+  if (device < 0 || device >= device_count()) {
+    throw Error("Context::device_data: device index out of range");
+  }
+  return platform_->device(device).memory().data(
+      rec.device_handles[static_cast<std::size_t>(device)]);
+}
+
+void Context::synchronize() {
+  platform_->engine().run_until_idle();
+  for (const auto& s : streams_) {
+    if (!s->idle()) {
+      throw Error("Context::synchronize: stream still pending after drain (dependency cycle?)");
+    }
+  }
+  const bool cross = device_count() > 1;
+  host_cursor_ = sim::max(host_cursor_, platform_->now()) +
+                 platform_->cost().sync_overhead(stream_count(), cross);
+}
+
+void Context::wait(const Event& ev) {
+  if (!ev.valid()) return;
+  auto& engine = platform_->engine();
+  while (!ev.done()) {
+    if (!engine.step()) {
+      throw Error("Context::wait: event can never complete (missing producer?)");
+    }
+  }
+  host_cursor_ = sim::max(host_cursor_, sim::max(engine.now(), ev.time())) +
+                 platform_->cost().sync_overhead(1, false);
+}
+
+sim::SimTime Context::host_issue() {
+  const sim::SimTime cost =
+      issue_override_ ? issue_cost_ : platform_->cost().enqueue_overhead();
+  const auto grant =
+      platform_->host_thread().reserve(sim::max(host_cursor_, sim::SimTime::zero()), cost);
+  host_cursor_ = grant.end;
+  return grant.end;
+}
+
+void Context::require_all_idle(const char* who) const {
+  for (const auto& s : streams_) {
+    if (!s->idle()) {
+      throw Error(std::string(who) + ": streams must be idle");
+    }
+  }
+}
+
+const Context::BufferRec& Context::buffer_rec(BufferId id) const {
+  auto it = buffers_.find(id.value);
+  if (it == buffers_.end()) {
+    throw Error("Context: unknown buffer handle");
+  }
+  return it->second;
+}
+
+}  // namespace ms::rt

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/buffer.hpp"
+#include "rt/event.hpp"
+#include "rt/stream.hpp"
+#include "sim/platform.hpp"
+#include "trace/timeline.hpp"
+
+namespace ms::rt {
+
+/// The streaming runtime: the public entry point of the library.
+///
+/// A Context owns a simulated heterogeneous platform (host + N Phi cards),
+/// the logical stream/partition layout, buffer registrations, and the
+/// virtual host clock that applications measure. Usage mirrors hStreams:
+///
+///   ms::rt::Context ctx(ms::sim::SimConfig::phi_31sp());
+///   ctx.setup(/*partitions=*/4);                 // 4 places, 4 streams
+///   auto buf = ctx.create_buffer(std::span(data));
+///   ctx.stream(0).enqueue_h2d(buf, 0, bytes);
+///   ctx.stream(0).enqueue_kernel({...});
+///   ctx.stream(0).enqueue_d2h(buf, 0, bytes);
+///   ctx.synchronize();
+///   auto elapsed = ctx.host_time() - t0;         // virtual milliseconds
+class Context {
+public:
+  explicit Context(const sim::SimConfig& cfg);
+  ~Context();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // --- Layout --------------------------------------------------------------
+
+  /// Partition every device into `partitions_per_device` places and create
+  /// one stream per place. Re-invocable between phases (requires all streams
+  /// idle); charges the paper's context-setup overhead to the host clock.
+  void setup(int partitions_per_device);
+
+  [[nodiscard]] int device_count() const noexcept;
+  [[nodiscard]] int partitions_per_device() const noexcept { return partitions_; }
+  [[nodiscard]] int stream_count() const noexcept { return static_cast<int>(streams_.size()); }
+
+  /// Stream by flat index: device i/P, partition i%P for the setup-created
+  /// streams; indices beyond that address streams from add_stream().
+  [[nodiscard]] Stream& stream(int index);
+  /// Stream by (device, partition) pair.
+  [[nodiscard]] Stream& stream(int device, int partition);
+
+  /// Create an *additional* stream bound to an existing partition (hStreams
+  /// allows several streams per place). Kernels on it share the partition's
+  /// compute resource; its main use is as a dedicated transfer stream so
+  /// uploads are not FIFO-blocked behind long kernels of a compute stream.
+  /// Invalidated by the next setup() call.
+  Stream& add_stream(int device, int partition);
+
+  // --- Buffers ---------------------------------------------------------------
+
+  /// Register a host range and instantiate it (zero-filled) on every device.
+  BufferId create_buffer(void* host, std::size_t bytes);
+
+  /// Register a *virtual* buffer: it has a size (so transfers are costed and
+  /// range-checked) but no backing storage, and transfers move no bytes.
+  /// Paper-scale benchmark runs use these so that a 16384^2 Hotspot grid can
+  /// be scheduled without allocating gigabytes; functional runs (tests,
+  /// examples) use real buffers instead.
+  BufferId create_virtual_buffer(std::size_t bytes);
+
+  /// True when the buffer has real backing storage on host and devices.
+  [[nodiscard]] bool buffer_backed(BufferId id) const { return buffer_rec(id).host != nullptr; }
+
+  template <typename T>
+  BufferId create_buffer(std::span<T> host) {
+    return create_buffer(static_cast<void*>(host.data()), host.size_bytes());
+  }
+
+  /// Release a buffer everywhere. All streams must be idle.
+  void destroy_buffer(BufferId id);
+
+  [[nodiscard]] std::size_t buffer_size(BufferId id) const;
+
+  /// Raw device-side shadow storage (for kernel functors).
+  [[nodiscard]] std::byte* device_data(BufferId id, int device);
+
+  template <typename T>
+  [[nodiscard]] T* device_ptr(BufferId id, int device, std::size_t elem_offset = 0) {
+    return reinterpret_cast<T*>(device_data(id, device)) + elem_offset;
+  }
+
+  // --- Control ---------------------------------------------------------------
+
+  /// Drain every stream on every device; charges device-level sync overhead
+  /// (plus the cross-device premium when more than one card participates).
+  void synchronize();
+
+  /// Block the host until `ev` completes, WITHOUT draining unrelated work —
+  /// the fine-grained wait that lets a host-side stage (e.g. a reduction)
+  /// overlap still-running streams. Null events return immediately.
+  void wait(const Event& ev);
+
+  /// The virtual host clock: what a wall-clock timer around an offload phase
+  /// would have read on the real machine.
+  [[nodiscard]] sim::SimTime host_time() const noexcept { return host_cursor_; }
+
+  // --- Introspection -----------------------------------------------------------
+
+  /// Scoped override of the per-action host issue cost — how rt::Graph
+  /// prices replays. Restores the previous cost on destruction.
+  class IssueCostGuard {
+  public:
+    IssueCostGuard(Context& ctx, sim::SimTime per_action, sim::SimTime base)
+        : ctx_(ctx), saved_(ctx.issue_cost_), had_(ctx.issue_override_) {
+      ctx.issue_cost_ = per_action;
+      ctx.issue_override_ = true;
+      ctx.host_cursor_ += base;
+    }
+    ~IssueCostGuard() {
+      ctx_.issue_cost_ = saved_;
+      ctx_.issue_override_ = had_;
+    }
+    IssueCostGuard(const IssueCostGuard&) = delete;
+    IssueCostGuard& operator=(const IssueCostGuard&) = delete;
+
+  private:
+    Context& ctx_;
+    sim::SimTime saved_;
+    bool had_;
+  };
+
+  /// Toggle timeline capture (on by default). Sweeps with millions of
+  /// actions switch it off to keep memory flat.
+  void set_tracing(bool on) noexcept { tracing_ = on; }
+  [[nodiscard]] bool tracing() const noexcept { return tracing_; }
+
+  [[nodiscard]] sim::Platform& platform() noexcept { return *platform_; }
+  [[nodiscard]] const sim::Platform& platform() const noexcept { return *platform_; }
+  [[nodiscard]] const sim::CostModel& cost() const noexcept { return platform_->cost(); }
+  [[nodiscard]] trace::Timeline& timeline() noexcept { return timeline_; }
+  [[nodiscard]] const trace::Timeline& timeline() const noexcept { return timeline_; }
+
+private:
+  friend class Stream;
+
+  struct BufferRec {
+    std::byte* host = nullptr;
+    std::size_t bytes = 0;
+    std::vector<sim::DeviceMemory::Handle> device_handles;  // one per device
+  };
+
+  /// Reserve the host application thread for one enqueue call; returns the
+  /// time at which the action is issued.
+  sim::SimTime host_issue();
+
+  void require_all_idle(const char* who) const;
+  [[nodiscard]] const BufferRec& buffer_rec(BufferId id) const;
+
+  std::unique_ptr<sim::Platform> platform_;
+  trace::Timeline timeline_;
+  bool tracing_ = true;
+  bool issue_override_ = false;
+  sim::SimTime issue_cost_ = sim::SimTime::zero();
+  sim::SimTime host_cursor_ = sim::SimTime::zero();
+  int partitions_ = 0;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::unordered_map<std::uint64_t, BufferRec> buffers_;
+  std::uint64_t next_buffer_ = 1;
+};
+
+}  // namespace ms::rt

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <stdexcept>
+
+namespace ms::rt {
+
+/// Base class of all runtime-reported failures (bad handles, out-of-range
+/// transfers, misuse of the stream API). Configuration errors from the
+/// simulator surface as std::invalid_argument instead.
+class Error : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace ms::rt

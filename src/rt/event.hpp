@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace ms::rt {
+
+namespace detail {
+
+/// Shared completion state of one enqueued action.
+struct ActionState {
+  bool done = false;
+  sim::SimTime end = sim::SimTime::zero();
+  std::vector<std::function<void()>> waiters;
+
+  void complete(sim::SimTime t) {
+    done = true;
+    end = t;
+    // Detach first: a waiter may enqueue work that waits on this same state.
+    auto fire = std::move(waiters);
+    waiters.clear();
+    for (auto& w : fire) w();
+  }
+};
+
+}  // namespace detail
+
+/// Completion handle for an enqueued action, in the spirit of CUDA events /
+/// hStreams completion events. Default-constructed events are *null* and
+/// count as already complete at time zero — convenient as "no dependency".
+class Event {
+public:
+  Event() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return static_cast<bool>(state_); }
+  [[nodiscard]] bool done() const noexcept { return !state_ || state_->done; }
+
+  /// Virtual completion time; only meaningful once done().
+  [[nodiscard]] sim::SimTime time() const noexcept {
+    return state_ ? state_->end : sim::SimTime::zero();
+  }
+
+private:
+  friend class Stream;
+  friend class Context;
+  explicit Event(std::shared_ptr<detail::ActionState> s) : state_(std::move(s)) {}
+  std::shared_ptr<detail::ActionState> state_;
+};
+
+}  // namespace ms::rt

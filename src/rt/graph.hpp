@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rt/action.hpp"
+#include "rt/buffer.hpp"
+#include "rt/event.hpp"
+
+namespace ms::rt {
+
+class Context;
+
+/// A recorded schedule that can be launched repeatedly — the CUDA-Graphs
+/// style answer to the host-side enqueue cost this library models (and that
+/// Fig. 10 of the paper shows drowning fine-grained tilings): describe the
+/// actions and their dependency edges once, then `launch()` re-issues the
+/// whole bundle for the price of one launch call plus a small per-node
+/// replay cost instead of a full `action_enqueue` per action.
+///
+/// Nodes reference streams by index and buffers by handle; dependencies are
+/// node-ids of *earlier* nodes (the graph is acyclic by construction).
+/// Launching validates against the target context, so one graph can be
+/// replayed on any context with compatible streams/buffers.
+class Graph {
+public:
+  using NodeId = std::size_t;
+
+  /// Record a host-to-device transfer on `stream`.
+  NodeId add_h2d(int stream, BufferId buf, std::size_t offset, std::size_t bytes,
+                 std::vector<NodeId> deps = {});
+
+  /// Record a device-to-host transfer on `stream`.
+  NodeId add_d2h(int stream, BufferId buf, std::size_t offset, std::size_t bytes,
+                 std::vector<NodeId> deps = {});
+
+  /// Record a kernel launch on `stream`. The functor (if any) runs on every
+  /// replay.
+  NodeId add_kernel(int stream, KernelLaunch launch, std::vector<NodeId> deps = {});
+
+  /// Record a zero-cost join point on `stream`.
+  NodeId add_barrier(int stream, std::vector<NodeId> deps = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+
+  /// Issue every recorded node into `ctx` (charging the replay overheads
+  /// instead of per-action enqueue costs) and return an event that
+  /// completes when every node has completed.
+  Event launch(Context& ctx) const;
+
+private:
+  struct Node {
+    ActionKind kind = ActionKind::Kernel;
+    int stream = 0;
+    BufferId buffer{};
+    std::size_t offset = 0;
+    std::size_t bytes = 0;
+    KernelLaunch launch{};
+    std::vector<NodeId> deps;
+  };
+
+  NodeId add(Node node);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ms::rt

@@ -1,0 +1,74 @@
+#include "rt/logical_view.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "rt/context.hpp"
+
+namespace ms::rt {
+
+LogicalView::LogicalView(Context& ctx) {
+  domains_.resize(static_cast<std::size_t>(ctx.device_count()));
+  for (int d = 0; d < ctx.device_count(); ++d) {
+    Domain& dom = domains_[static_cast<std::size_t>(d)];
+    dom.index = d;
+    const auto& table = ctx.platform().device(d).partition_table();
+    dom.places.resize(static_cast<std::size_t>(table.partitions()));
+    for (int p = 0; p < table.partitions(); ++p) {
+      Place& place = dom.places[static_cast<std::size_t>(p)];
+      place.domain = d;
+      place.index = p;
+      place.partition = table.view(p);
+    }
+  }
+  // Attach every stream (setup-created and extra) to its place.
+  for (int s = 0; s < ctx.stream_count(); ++s) {
+    Stream& stream = ctx.stream(s);
+    domains_[static_cast<std::size_t>(stream.device())]
+        .places[static_cast<std::size_t>(stream.partition())]
+        .streams.push_back(&stream);
+  }
+}
+
+int LogicalView::place_count() const noexcept {
+  int n = 0;
+  for (const Domain& d : domains_) n += static_cast<int>(d.places.size());
+  return n;
+}
+
+int LogicalView::stream_count() const noexcept {
+  int n = 0;
+  for (const Domain& d : domains_) {
+    for (const Place& p : d.places) n += static_cast<int>(p.streams.size());
+  }
+  return n;
+}
+
+const LogicalView::Place& LogicalView::place(int domain, int index) const {
+  if (domain < 0 || domain >= domain_count()) {
+    throw std::out_of_range("LogicalView::place: domain out of range");
+  }
+  const auto& places = domains_[static_cast<std::size_t>(domain)].places;
+  if (index < 0 || static_cast<std::size_t>(index) >= places.size()) {
+    throw std::out_of_range("LogicalView::place: place out of range");
+  }
+  return places[static_cast<std::size_t>(index)];
+}
+
+void LogicalView::describe(std::ostream& os) const {
+  for (const Domain& d : domains_) {
+    os << "domain " << d.index << " (card " << d.index << ")\n";
+    for (const Place& p : d.places) {
+      os << "  place " << p.index << ": threads [" << p.partition.thread_begin << ", "
+         << p.partition.thread_end << ") on " << p.partition.cores_spanned << " core(s)";
+      if (p.partition.split_fraction > 0.0) {
+        os << " [" << static_cast<int>(p.partition.split_fraction * 100.0) << "% shared]";
+      }
+      os << " — " << p.streams.size() << " stream(s):";
+      for (const Stream* s : p.streams) os << " #" << s->index();
+      os << "\n";
+    }
+  }
+}
+
+}  // namespace ms::rt

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sim/partition.hpp"
+
+namespace ms::rt {
+
+class Context;
+class Stream;
+
+/// The paper's Fig. 3 resource view, materialized: "a device can be seen as
+/// one or more domains. Each domain contains multiple places, each of which
+/// then has multiple streams. The logical concepts are visible to
+/// programmers, while the physical ones are transparent."
+///
+/// A LogicalView is a read-only snapshot of a Context's current layout:
+/// domains map to cards, places to partitions (with their physical
+/// thread/core geometry attached), and each place lists every stream bound
+/// to it — including extra transfer streams from add_stream(). Rebuild the
+/// view after setup()/add_stream() calls.
+class LogicalView {
+public:
+  struct Place {
+    int domain = 0;
+    int index = 0;                    ///< place index within the domain
+    sim::PartitionView partition{};   ///< the physical mapping (Fig. 3's bottom half)
+    std::vector<Stream*> streams;     ///< streams bound to this place
+  };
+
+  struct Domain {
+    int index = 0;
+    std::vector<Place> places;
+  };
+
+  explicit LogicalView(Context& ctx);
+
+  [[nodiscard]] const std::vector<Domain>& domains() const noexcept { return domains_; }
+  [[nodiscard]] int domain_count() const noexcept { return static_cast<int>(domains_.size()); }
+  [[nodiscard]] int place_count() const noexcept;
+  [[nodiscard]] int stream_count() const noexcept;
+
+  /// Place by (domain, index).
+  [[nodiscard]] const Place& place(int domain, int index) const;
+
+  /// Render the hierarchy, Fig. 3 style.
+  void describe(std::ostream& os) const;
+
+private:
+  std::vector<Domain> domains_;
+};
+
+}  // namespace ms::rt

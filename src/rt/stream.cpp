@@ -1,0 +1,248 @@
+#include "rt/stream.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "rt/context.hpp"
+#include "rt/errors.hpp"
+
+namespace ms::rt {
+
+using detail::Action;
+
+Event Stream::enqueue_h2d(BufferId buf, std::size_t offset, std::size_t bytes,
+                          const std::vector<Event>& deps) {
+  return enqueue_transfer(ActionKind::H2D, buf, offset, bytes, deps);
+}
+
+Event Stream::enqueue_d2h(BufferId buf, std::size_t offset, std::size_t bytes,
+                          const std::vector<Event>& deps) {
+  return enqueue_transfer(ActionKind::D2H, buf, offset, bytes, deps);
+}
+
+Event Stream::enqueue_transfer(ActionKind kind, BufferId buf, std::size_t offset,
+                               std::size_t bytes, const std::vector<Event>& deps) {
+  const auto& rec = ctx_->buffer_rec(buf);
+  if (offset + bytes > rec.bytes) {
+    throw Error("Stream::enqueue transfer: range exceeds buffer size");
+  }
+  if (bytes == 0) {
+    throw Error("Stream::enqueue transfer: zero-length transfer");
+  }
+
+  auto a = std::make_unique<Action>();
+  a->kind = kind;
+  a->label = kind == ActionKind::H2D ? "h2d" : "d2h";
+  a->buffer = buf;
+  a->offset = offset;
+  a->bytes = bytes;
+
+  // Functional payload: move real bytes between the host range and this
+  // stream's device shadow, at virtual completion time. Virtual buffers are
+  // timing-only and carry no payload.
+  Context* ctx = ctx_;
+  const int dev = device_;
+  if (rec.host == nullptr) {
+    // no-op payload
+  } else if (kind == ActionKind::H2D) {
+    a->fn = [ctx, buf, offset, bytes, dev] {
+      std::memcpy(ctx->device_data(buf, dev) + offset,
+                  static_cast<const std::byte*>(ctx->buffer_rec(buf).host) + offset, bytes);
+    };
+  } else {
+    a->fn = [ctx, buf, offset, bytes, dev] {
+      std::memcpy(static_cast<std::byte*>(ctx->buffer_rec(buf).host) + offset,
+                  ctx->device_data(buf, dev) + offset, bytes);
+    };
+  }
+  return enqueue_common(std::move(a), deps);
+}
+
+Event Stream::enqueue_kernel(KernelLaunch launch, const std::vector<Event>& deps) {
+  auto a = std::make_unique<Action>();
+  a->kind = ActionKind::Kernel;
+  a->label = launch.label.empty() ? "kernel" : std::move(launch.label);
+  a->fn = std::move(launch.fn);
+
+  const auto& part = ctx_->platform().device(device_).partition(partition_);
+  a->duration = ctx_->cost().kernel_duration(launch.work, part);
+  return enqueue_common(std::move(a), deps);
+}
+
+Event Stream::enqueue_barrier(const std::vector<Event>& deps) {
+  auto a = std::make_unique<Action>();
+  a->kind = ActionKind::Barrier;
+  a->label = "barrier";
+  return enqueue_common(std::move(a), deps);
+}
+
+Event Stream::enqueue_common(std::unique_ptr<Action> owned, const std::vector<Event>& deps) {
+  Action* a = owned.get();
+  a->ready_floor = ctx_->host_issue();
+
+  // Wire cross-stream dependencies. Completed deps only raise the ready
+  // floor; pending ones register a waiter that re-arms this action.
+  for (const Event& e : deps) {
+    if (!e.valid() || e.done()) {
+      a->ready_floor = sim::max(a->ready_floor, e.time());
+      continue;
+    }
+    ++a->deps_pending;
+    auto dep_state = e.state_;
+    Stream* self = this;
+    dep_state->waiters.push_back([self, a, dep_state] {
+      a->ready_floor = sim::max(a->ready_floor, dep_state->end);
+      if (--a->deps_pending == 0) self->maybe_arm(a);
+    });
+  }
+
+  queue_.push_back(std::move(owned));
+  a->pred_done = queue_.size() == 1;
+  const Event ev{a->state};
+  last_ = ev;
+  maybe_arm(a);
+  return ev;
+}
+
+void Stream::maybe_arm(Action* a) {
+  if (a->armed || !a->pred_done || a->deps_pending > 0) return;
+  a->armed = true;
+
+  auto& engine = ctx_->platform().engine();
+  const sim::SimTime ready = sim::max(a->ready_floor, engine.now());
+  engine.schedule_at(ready, [this, a] { start(a); });
+}
+
+void Stream::start(Action* a) {
+  auto& platform = ctx_->platform();
+  auto& device = platform.device(device_);
+  const sim::SimTime now = platform.engine().now();
+
+  if (a->kind == ActionKind::Barrier) {
+    // No resource use: the barrier completes as soon as it is reached.
+    if (ctx_->tracing()) {
+      trace::Span span;
+      span.kind = trace::SpanKind::Sync;
+      span.device = device_;
+      span.stream = index_;
+      span.partition = partition_;
+      span.start = now;
+      span.end = now;
+      span.label = a->label;
+      ctx_->timeline().record(std::move(span));
+    }
+    platform.engine().schedule_at(now, [this, a] { on_complete(a); });
+    return;
+  }
+
+  sim::FifoResource::Grant grant{};
+  if (a->kind == ActionKind::Kernel) {
+    grant = device.partition_resource(partition_).reserve(now, a->duration);
+  } else {
+    const auto dir =
+        a->kind == ActionKind::H2D ? sim::Direction::HostToDevice : sim::Direction::DeviceToHost;
+    const std::size_t chunk = device.link().spec().dma_chunk_bytes;
+    if (chunk > 0 && a->bytes > chunk) {
+      start_transfer_chunked(a, dir, chunk, now);
+      return;
+    }
+    grant = device.link().reserve(dir, now, a->bytes);
+  }
+
+  if (ctx_->tracing()) {
+    trace::Span span;
+    span.kind = a->kind == ActionKind::Kernel ? trace::SpanKind::Kernel
+                : a->kind == ActionKind::H2D  ? trace::SpanKind::H2D
+                                              : trace::SpanKind::D2H;
+    span.device = device_;
+    span.stream = index_;
+    span.partition = partition_;
+    span.start = grant.start;
+    span.end = grant.end;
+    span.bytes = a->bytes;
+    span.label = a->label;
+    ctx_->timeline().record(std::move(span));
+  }
+
+  platform.engine().schedule_at(grant.end, [this, a] { on_complete(a); });
+}
+
+void Stream::start_transfer_chunked(detail::Action* a, sim::Direction dir, std::size_t chunk,
+                                    sim::SimTime now) {
+  // Progressive reservation: each chunk is requested only when the previous
+  // one finishes, so competing transfers that become ready mid-way slot in
+  // between chunks (no head-of-line blocking behind a huge upload).
+  auto& device = ctx_->platform().device(device_);
+  const std::size_t first_len = std::min(chunk, a->bytes);
+  const auto first = device.link().reserve_chunk(dir, now, first_len, /*first_chunk=*/true);
+  a->duration = sim::SimTime::zero();  // unused for chunked transfers
+
+  struct ChunkPlan {
+    sim::SimTime span_start;
+    std::size_t remaining;
+  };
+  auto plan = std::make_shared<ChunkPlan>(ChunkPlan{first.start, a->bytes - first_len});
+
+  // Continuation invoked at each chunk's completion.
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, a, dir, chunk, plan, step] {
+    auto& link = ctx_->platform().device(device_).link();
+    const sim::SimTime t = ctx_->platform().engine().now();
+    if (plan->remaining == 0) {
+      if (ctx_->tracing()) {
+        trace::Span span;
+        span.kind = a->kind == ActionKind::H2D ? trace::SpanKind::H2D : trace::SpanKind::D2H;
+        span.device = device_;
+        span.stream = index_;
+        span.partition = partition_;
+        span.start = plan->span_start;
+        span.end = t;
+        span.bytes = a->bytes;
+        span.label = a->label;
+        ctx_->timeline().record(std::move(span));
+      }
+      on_complete(a);
+      return;
+    }
+    const std::size_t len = std::min(chunk, plan->remaining);
+    plan->remaining -= len;
+    const auto grant = link.reserve_chunk(dir, t, len, /*first_chunk=*/false);
+    ctx_->platform().engine().schedule_at(grant.end, *step);
+  };
+  ctx_->platform().engine().schedule_at(first.end, *step);
+}
+
+void Stream::on_complete(Action* a) {
+  // Strict in-order streams: the completing action is necessarily the front.
+  if (queue_.empty() || queue_.front().get() != a) {
+    throw Error("Stream: completion order corrupted (internal bug)");
+  }
+  if (a->fn) a->fn();
+
+  // Keep the action alive until state notification and successor arming are
+  // done, then release it.
+  auto owned = std::move(queue_.front());
+  queue_.pop_front();
+
+  const sim::SimTime now = ctx_->platform().engine().now();
+  a->state->complete(now);
+
+  if (!queue_.empty()) {
+    Action* next = queue_.front().get();
+    next->pred_done = true;
+    maybe_arm(next);
+  }
+}
+
+void Stream::synchronize() {
+  auto& engine = ctx_->platform().engine();
+  while (!queue_.empty()) {
+    if (!engine.step()) {
+      throw Error("Stream::synchronize: pending actions but no events (deadlock?)");
+    }
+  }
+  const sim::SimTime sync = ctx_->cost().sync_overhead(1, false);
+  ctx_->host_cursor_ = sim::max(ctx_->host_cursor_, engine.now()) + sync;
+}
+
+}  // namespace ms::rt

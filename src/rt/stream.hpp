@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "rt/action.hpp"
+#include "rt/buffer.hpp"
+#include "rt/event.hpp"
+#include "sim/pcie_link.hpp"
+
+namespace ms::rt {
+
+class Context;
+
+/// One logical stream, bound to one partition of one coprocessor (the
+/// hStreams logical/physical mapping of Fig. 3). Actions enqueued into a
+/// stream execute strictly in order; actions in *different* streams overlap
+/// whenever the hardware resources allow — that is the entire point of the
+/// paper. Streams are created by Context::setup() and owned by the Context.
+class Stream {
+public:
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  [[nodiscard]] int index() const noexcept { return index_; }
+  [[nodiscard]] int device() const noexcept { return device_; }
+  [[nodiscard]] int partition() const noexcept { return partition_; }
+
+  /// Asynchronously copy [offset, offset+bytes) of the buffer's host range
+  /// to this stream's device instantiation. Returns a completion event.
+  Event enqueue_h2d(BufferId buf, std::size_t offset, std::size_t bytes,
+                    const std::vector<Event>& deps = {});
+
+  /// Device-to-host counterpart of enqueue_h2d.
+  Event enqueue_d2h(BufferId buf, std::size_t offset, std::size_t bytes,
+                    const std::vector<Event>& deps = {});
+
+  /// Launch a kernel on this stream's partition.
+  Event enqueue_kernel(KernelLaunch launch, const std::vector<Event>& deps = {});
+
+  /// Enqueue a zero-duration marker that completes once every `deps` event
+  /// AND every earlier action of this stream has completed — a cross-stream
+  /// join point without blocking the host (CUDA's event-wait pattern).
+  Event enqueue_barrier(const std::vector<Event>& deps = {});
+
+  /// Block the host until every action in this stream has completed; charges
+  /// the paper's stream-synchronization overhead to the host clock.
+  void synchronize();
+
+  /// Completion event of the most recently enqueued action (null if none).
+  [[nodiscard]] Event last_event() const noexcept { return last_; }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+private:
+  friend class Context;
+  Stream(Context& ctx, int index, int device, int partition)
+      : ctx_(&ctx), index_(index), device_(device), partition_(partition) {}
+
+  Event enqueue_transfer(ActionKind kind, BufferId buf, std::size_t offset, std::size_t bytes,
+                         const std::vector<Event>& deps);
+  Event enqueue_common(std::unique_ptr<detail::Action> a, const std::vector<Event>& deps);
+  void maybe_arm(detail::Action* a);
+  void start(detail::Action* a);
+  void start_transfer_chunked(detail::Action* a, sim::Direction dir, std::size_t chunk,
+                              sim::SimTime now);
+  void on_complete(detail::Action* a);
+
+  Context* ctx_;
+  int index_;
+  int device_;
+  int partition_;
+  std::deque<std::unique_ptr<detail::Action>> queue_;
+  Event last_;
+};
+
+}  // namespace ms::rt

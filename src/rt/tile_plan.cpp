@@ -1,0 +1,66 @@
+#include "rt/tile_plan.hpp"
+
+#include <stdexcept>
+
+namespace ms::rt {
+
+std::vector<Range> split_even(std::size_t total, std::size_t parts) {
+  if (parts == 0) {
+    throw std::invalid_argument("split_even: parts must be positive");
+  }
+  if (parts > total) {
+    throw std::invalid_argument("split_even: more parts than elements");
+  }
+  std::vector<Range> out;
+  out.reserve(parts);
+  const std::size_t base = total / parts;
+  const std::size_t extra = total % parts;
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < parts; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    out.push_back(Range{cursor, cursor + len});
+    cursor += len;
+  }
+  return out;
+}
+
+std::vector<Range> split_chunks(std::size_t total, std::size_t chunk) {
+  if (chunk == 0) {
+    throw std::invalid_argument("split_chunks: chunk must be positive");
+  }
+  std::vector<Range> out;
+  out.reserve((total + chunk - 1) / chunk);
+  for (std::size_t begin = 0; begin < total; begin += chunk) {
+    out.push_back(Range{begin, begin + chunk < total ? begin + chunk : total});
+  }
+  return out;
+}
+
+std::vector<Tile2D> grid_tiles(std::size_t rows, std::size_t cols, std::size_t tile_rows,
+                               std::size_t tile_cols) {
+  if (tile_rows == 0 || tile_cols == 0) {
+    throw std::invalid_argument("grid_tiles: tile dimensions must be positive");
+  }
+  std::vector<Tile2D> out;
+  for (std::size_t r = 0; r < rows; r += tile_rows) {
+    const std::size_t r1 = r + tile_rows < rows ? r + tile_rows : rows;
+    for (std::size_t c = 0; c < cols; c += tile_cols) {
+      const std::size_t c1 = c + tile_cols < cols ? c + tile_cols : cols;
+      out.push_back(Tile2D{r, r1, c, c1});
+    }
+  }
+  return out;
+}
+
+std::vector<int> round_robin(std::size_t tasks, int streams) {
+  if (streams <= 0) {
+    throw std::invalid_argument("round_robin: need at least one stream");
+  }
+  std::vector<int> out(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    out[i] = static_cast<int>(i % static_cast<std::size_t>(streams));
+  }
+  return out;
+}
+
+}  // namespace ms::rt

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ms::rt {
+
+/// Half-open index range of one 1-D tile.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Split [0, total) into `parts` contiguous ranges whose sizes differ by at
+/// most one (load balance first, as Section V-C2 demands). Throws
+/// std::invalid_argument when parts == 0 or parts > total.
+[[nodiscard]] std::vector<Range> split_even(std::size_t total, std::size_t parts);
+
+/// Split [0, total) into chunks of `chunk` elements (last one possibly
+/// short) — the "tile size" parameterization used by the paper's captions.
+[[nodiscard]] std::vector<Range> split_chunks(std::size_t total, std::size_t chunk);
+
+/// One tile of a 2-D row-major grid.
+struct Tile2D {
+  std::size_t row_begin = 0, row_end = 0;
+  std::size_t col_begin = 0, col_end = 0;
+  [[nodiscard]] constexpr std::size_t rows() const noexcept { return row_end - row_begin; }
+  [[nodiscard]] constexpr std::size_t cols() const noexcept { return col_end - col_begin; }
+  [[nodiscard]] constexpr std::size_t elems() const noexcept { return rows() * cols(); }
+};
+
+/// Cover a rows x cols grid with tiles of at most tile_rows x tile_cols,
+/// row-major tile order.
+[[nodiscard]] std::vector<Tile2D> grid_tiles(std::size_t rows, std::size_t cols,
+                                             std::size_t tile_rows, std::size_t tile_cols);
+
+/// Round-robin assignment of `tasks` tiles onto `streams` streams: tile i
+/// goes to stream i % streams — the mapping the paper uses ("at least one
+/// task is mapped to a stream").
+[[nodiscard]] std::vector<int> round_robin(std::size_t tasks, int streams);
+
+}  // namespace ms::rt

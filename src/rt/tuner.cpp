@@ -1,0 +1,78 @@
+#include "rt/tuner.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ms::rt {
+
+std::vector<int> Tuner::partition_candidates(const sim::CoprocessorSpec& spec,
+                                             const TunerOptions& opt) {
+  std::vector<int> out;
+  if (opt.include_single_partition) out.push_back(1);
+  const int cores = spec.usable_cores();
+  for (int p = 2; p <= cores; ++p) {
+    if (cores % p == 0) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<int> Tuner::tile_candidates(int partitions, const TunerOptions& opt) {
+  if (partitions < 1) {
+    throw std::invalid_argument("Tuner::tile_candidates: partitions must be >= 1");
+  }
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(opt.max_multiplier));
+  for (int m = 1; m <= opt.max_multiplier; ++m) {
+    out.push_back(m * partitions);
+  }
+  return out;
+}
+
+std::vector<Tuner::Candidate> Tuner::pruned_space(const sim::CoprocessorSpec& spec,
+                                                  const TunerOptions& opt) {
+  std::vector<Candidate> out;
+  for (const int p : partition_candidates(spec, opt)) {
+    for (const int t : tile_candidates(p, opt)) {
+      out.push_back(Candidate{p, t});
+    }
+  }
+  return out;
+}
+
+std::vector<Tuner::Candidate> Tuner::exhaustive_space(const sim::CoprocessorSpec& spec,
+                                                      int max_tiles) {
+  if (max_tiles < 1) {
+    throw std::invalid_argument("Tuner::exhaustive_space: max_tiles must be >= 1");
+  }
+  std::vector<Candidate> out;
+  out.reserve(static_cast<std::size_t>(spec.usable_cores()) * static_cast<std::size_t>(max_tiles));
+  for (int p = 1; p <= spec.usable_cores(); ++p) {
+    for (int t = 1; t <= max_tiles; ++t) {
+      out.push_back(Candidate{p, t});
+    }
+  }
+  return out;
+}
+
+Tuner::Result Tuner::search(const std::vector<Candidate>& candidates,
+                            const std::function<double(Candidate)>& metric) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("Tuner::search: empty candidate list");
+  }
+  if (!metric) {
+    throw std::invalid_argument("Tuner::search: empty metric");
+  }
+  Result r;
+  r.best_metric = std::numeric_limits<double>::max();
+  for (const Candidate& c : candidates) {
+    const double v = metric(c);
+    ++r.evaluated;
+    if (v < r.best_metric) {
+      r.best_metric = v;
+      r.best = c;
+    }
+  }
+  return r;
+}
+
+}  // namespace ms::rt

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/sim_config.hpp"
+
+namespace ms::rt {
+
+/// Search-space pruning heuristics of Section V-C2.
+///
+/// Exhaustively choosing the resource granularity P and the task granularity
+/// T means sweeping P in [1, 56] x T in [1, thousands]. The paper's
+/// observations cut this down:
+///   (H1) P should divide the usable core count (56) so no physical core's
+///        threads are split between partitions — {2,4,7,8,14,28,56};
+///   (H2) T should be a multiple of P for load balance (T = m*P);
+///   (H3) T should be neither too small (no pipelining) nor too large
+///        (per-task overhead, poor per-thread utilization).
+/// Knobs for the pruned search space.
+struct TunerOptions {
+  /// H2/H3 bound: consider m in [1, max_multiplier].
+  int max_multiplier = 8;
+  /// Include P = 1 (useful as a degenerate baseline)?
+  bool include_single_partition = false;
+};
+
+class Tuner {
+public:
+  struct Candidate {
+    int partitions = 1;
+    int tiles = 1;
+  };
+
+  struct Result {
+    Candidate best{};
+    double best_metric = 0.0;
+    std::size_t evaluated = 0;
+  };
+
+  /// H1: the pruned partition-count candidates for `spec` — all divisors of
+  /// usable_cores() except 1 (plus 1 itself when requested).
+  [[nodiscard]] static std::vector<int> partition_candidates(const sim::CoprocessorSpec& spec,
+                                                             const TunerOptions& opt = TunerOptions());
+
+  /// H2+H3: tile-count candidates for a fixed P.
+  [[nodiscard]] static std::vector<int> tile_candidates(int partitions, const TunerOptions& opt = TunerOptions());
+
+  /// The full pruned (P, T) space.
+  [[nodiscard]] static std::vector<Candidate> pruned_space(const sim::CoprocessorSpec& spec,
+                                                           const TunerOptions& opt = TunerOptions());
+
+  /// The unpruned space the paper calls "huge": every P in [1, usable cores]
+  /// and every T in [1, max_tiles].
+  [[nodiscard]] static std::vector<Candidate> exhaustive_space(const sim::CoprocessorSpec& spec,
+                                                               int max_tiles);
+
+  /// Evaluate `metric` (lower is better — e.g. virtual execution time in
+  /// ms) over a candidate list and return the winner.
+  [[nodiscard]] static Result search(const std::vector<Candidate>& candidates,
+                                     const std::function<double(Candidate)>& metric);
+};
+
+}  // namespace ms::rt

@@ -1,0 +1,53 @@
+#include "sim/device_memory.hpp"
+
+#include <new>
+#include <stdexcept>
+
+namespace ms::sim {
+
+DeviceMemory::Handle DeviceMemory::allocate(std::size_t bytes) {
+  if (in_use_ + bytes > capacity_) {
+    throw std::bad_alloc{};
+  }
+  const Handle h = next_handle_++;
+  blocks_.emplace(h, std::vector<std::byte>(bytes));
+  in_use_ += bytes;
+  return h;
+}
+
+void DeviceMemory::free(Handle h) {
+  auto it = blocks_.find(h);
+  if (it == blocks_.end()) {
+    throw std::invalid_argument("DeviceMemory::free: unknown handle (double free?)");
+  }
+  in_use_ -= it->second.size();
+  blocks_.erase(it);
+}
+
+std::byte* DeviceMemory::data(Handle h) {
+  auto it = blocks_.find(h);
+  if (it == blocks_.end()) {
+    throw std::invalid_argument("DeviceMemory::data: unknown handle");
+  }
+  return it->second.data();
+}
+
+const std::byte* DeviceMemory::data(Handle h) const {
+  auto it = blocks_.find(h);
+  if (it == blocks_.end()) {
+    throw std::invalid_argument("DeviceMemory::data: unknown handle");
+  }
+  return it->second.data();
+}
+
+std::size_t DeviceMemory::size(Handle h) const {
+  auto it = blocks_.find(h);
+  if (it == blocks_.end()) {
+    throw std::invalid_argument("DeviceMemory::size: unknown handle");
+  }
+  return it->second.size();
+}
+
+bool DeviceMemory::valid(Handle h) const noexcept { return blocks_.contains(h); }
+
+}  // namespace ms::sim

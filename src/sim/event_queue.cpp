@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ms::sim {
+
+void Engine::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument("Engine::schedule_at: event scheduled in the past");
+  }
+  if (!cb) {
+    throw std::invalid_argument("Engine::schedule_at: empty callback");
+  }
+  queue_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+void Engine::fire_next() {
+  // Move the entry out before popping so the callback may schedule new events
+  // (priority_queue::top is const, hence the const_cast idiom is avoided by
+  // copying the pieces we need).
+  Entry top = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = top.when;
+  ++fired_;
+  top.cb();
+}
+
+SimTime Engine::run_until_idle() {
+  while (!queue_.empty()) {
+    fire_next();
+  }
+  return now_;
+}
+
+SimTime Engine::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    fire_next();
+  }
+  if (now_ < deadline && queue_.empty()) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  fire_next();
+  return true;
+}
+
+void Engine::reset() {
+  queue_ = {};
+  now_ = SimTime::zero();
+  next_seq_ = 0;
+  fired_ = 0;
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace ms::sim {
+
+/// Discrete-event engine: a virtual clock plus a time-ordered queue of
+/// callbacks. Events scheduled for the same instant fire in FIFO order
+/// (stable by insertion sequence), which the multi-stream scheduler relies on
+/// for deterministic arbitration of simultaneous resource requests.
+class Engine {
+public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time. Only advances inside run()/run_until_idle().
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `cb` to run at absolute virtual time `when`.
+  /// Scheduling in the past is an error (throws std::invalid_argument).
+  void schedule_at(SimTime when, Callback cb);
+
+  /// Schedule `cb` to run `delay` after the current time.
+  void schedule_after(SimTime delay, Callback cb) { schedule_at(now_ + delay, std::move(cb)); }
+
+  /// Run events until the queue is empty. Returns the final clock value.
+  SimTime run_until_idle();
+
+  /// Run events with timestamp <= `deadline`; the clock then rests at
+  /// max(now, deadline) if the queue drained, or at the last fired event.
+  SimTime run_until(SimTime deadline);
+
+  /// Fire exactly one event. Returns false (and leaves the clock untouched)
+  /// when the queue is empty. Lets callers pump until a condition of their
+  /// own holds (e.g. "this stream drained").
+  bool step();
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+
+  /// Reset the clock to zero and drop all pending events.
+  void reset();
+
+private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;  // stable: earlier insertion fires first
+    }
+  };
+
+  void fire_next();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace ms::sim

@@ -1,0 +1,82 @@
+#include "sim/partition.hpp"
+
+#include <stdexcept>
+
+namespace ms::sim {
+
+PartitionTable::PartitionTable(const CoprocessorSpec& spec, int partitions) : spec_(spec) {
+  const int threads = spec.usable_threads();
+  if (partitions < 1) {
+    throw std::invalid_argument("PartitionTable: partition count must be >= 1");
+  }
+  if (partitions > threads) {
+    throw std::invalid_argument("PartitionTable: more partitions than hardware threads");
+  }
+
+  views_.reserve(static_cast<std::size_t>(partitions));
+  const int base = threads / partitions;
+  const int extra = threads % partitions;
+  int cursor = 0;
+  for (int i = 0; i < partitions; ++i) {
+    PartitionView v;
+    v.index = i;
+    v.thread_begin = cursor;
+    v.thread_end = cursor + base + (i < extra ? 1 : 0);
+    v.total_partitions = partitions;
+    cursor = v.thread_end;
+    views_.push_back(v);
+  }
+
+  // Mark split cores: a core is split when its thread range crosses a
+  // partition boundary.
+  const int tpc = spec.threads_per_core;
+  for (PartitionView& v : views_) {
+    const int first_core = v.thread_begin / tpc;
+    const int last_core = (v.thread_end - 1) / tpc;
+    v.cores_spanned = last_core - first_core + 1;
+    // A core is shared when threads of another partition also live on it:
+    // the first core if our range starts mid-core, the last core if it ends
+    // mid-core (the final partition ends at the device boundary, where a
+    // mid-core end means the remaining threads are simply unused, not
+    // contended — still counted as shared only when a successor exists).
+    const bool first_shared = v.thread_begin % tpc != 0;
+    const bool last_shared = v.thread_end % tpc != 0 && v.thread_end != spec.usable_threads();
+    int split_threads = 0;
+    if (first_core == last_core) {
+      if (first_shared || last_shared) split_threads = v.threads();
+    } else {
+      if (first_shared) split_threads += (first_core + 1) * tpc - v.thread_begin;
+      if (last_shared) split_threads += v.thread_end - last_core * tpc;
+    }
+    v.split_fraction = v.threads() > 0 ? static_cast<double>(split_threads) / v.threads() : 0.0;
+  }
+}
+
+PartitionView PartitionTable::whole_device(const CoprocessorSpec& spec) noexcept {
+  PartitionView v;
+  v.index = 0;
+  v.thread_begin = 0;
+  v.thread_end = spec.usable_threads();
+  v.cores_spanned = spec.usable_cores();
+  v.split_fraction = 0.0;
+  v.total_partitions = 1;
+  return v;
+}
+
+bool PartitionTable::core_aligned() const noexcept {
+  for (const PartitionView& v : views_) {
+    if (v.split_fraction > 0.0) return false;
+  }
+  return true;
+}
+
+std::vector<int> PartitionTable::recommended_partition_counts(const CoprocessorSpec& spec) {
+  std::vector<int> out;
+  const int cores = spec.usable_cores();
+  for (int p = 2; p <= cores; ++p) {
+    if (cores % p == 0) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace ms::sim

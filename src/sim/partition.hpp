@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/sim_config.hpp"
+
+namespace ms::sim {
+
+/// One contiguous group of hardware threads, as seen by the cost model.
+struct PartitionView {
+  int index = 0;
+  int thread_begin = 0;  ///< first hardware-thread id (inclusive)
+  int thread_end = 0;    ///< one past the last hardware-thread id
+  int cores_spanned = 0;
+  /// Fraction of this partition's threads that sit on a physical core shared
+  /// with another partition. Non-zero exactly when the partition count does
+  /// not divide the usable thread count core-evenly; the paper's Fig. 9(a,b)
+  /// shows these configurations paying a cache-contention penalty.
+  double split_fraction = 0.0;
+  int total_partitions = 1;
+
+  [[nodiscard]] constexpr int threads() const noexcept { return thread_end - thread_begin; }
+};
+
+/// Maps P equal-as-possible partitions onto the usable hardware threads of a
+/// coprocessor, mirroring hStreams' "places" (Fig. 3 of the paper).
+///
+/// Threads are assigned contiguously: partition i receives
+/// floor(T/P) (+1 for the first T mod P partitions) threads. Cores whose 4
+/// hardware threads straddle a partition boundary are flagged as *split*;
+/// kernels on such partitions contend for the shared L1/L2.
+class PartitionTable {
+public:
+  /// Build the table for `partitions` groups over the usable threads of
+  /// `spec`. Throws std::invalid_argument when partitions < 1 or when there
+  /// are more partitions than usable threads.
+  PartitionTable(const CoprocessorSpec& spec, int partitions);
+
+  [[nodiscard]] int partitions() const noexcept { return static_cast<int>(views_.size()); }
+  [[nodiscard]] const PartitionView& view(int i) const { return views_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const std::vector<PartitionView>& views() const noexcept { return views_; }
+
+  /// A view representing the whole device as one partition (the
+  /// non-streamed baseline configuration).
+  [[nodiscard]] static PartitionView whole_device(const CoprocessorSpec& spec) noexcept;
+
+  /// True when every partition aligns to whole cores — i.e. no split cores
+  /// anywhere. Holds exactly when P divides usable_cores (56 on the 31SP):
+  /// the paper's recommended set {2,4,7,8,14,28,56}.
+  [[nodiscard]] bool core_aligned() const noexcept;
+
+  /// The paper's Section V-C2 pruned candidate set: every divisor of
+  /// usable_cores() except 1 (ordered ascending).
+  [[nodiscard]] static std::vector<int> recommended_partition_counts(const CoprocessorSpec& spec);
+
+private:
+  CoprocessorSpec spec_;
+  std::vector<PartitionView> views_;
+};
+
+}  // namespace ms::sim

@@ -1,0 +1,68 @@
+#include "sim/pcie_link.hpp"
+
+#include <utility>
+
+namespace ms::sim {
+
+const char* to_string(Direction d) noexcept {
+  return d == Direction::HostToDevice ? "H2D" : "D2H";
+}
+
+PcieLink::PcieLink(const LinkSpec& spec, std::string name) : spec_(spec), name_(std::move(name)) {
+  if (spec_.full_duplex) {
+    h2d_ = std::make_unique<FifoResource>(name_ + ".h2d");
+    d2h_ = std::make_unique<FifoResource>(name_ + ".d2h");
+  } else {
+    shared_ = std::make_unique<FifoResource>(name_ + ".dma");
+  }
+}
+
+SimTime PcieLink::transfer_duration(std::size_t bytes) const noexcept {
+  const double gib = static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
+  return spec_.per_transfer_latency + SimTime::seconds(gib / spec_.bandwidth_gib_s);
+}
+
+FifoResource::Grant PcieLink::reserve(Direction dir, SimTime ready, std::size_t bytes) {
+  return reserve_chunk(dir, ready, bytes, /*first_chunk=*/true);
+}
+
+SimTime PcieLink::chunk_duration(std::size_t bytes, bool first_chunk) const noexcept {
+  const double gib = static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
+  const SimTime bw = SimTime::seconds(gib / spec_.bandwidth_gib_s);
+  return first_chunk ? spec_.per_transfer_latency + bw : bw;
+}
+
+FifoResource::Grant PcieLink::reserve_chunk(Direction dir, SimTime ready, std::size_t bytes,
+                                            bool first_chunk) {
+  const SimTime dur = chunk_duration(bytes, first_chunk);
+  const auto idx = static_cast<std::size_t>(dir);
+  if (first_chunk) ++count_[idx];
+  bytes_[idx] += bytes;
+  if (shared_) {
+    return shared_->reserve(ready, dur);
+  }
+  return (dir == Direction::HostToDevice ? *h2d_ : *d2h_).reserve(ready, dur);
+}
+
+std::uint64_t PcieLink::transfers(Direction dir) const noexcept {
+  return count_[static_cast<std::size_t>(dir)];
+}
+
+std::uint64_t PcieLink::bytes_moved(Direction dir) const noexcept {
+  return bytes_[static_cast<std::size_t>(dir)];
+}
+
+SimTime PcieLink::busy_until() const noexcept {
+  if (shared_) return shared_->busy_until();
+  return max(h2d_->busy_until(), d2h_->busy_until());
+}
+
+void PcieLink::reset() {
+  if (shared_) shared_->reset();
+  if (h2d_) h2d_->reset();
+  if (d2h_) d2h_->reset();
+  count_[0] = count_[1] = 0;
+  bytes_[0] = bytes_[1] = 0;
+}
+
+}  // namespace ms::sim

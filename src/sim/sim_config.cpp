@@ -1,0 +1,40 @@
+#include "sim/sim_config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ms::sim {
+
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument("SimConfig: " + what);
+}
+
+}  // namespace
+
+void SimConfig::validate() const {
+  require(device.cores > 0, "device.cores must be positive");
+  require(device.reserved_cores >= 0, "device.reserved_cores must be non-negative");
+  require(device.reserved_cores < device.cores, "reserved_cores must leave usable cores");
+  require(device.threads_per_core > 0, "threads_per_core must be positive");
+  require(device.clock_ghz > 0.0, "clock_ghz must be positive");
+  require(device.dp_flops_per_cycle_per_core > 0.0, "flops/cycle must be positive");
+  require(device.memory_bytes > 0, "device memory must be positive");
+
+  require(link.bandwidth_gib_s > 0.0, "link bandwidth must be positive");
+  require(link.per_transfer_latency >= SimTime::zero(), "link latency must be non-negative");
+
+  require(efficiency.elems_per_thread_us > 0.0, "element rate must be positive");
+  require(efficiency.max_flop_efficiency > 0.0 && efficiency.max_flop_efficiency <= 1.0,
+          "max_flop_efficiency must be in (0, 1]");
+  require(efficiency.ramp_elems_per_thread >= 0.0, "ramp_elems_per_thread must be non-negative");
+  require(efficiency.ramp_flops_per_thread >= 0.0, "ramp_flops_per_thread must be non-negative");
+  require(efficiency.split_core_penalty >= 0.0, "split_core_penalty must be non-negative");
+  require(efficiency.stencil_locality_bonus >= 0.0 && efficiency.stencil_locality_bonus < 1.0,
+          "stencil_locality_bonus must be in [0, 1)");
+
+  require(num_devices > 0, "num_devices must be positive");
+}
+
+}  // namespace ms::sim

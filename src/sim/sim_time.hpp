@@ -1,0 +1,61 @@
+#pragma once
+
+#include <compare>
+#include <limits>
+
+namespace ms::sim {
+
+/// A point (or span) on the simulated clock.
+///
+/// The simulator runs entirely in *virtual time*: durations are produced by
+/// analytic cost models, never by wall-clock measurement, so every run is
+/// deterministic and machine-independent. Internally the unit is microseconds
+/// held in a double; the paper reports most results in milliseconds, so both
+/// accessors are provided.
+class SimTime {
+public:
+  constexpr SimTime() noexcept = default;
+
+  [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime{0.0}; }
+  [[nodiscard]] static constexpr SimTime micros(double us) noexcept { return SimTime{us}; }
+  [[nodiscard]] static constexpr SimTime millis(double ms) noexcept { return SimTime{ms * 1e3}; }
+  [[nodiscard]] static constexpr SimTime seconds(double s) noexcept { return SimTime{s * 1e6}; }
+  [[nodiscard]] static constexpr SimTime max() noexcept {
+    return SimTime{std::numeric_limits<double>::max()};
+  }
+
+  [[nodiscard]] constexpr double micros() const noexcept { return us_; }
+  [[nodiscard]] constexpr double millis() const noexcept { return us_ / 1e3; }
+  [[nodiscard]] constexpr double seconds() const noexcept { return us_ / 1e6; }
+
+  constexpr SimTime& operator+=(SimTime rhs) noexcept {
+    us_ += rhs.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) noexcept {
+    us_ -= rhs.us_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+    return SimTime{a.us_ + b.us_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+    return SimTime{a.us_ - b.us_};
+  }
+  friend constexpr SimTime operator*(SimTime a, double k) noexcept { return SimTime{a.us_ * k}; }
+  friend constexpr SimTime operator*(double k, SimTime a) noexcept { return SimTime{a.us_ * k}; }
+  friend constexpr SimTime operator/(SimTime a, double k) noexcept { return SimTime{a.us_ / k}; }
+  friend constexpr double operator/(SimTime a, SimTime b) noexcept { return a.us_ / b.us_; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+private:
+  constexpr explicit SimTime(double us) noexcept : us_{us} {}
+  double us_ = 0.0;
+};
+
+[[nodiscard]] constexpr SimTime max(SimTime a, SimTime b) noexcept { return a < b ? b : a; }
+[[nodiscard]] constexpr SimTime min(SimTime a, SimTime b) noexcept { return a < b ? a : b; }
+
+}  // namespace ms::sim

@@ -1,0 +1,50 @@
+#include "trace/chrome_trace.hpp"
+
+#include <ostream>
+
+namespace ms::trace {
+
+namespace {
+
+/// JSON string escaping for the label field (labels are library-generated,
+/// but users may pass arbitrary kernel names).
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Timeline& timeline) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : timeline.spans()) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"ph\":\"X\",\"name\":";
+    write_escaped(os, s.label.empty() ? to_string(s.kind) : s.label);
+    os << ",\"cat\":\"" << to_string(s.kind) << "\"";
+    os << ",\"pid\":" << s.device << ",\"tid\":" << s.stream;
+    os << ",\"ts\":" << s.start.micros() << ",\"dur\":" << s.duration().micros();
+    os << ",\"args\":{\"partition\":" << s.partition << ",\"bytes\":" << s.bytes << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace ms::trace

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/timeline.hpp"
+
+namespace ms::trace {
+
+/// Export a timeline in the Chrome trace-event JSON format, loadable in
+/// chrome://tracing or https://ui.perfetto.dev. Devices map to processes,
+/// streams to threads, each span to one complete ("X") event with its kind
+/// as the category; virtual microseconds map 1:1 onto trace microseconds.
+void write_chrome_trace(std::ostream& os, const Timeline& timeline);
+
+}  // namespace ms::trace

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "sim/sim_config.hpp"
+#include "trace/timeline.hpp"
+
+namespace ms::trace {
+
+/// Power model of the platform — the paper's introduction motivates
+/// heterogeneous platforms by the "performance per Watt ratio", so the
+/// library can report it. Deliberately coarse: a card draws `idle_w`
+/// whenever powered, plus `core_active_w` per *busy* core and
+/// `link_active_w` while the DMA engine moves data. Defaults approximate a
+/// Xeon Phi 31SP (TDP 270 W over 57 cores; PCIe + GDDR I/O while streaming).
+struct PowerSpec {
+  double idle_w = 95.0;         ///< leakage + uncore + fans at idle
+  double core_active_w = 3.0;   ///< per busy core (57 x 3 + 95 ~ 266 W at full load)
+  double link_active_w = 12.0;  ///< DMA engine + PCIe PHY while transferring
+};
+
+/// Energy accounting of one run, derived from its timeline.
+struct EnergyReport {
+  double elapsed_ms = 0.0;
+  double idle_j = 0.0;     ///< baseline draw over the whole span
+  double compute_j = 0.0;  ///< active-core energy of kernel spans
+  double link_j = 0.0;     ///< DMA energy of transfer spans
+  [[nodiscard]] double total_j() const noexcept { return idle_j + compute_j + link_j; }
+  /// Performance per Watt for a given amount of work (e.g. flops):
+  /// work / total energy, in work-units per Joule.
+  [[nodiscard]] double per_joule(double work) const noexcept {
+    const double j = total_j();
+    return j > 0.0 ? work / j : 0.0;
+  }
+};
+
+/// Integrate a timeline against the power model. Kernel spans charge the
+/// cores of their partition (the card's usable cores divided by the number
+/// of partitions the timeline uses on that device); transfer spans charge
+/// the link. The interesting consequence: a streamed run burns the same
+/// active energy but amortizes the idle draw over a shorter span, so its
+/// performance-per-Watt advantage exceeds its speedup alone.
+[[nodiscard]] EnergyReport measure_energy(const Timeline& timeline,
+                                          const sim::CoprocessorSpec& device,
+                                          const PowerSpec& power = {});
+
+}  // namespace ms::trace

@@ -1,0 +1,116 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace ms::trace {
+
+const char* to_string(SpanKind k) noexcept {
+  switch (k) {
+    case SpanKind::H2D: return "H2D";
+    case SpanKind::D2H: return "D2H";
+    case SpanKind::Kernel: return "EXE";
+    case SpanKind::Alloc: return "ALLOC";
+    case SpanKind::Sync: return "SYNC";
+  }
+  return "?";
+}
+
+sim::SimTime Timeline::busy(SpanKind kind) const {
+  sim::SimTime total = sim::SimTime::zero();
+  for (const Span& s : spans_) {
+    if (s.kind == kind) total += s.duration();
+  }
+  return total;
+}
+
+sim::SimTime Timeline::first_start() const {
+  sim::SimTime t = sim::SimTime::max();
+  for (const Span& s : spans_) t = sim::min(t, s.start);
+  return spans_.empty() ? sim::SimTime::zero() : t;
+}
+
+sim::SimTime Timeline::last_end() const {
+  sim::SimTime t = sim::SimTime::zero();
+  for (const Span& s : spans_) t = sim::max(t, s.end);
+  return t;
+}
+
+sim::SimTime Timeline::overlap(SpanKind a, SpanKind b) const {
+  // Sweep over interval boundaries, tracking how many spans of each kind are
+  // active; accumulate segments where both counts are positive. When a == b
+  // the question becomes "how long were two or more such spans concurrently
+  // active" (kernel/kernel concurrency across partitions).
+  struct Edge {
+    sim::SimTime t;
+    int da;
+    int db;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(spans_.size() * 2);
+  for (const Span& s : spans_) {
+    const int ia = s.kind == a ? 1 : 0;
+    const int ib = s.kind == b ? 1 : 0;
+    if (ia == 0 && ib == 0) continue;
+    edges.push_back(Edge{s.start, ia, ib});
+    edges.push_back(Edge{s.end, -ia, -ib});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& x, const Edge& y) { return x.t < y.t; });
+  const int need_b = a == b ? 2 : 1;
+  sim::SimTime total = sim::SimTime::zero();
+  int na = 0;
+  int nb = 0;
+  sim::SimTime prev = sim::SimTime::zero();
+  for (const Edge& e : edges) {
+    if (na >= 1 && nb >= need_b) total += e.t - prev;
+    na += e.da;
+    nb += e.db;
+    prev = e.t;
+  }
+  return total;
+}
+
+std::size_t Timeline::count(SpanKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(spans_.begin(), spans_.end(), [kind](const Span& s) { return s.kind == kind; }));
+}
+
+void Timeline::render_gantt(std::ostream& os, int width) const {
+  if (spans_.empty()) {
+    os << "(empty timeline)\n";
+    return;
+  }
+  const sim::SimTime t0 = first_start();
+  const sim::SimTime t1 = last_end();
+  const sim::SimTime horizon = t1 - t0;
+  if (horizon <= sim::SimTime::zero()) {
+    os << "(degenerate timeline)\n";
+    return;
+  }
+  const char glyph[] = {'>', '<', '#', 'a', '|'};  // H2D, D2H, Kernel, Alloc, Sync
+
+  std::map<std::pair<int, int>, std::string> rows;  // (device, stream) -> lane
+  for (const Span& s : spans_) {
+    auto [it, inserted] =
+        rows.try_emplace({s.device, s.stream}, std::string(static_cast<std::size_t>(width), '.'));
+    std::string& lane = it->second;
+    auto clamp_col = [&](sim::SimTime t) {
+      const double f = (t - t0) / horizon;
+      int col = static_cast<int>(f * width);
+      return std::clamp(col, 0, width - 1);
+    };
+    const int c0 = clamp_col(s.start);
+    const int c1 = clamp_col(s.end);
+    for (int c = c0; c <= c1; ++c) {
+      lane[static_cast<std::size_t>(c)] = glyph[static_cast<std::size_t>(s.kind)];
+    }
+  }
+  os << "virtual span: " << horizon.millis() << " ms  ('>' H2D, '<' D2H, '#' kernel)\n";
+  for (const auto& [key, lane] : rows) {
+    os << "dev" << key.first << ".s" << key.second << " |" << lane << "|\n";
+  }
+}
+
+}  // namespace ms::trace

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace ms::trace {
+
+/// What a recorded span was doing. Mirrors the offload stages of the paper
+/// (H2D / EXE / D2H) plus runtime bookkeeping.
+enum class SpanKind : std::uint8_t { H2D, D2H, Kernel, Alloc, Sync };
+
+[[nodiscard]] const char* to_string(SpanKind k) noexcept;
+
+/// One completed action on the virtual timeline.
+struct Span {
+  SpanKind kind = SpanKind::Kernel;
+  int device = 0;
+  int stream = 0;
+  int partition = 0;
+  sim::SimTime start;
+  sim::SimTime end;
+  std::uint64_t bytes = 0;   ///< transfer payload (0 for kernels)
+  std::string label;
+
+  [[nodiscard]] sim::SimTime duration() const noexcept { return end - start; }
+};
+
+/// Append-only record of everything the scheduler dispatched, in completion
+/// order. Benches use it for utilization numbers; tests use it to *prove*
+/// pipelining (overlap) happened or was correctly prevented.
+class Timeline {
+public:
+  void record(Span s) { spans_.push_back(std::move(s)); }
+  void clear() noexcept { spans_.clear(); }
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept { return spans_; }
+  [[nodiscard]] std::size_t size() const noexcept { return spans_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return spans_.empty(); }
+
+  /// Sum of durations of all spans of `kind`.
+  [[nodiscard]] sim::SimTime busy(SpanKind kind) const;
+
+  /// Earliest start / latest end across all spans (zero when empty).
+  [[nodiscard]] sim::SimTime first_start() const;
+  [[nodiscard]] sim::SimTime last_end() const;
+
+  /// Total virtual time during which at least one span of kind `a` and at
+  /// least one span of kind `b` are simultaneously active. This is the
+  /// measurable definition of "data transfers overlap kernel execution".
+  [[nodiscard]] sim::SimTime overlap(SpanKind a, SpanKind b) const;
+
+  /// Count spans of a given kind.
+  [[nodiscard]] std::size_t count(SpanKind kind) const;
+
+  /// Render a proportional ASCII Gantt chart (one row per stream) for quick
+  /// eyeballing in example programs.
+  void render_gantt(std::ostream& os, int width = 100) const;
+
+private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace ms::trace

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <utility>
+
+#include "trace/timeline.hpp"
+
+namespace ms::trace {
+
+/// Resource-utilization summary of a run: how busy the (serialized) PCIe
+/// engine and each partition were over the run's span. This is the quickest
+/// way to see *why* a configuration performs as it does — a transfer-bound
+/// run shows link utilization near 1; an under-tiled run shows idle
+/// partitions.
+struct UtilizationReport {
+  double horizon_ms = 0.0;      ///< last end - first start
+  double link_busy_ms = 0.0;    ///< total H2D + D2H busy time
+  double kernel_busy_ms = 0.0;  ///< total kernel busy time (sum over partitions)
+  double link_utilization = 0.0;
+  /// (device, partition) -> kernel busy time [ms].
+  std::map<std::pair<int, int>, double> partition_busy_ms;
+  /// Mean of partition busy / horizon over the partitions that appear.
+  double mean_partition_utilization = 0.0;
+
+  /// Rough classification: is the link or the compute the bottleneck?
+  [[nodiscard]] bool transfer_bound() const noexcept {
+    return link_busy_ms > kernel_busy_ms / (partition_busy_ms.empty()
+                                                ? 1.0
+                                                : static_cast<double>(partition_busy_ms.size()));
+  }
+};
+
+/// Build the report from a recorded timeline.
+[[nodiscard]] UtilizationReport summarize(const Timeline& timeline);
+
+/// Human-readable dump (one line per partition).
+void print(std::ostream& os, const UtilizationReport& report);
+
+}  // namespace ms::trace

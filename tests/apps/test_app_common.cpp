@@ -1,0 +1,98 @@
+#include "apps/app_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ms::apps {
+namespace {
+
+TEST(AppCommon, FillUniformIsSeededAndBounded) {
+  std::vector<float> a(1000), b(1000);
+  fill_uniform(std::span<float>(a), 42, -2.0f, 3.0f);
+  fill_uniform(std::span<float>(b), 42, -2.0f, 3.0f);
+  EXPECT_EQ(a, b);  // same seed, same values
+  for (const float x : a) {
+    EXPECT_GE(x, -2.0f);
+    EXPECT_LT(x, 3.0f);
+  }
+  std::vector<float> c(1000);
+  fill_uniform(std::span<float>(c), 43, -2.0f, 3.0f);
+  EXPECT_NE(a, c);  // different seed, different values
+}
+
+TEST(AppCommon, FillUniformDoubleVariant) {
+  std::vector<double> a(100);
+  fill_uniform(std::span<double>(a), 7, 10.0, 20.0);
+  for (const double x : a) {
+    EXPECT_GE(x, 10.0);
+    EXPECT_LT(x, 20.0);
+  }
+}
+
+TEST(AppCommon, FillSpdProducesSymmetricDominantMatrix) {
+  const std::size_t n = 24;
+  std::vector<double> m(n * n);
+  fill_spd(std::span<double>(m), n, 5);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off_diag = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(m[i * n + j], m[j * n + i]);
+      if (i != j) off_diag += std::abs(m[i * n + j]);
+    }
+    // Diagonal dominance implies positive definiteness for symmetric m.
+    EXPECT_GT(m[i * n + i], off_diag);
+  }
+}
+
+TEST(AppCommon, ChecksumSumsSpans) {
+  const std::vector<float> v{1.0f, 2.0f, 3.5f};
+  EXPECT_DOUBLE_EQ(checksum(std::span<const float>(v)), 6.5);
+  const std::vector<double> d{-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(checksum(std::span<const double>(d)), 0.0);
+  EXPECT_DOUBLE_EQ(checksum(std::span<const double>{}), 0.0);
+}
+
+TEST(AppCommon, MeasureMsDropsTheWarmupIteration) {
+  rt::Context ctx(sim::SimConfig::phi_31sp());
+  int calls = 0;
+  sim::KernelWork w;
+  w.kind = sim::KernelKind::Streaming;
+  // First iteration does 4x the work; the protocol must not let it skew the
+  // mean.
+  const double ms = measure_ms(ctx, 3, [&](int i) {
+    ++calls;
+    w.elems = i == 0 ? 4e8 : 1e8;
+    ctx.stream(0).enqueue_kernel({"k", w, {}});
+  });
+  EXPECT_EQ(calls, 3);
+  // The mean of the two non-warm-up iterations: ~1e8-element kernels.
+  rt::Context probe(sim::SimConfig::phi_31sp());
+  const double one = measure_ms(probe, 1, [&](int) {
+    w.elems = 1e8;
+    probe.stream(0).enqueue_kernel({"k", w, {}});
+  });
+  EXPECT_NEAR(ms, one, 0.1);
+}
+
+TEST(AppCommon, MeasureMsSingleIterationUsesIt) {
+  rt::Context ctx(sim::SimConfig::phi_31sp());
+  sim::KernelWork w;
+  w.kind = sim::KernelKind::Streaming;
+  w.elems = 1e8;
+  const double ms = measure_ms(ctx, 1, [&](int) { ctx.stream(0).enqueue_kernel({"k", w, {}}); });
+  EXPECT_GT(ms, 1.0);
+}
+
+TEST(AppCommon, DefaultConfigMatchesPaperProtocolShape) {
+  const CommonConfig c;
+  EXPECT_TRUE(c.streamed);
+  EXPECT_TRUE(c.functional);
+  EXPECT_EQ(c.partitions, 4);
+  EXPECT_GE(c.protocol_iterations, 2);  // warm-up + measured
+}
+
+}  // namespace
+}  // namespace ms::apps

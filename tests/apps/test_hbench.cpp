@@ -1,0 +1,99 @@
+#include "apps/hbench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ms::apps {
+namespace {
+
+sim::SimConfig cfg() { return sim::SimConfig::phi_31sp(); }
+constexpr std::size_t kMiB = 1u << 20;
+
+TEST(HBench, Fig5CcMatchesPaperMagnitude) {
+  // 16 + 16 blocks of 1 MB, serialized: the paper reports 5.2 ms.
+  EXPECT_NEAR(HBench::transfer_pattern(cfg(), 16, 16, kMiB), 5.2, 0.6);
+}
+
+TEST(HBench, Fig5IdIsConstantOverSplit) {
+  // hd + dh = 16 fixed: the time must stay ~2.5 ms regardless of the split —
+  // the serialization signature.
+  const double t0 = HBench::transfer_pattern(cfg(), 16, 0, kMiB);
+  for (int hd = 0; hd <= 16; hd += 4) {
+    EXPECT_NEAR(HBench::transfer_pattern(cfg(), hd, 16 - hd, kMiB), t0, 0.15);
+  }
+  EXPECT_NEAR(t0, 2.5, 0.4);
+}
+
+TEST(HBench, Fig5IcGrowsLinearly) {
+  const double base = HBench::transfer_pattern(cfg(), 0, 16, kMiB);
+  const double half = HBench::transfer_pattern(cfg(), 8, 16, kMiB);
+  const double full = HBench::transfer_pattern(cfg(), 16, 16, kMiB);
+  EXPECT_NEAR(full - half, half - base, 0.05);
+  EXPECT_GT(half, base);
+}
+
+TEST(HBench, Fig5DuplexAblationWouldOverlap) {
+  sim::SimConfig duplex = cfg();
+  duplex.link.full_duplex = true;
+  const double serial = HBench::transfer_pattern(cfg(), 8, 8, kMiB);
+  const double overlapped = HBench::transfer_pattern(duplex, 8, 8, kMiB);
+  // On duplex hardware the 8/8 pattern takes about half the time.
+  EXPECT_NEAR(overlapped / serial, 0.5, 0.1);
+}
+
+TEST(HBench, Fig6KernelScalesWithIterationsDataDoesNot) {
+  const auto p20 = HBench::overlap(cfg(), 4u << 20, 20, 4, 4);
+  const auto p60 = HBench::overlap(cfg(), 4u << 20, 60, 4, 4);
+  EXPECT_NEAR(p20.data_ms, p60.data_ms, 0.01);
+  EXPECT_NEAR(p60.kernel_ms / p20.kernel_ms, 3.0, 0.2);
+}
+
+TEST(HBench, Fig6CrossoverNearFortyIterations) {
+  // Paper: data and kernel lines intersect at ~40 iterations.
+  const auto p = HBench::overlap(cfg(), 4u << 20, 40, 4, 4);
+  EXPECT_NEAR(p.kernel_ms / p.data_ms, 1.0, 0.25);
+}
+
+TEST(HBench, Fig6StreamedBeatsSerialButMissesIdeal) {
+  // Claim (2): overlap works, full overlap unattainable.
+  for (const int iters : {20, 40, 60}) {
+    const auto p = HBench::overlap(cfg(), 4u << 20, iters, 4, 4);
+    EXPECT_LT(p.streamed_ms, p.serial_ms) << iters;
+    EXPECT_GT(p.streamed_ms, p.ideal_ms) << iters;
+  }
+}
+
+TEST(HBench, Fig6SerialIsSumOfParts) {
+  const auto p = HBench::overlap(cfg(), 4u << 20, 40, 4, 4);
+  EXPECT_NEAR(p.serial_ms, p.data_ms + p.kernel_ms, 0.3);
+}
+
+TEST(HBench, Fig7RefBeatsAllStreamedConfigs) {
+  // Claim (3): without overlap, spatial sharing alone does not help.
+  const double ref = HBench::spatial_ref(cfg(), 100, 4u << 20);
+  for (const int p : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    EXPECT_GT(HBench::spatial(cfg(), p, 128, 100, 4u << 20), ref) << "P=" << p;
+  }
+}
+
+TEST(HBench, Fig7UshapeOverPartitions) {
+  // Time falls from P=1 to a mid-range minimum, then rises at P=128.
+  const double p1 = HBench::spatial(cfg(), 1, 128, 100, 4u << 20);
+  const double p8 = HBench::spatial(cfg(), 8, 128, 100, 4u << 20);
+  const double p128 = HBench::spatial(cfg(), 128, 128, 100, 4u << 20);
+  EXPECT_LT(p8, p1);
+  EXPECT_LT(p8, p128);
+  EXPECT_GT(p128, p1);  // management overhead dominates at the far end
+}
+
+class Fig6Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fig6Sweep, StreamedBoundedBySerialAndIdeal) {
+  const auto p = HBench::overlap(cfg(), 4u << 20, GetParam(), 4, 4);
+  EXPECT_GE(p.streamed_ms, p.ideal_ms * 0.99);
+  EXPECT_LE(p.streamed_ms, p.serial_ms * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Iterations, Fig6Sweep, ::testing::Values(20, 25, 30, 35, 40, 45, 50, 55, 60));
+
+}  // namespace
+}  // namespace ms::apps

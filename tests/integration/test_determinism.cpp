@@ -1,0 +1,112 @@
+// The whole point of a virtual-time simulator: identical inputs give
+// identical outputs — timings AND functional results — across repeated runs
+// and regardless of unrelated configuration.
+
+#include <gtest/gtest.h>
+
+#include "apps/cf_app.hpp"
+#include "apps/hotspot_app.hpp"
+#include "apps/kmeans_app.hpp"
+#include "apps/mm_app.hpp"
+#include "apps/nn_app.hpp"
+#include "apps/srad_app.hpp"
+
+namespace ms::apps {
+namespace {
+
+sim::SimConfig cfg() { return sim::SimConfig::phi_31sp(); }
+
+TEST(Determinism, MmIsBitStable) {
+  MmConfig mc;
+  mc.dim = 64;
+  mc.tile_grid = 2;
+  const auto a = MmApp::run(cfg(), mc);
+  const auto b = MmApp::run(cfg(), mc);
+  EXPECT_DOUBLE_EQ(a.ms, b.ms);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.timeline.size(), b.timeline.size());
+}
+
+TEST(Determinism, CfIsBitStable) {
+  CfConfig cc;
+  cc.dim = 48;
+  cc.tile = 16;
+  const auto a = CfApp::run(cfg(), cc);
+  const auto b = CfApp::run(cfg(), cc);
+  EXPECT_DOUBLE_EQ(a.ms, b.ms);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+}
+
+TEST(Determinism, KmeansIsBitStable) {
+  KmeansConfig kc;
+  kc.points = 500;
+  kc.dims = 4;
+  kc.clusters = 3;
+  kc.iterations = 3;
+  kc.tiles = 2;
+  const auto a = KmeansApp::run(cfg(), kc);
+  const auto b = KmeansApp::run(cfg(), kc);
+  EXPECT_DOUBLE_EQ(a.ms, b.ms);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+}
+
+TEST(Determinism, HotspotIsBitStable) {
+  HotspotConfig hc;
+  hc.rows = hc.cols = 32;
+  hc.tile_rows = hc.tile_cols = 16;
+  hc.steps = 3;
+  const auto a = HotspotApp::run(cfg(), hc);
+  const auto b = HotspotApp::run(cfg(), hc);
+  EXPECT_DOUBLE_EQ(a.ms, b.ms);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+}
+
+TEST(Determinism, NnIsBitStable) {
+  NnConfig nc;
+  nc.records = 1000;
+  nc.tiles = 4;
+  const auto a = NnApp::run(cfg(), nc);
+  const auto b = NnApp::run(cfg(), nc);
+  EXPECT_DOUBLE_EQ(a.ms, b.ms);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+}
+
+TEST(Determinism, SradIsBitStable) {
+  SradConfig sc;
+  sc.rows = sc.cols = 32;
+  sc.tile_rows = sc.tile_cols = 16;
+  sc.iterations = 2;
+  const auto a = SradApp::run(cfg(), sc);
+  const auto b = SradApp::run(cfg(), sc);
+  EXPECT_DOUBLE_EQ(a.ms, b.ms);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+}
+
+TEST(Determinism, TimingOnlyAndFunctionalAgreeOnVirtualTime) {
+  // The cost model must not depend on whether kernels actually execute.
+  MmConfig mc;
+  mc.dim = 96;
+  mc.tile_grid = 3;
+  mc.common.functional = true;
+  const auto fun = MmApp::run(cfg(), mc);
+  mc.common.functional = false;
+  const auto tim = MmApp::run(cfg(), mc);
+  EXPECT_DOUBLE_EQ(fun.ms, tim.ms);
+}
+
+TEST(Determinism, UnrelatedTracingDoesNotChangeTiming) {
+  // Tracing is observational only.
+  rt::Context with(cfg());
+  rt::Context without(cfg());
+  without.set_tracing(false);
+  const auto buf_a = with.create_virtual_buffer(1 << 20);
+  const auto buf_b = without.create_virtual_buffer(1 << 20);
+  with.stream(0).enqueue_h2d(buf_a, 0, 1 << 20);
+  without.stream(0).enqueue_h2d(buf_b, 0, 1 << 20);
+  with.synchronize();
+  without.synchronize();
+  EXPECT_DOUBLE_EQ((with.host_time() - without.host_time()).micros(), 0.0);
+}
+
+}  // namespace
+}  // namespace ms::apps

@@ -1,0 +1,135 @@
+// Integration tests pinning the paper's six concluding observations
+// (Section VII) at test-friendly scales. The bench harness reproduces the
+// full figures; these tests keep the *claims* from regressing.
+
+#include <gtest/gtest.h>
+
+#include "apps/cf_app.hpp"
+#include "apps/hbench.hpp"
+#include "apps/mm_app.hpp"
+#include "apps/nn_app.hpp"
+#include "rt/tuner.hpp"
+
+namespace ms {
+namespace {
+
+sim::SimConfig cfg() { return sim::SimConfig::phi_31sp(); }
+
+TEST(PaperClaims, C1_TransfersBothDirectionsSerialize) {
+  // "The data transfers in both directions on Phi cannot run concurrently."
+  const double one_way = apps::HBench::transfer_pattern(cfg(), 16, 0, 1 << 20);
+  const double both = apps::HBench::transfer_pattern(cfg(), 16, 16, 1 << 20);
+  EXPECT_NEAR(both / one_way, 2.0, 0.1);  // sum, not max
+}
+
+TEST(PaperClaims, C2_TransfersOverlapKernelsButNotFully) {
+  // "Data transferring on Phi overlaps kernel execution, but the full
+  // overlap seems not achievable."
+  const auto p = apps::HBench::overlap(cfg(), 4u << 20, 40, 4, 8);
+  EXPECT_LT(p.streamed_ms, 0.95 * p.serial_ms);
+  EXPECT_GT(p.streamed_ms, 1.05 * p.ideal_ms);
+}
+
+TEST(PaperClaims, C3_SpatialSharingAloneDoesNotHelp) {
+  // "Using multiple streams might not lead to a performance increase only in
+  // the presence of spatial resource sharing."
+  const double ref = apps::HBench::spatial_ref(cfg(), 100, 4u << 20);
+  const auto rec = rt::Tuner::partition_candidates(cfg().device);
+  for (const int p : rec) {
+    EXPECT_GT(apps::HBench::spatial(cfg(), p, 128, 100, 4u << 20), ref) << p;
+  }
+}
+
+TEST(PaperClaims, C4_OverlappableAppsBenefitAtScale) {
+  // "Being overlappable is a must for benefits" — MM (overlappable) gains
+  // from streams at paper scale (Fig. 8(a): +8.3% on average).
+  apps::MmConfig mc;
+  mc.dim = 6000;
+  mc.tile_grid = 4;
+  mc.common.partitions = 4;
+  mc.common.functional = false;
+  const auto streamed = apps::MmApp::run(cfg(), mc);
+  mc.common.streamed = false;
+  const auto baseline = apps::MmApp::run(cfg(), mc);
+  EXPECT_LT(streamed.ms, baseline.ms);
+  const double gain = (baseline.ms - streamed.ms) / baseline.ms;
+  EXPECT_GT(gain, 0.03);
+  EXPECT_LT(gain, 0.40);
+}
+
+TEST(PaperClaims, C4b_CfGainsMoreThanMm) {
+  // Fig. 8: CF improves ~24% vs MM ~8% — CF has more pipeline stages to
+  // overlap. Require CF's relative gain to exceed MM's.
+  apps::MmConfig mc;
+  mc.dim = 6000;
+  mc.tile_grid = 4;
+  mc.common.partitions = 4;
+  mc.common.functional = false;
+  const double mm_s = apps::MmApp::run(cfg(), mc).ms;
+  mc.common.streamed = false;
+  const double mm_b = apps::MmApp::run(cfg(), mc).ms;
+
+  apps::CfConfig cc;
+  cc.dim = 9600;
+  cc.tile = 960;
+  cc.common.partitions = 4;
+  cc.common.functional = false;
+  const double cf_s = apps::CfApp::run(cfg(), cc).ms;
+  cc.common.streamed = false;
+  const double cf_b = apps::CfApp::run(cfg(), cc).ms;
+
+  const double mm_gain = (mm_b - mm_s) / mm_b;
+  const double cf_gain = (cf_b - cf_s) / cf_b;
+  EXPECT_GT(cf_gain, mm_gain);
+}
+
+TEST(PaperClaims, C5_TaskAndResourceGranularityMatter) {
+  // "Both task granularity and resource granularity have a large impact."
+  // Sweep T for MM at fixed P: the spread between best and worst must be
+  // substantial (Fig. 10(a)).
+  apps::MmConfig mc;
+  mc.dim = 6000;
+  mc.common.partitions = 4;
+  mc.common.functional = false;
+  double best = 1e300;
+  double worst = 0.0;
+  for (const int g : {1, 2, 4, 10, 20}) {  // T = 1..400
+    mc.tile_grid = g;
+    const double ms = apps::MmApp::run(cfg(), mc).ms;
+    best = std::min(best, ms);
+    worst = std::max(worst, ms);
+  }
+  EXPECT_GT(worst / best, 1.15);
+}
+
+TEST(PaperClaims, C7_TwoMicsFasterButBelowProjection) {
+  // Section VI / Fig. 11: two cards beat one, but stay under 2x.
+  apps::CfConfig cc;
+  cc.dim = 4800;
+  cc.tile = 480;
+  cc.common.partitions = 4;
+  cc.common.functional = false;
+  const double one = apps::CfApp::run(sim::SimConfig::phi_31sp(), cc).ms;
+  const double two = apps::CfApp::run(sim::SimConfig::phi_31sp_x2(), cc).ms;
+  EXPECT_LT(two, one);            // faster
+  EXPECT_GT(two, one / 2.0);      // but below the 2x projection
+}
+
+TEST(PaperClaims, DivisorPartitionsBeatNeighborsForMm) {
+  // Fig. 9(a): P in {2,4,7,8,14,28,56} runs "much faster" than neighbours.
+  apps::MmConfig mc;
+  mc.dim = 6000;
+  mc.tile_grid = 10;  // plenty of tasks for any P
+  mc.common.functional = false;
+  auto run_p = [&](int p) {
+    mc.common.partitions = p;
+    return apps::MmApp::run(cfg(), mc).ms;
+  };
+  EXPECT_LT(run_p(28), run_p(27));
+  EXPECT_LT(run_p(28), run_p(29));
+  EXPECT_LT(run_p(14), run_p(13));
+  EXPECT_LT(run_p(14), run_p(15));
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,186 @@
+#include "kern/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace ms::kern {
+namespace {
+
+std::vector<double> spd_matrix(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  std::vector<double> a(n * n);
+  for (double& x : a) x = d(rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double avg = 0.5 * (a[i * n + j] + a[j * n + i]);
+      a[i * n + j] = avg;
+      a[j * n + i] = avg;
+    }
+    a[i * n + i] += static_cast<double>(n);
+  }
+  return a;
+}
+
+/// max |(L L^T)_{ij} - A_{ij}| over the lower triangle.
+double factor_residual(const std::vector<double>& l, const std::vector<double>& a,
+                       std::size_t n) {
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p <= j; ++p) s += l[i * n + p] * l[j * n + p];
+      err = std::max(err, std::abs(s - a[i * n + j]));
+    }
+  }
+  return err;
+}
+
+TEST(Cholesky, PotrfFactorsSpdMatrix) {
+  const std::size_t n = 24;
+  auto a = spd_matrix(n, 1);
+  auto l = a;
+  ASSERT_TRUE(potrf_tile(l.data(), n, n));
+  EXPECT_LT(factor_residual(l, a, n), 1e-9);
+}
+
+TEST(Cholesky, PotrfDiagonalIsPositive) {
+  const std::size_t n = 12;
+  auto l = spd_matrix(n, 2);
+  ASSERT_TRUE(potrf_tile(l.data(), n, n));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_GT(l[i * n + i], 0.0);
+}
+
+TEST(Cholesky, PotrfRejectsIndefiniteMatrix) {
+  std::vector<double> a{1.0, 2.0, 2.0, 1.0};  // eigenvalues 3, -1
+  EXPECT_FALSE(potrf_tile(a.data(), 2, 2));
+}
+
+TEST(Cholesky, PotrfOfIdentityIsIdentity) {
+  const std::size_t n = 5;
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] = 1.0;
+  ASSERT_TRUE(potrf_tile(a.data(), n, n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(a[i * n + j], i == j ? 1.0 : 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(Cholesky, TrsmSolvesAgainstFactor) {
+  // After X = B * L^{-T}, we must get X * L^T = B back.
+  const std::size_t m = 7, n = 9;
+  auto lsrc = spd_matrix(n, 3);
+  ASSERT_TRUE(potrf_tile(lsrc.data(), n, n));
+  std::mt19937 rng(4);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> b(m * n);
+  for (double& x : b) x = d(rng);
+  auto x = b;
+  trsm_tile(lsrc.data(), x.data(), m, n, n, n);
+  // Recompute X * L^T and compare to B.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p <= j; ++p) s += x[i * n + p] * lsrc[j * n + p];
+      EXPECT_NEAR(s, b[i * n + j], 1e-9);
+    }
+  }
+}
+
+TEST(Cholesky, SyrkUpdatesLowerTriangleOnly) {
+  const std::size_t n = 6, k = 4;
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> a(n * k), c(n * n, 10.0);
+  for (double& x : a) x = d(rng);
+  auto c0 = c;
+  syrk_tile(a.data(), c.data(), n, k, k, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j > i) {
+        EXPECT_DOUBLE_EQ(c[i * n + j], c0[i * n + j]);  // untouched
+      } else {
+        double s = 0.0;
+        for (std::size_t p = 0; p < k; ++p) s += a[i * k + p] * a[j * k + p];
+        EXPECT_NEAR(c[i * n + j], c0[i * n + j] - s, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Cholesky, GemmNtSubtractsProduct) {
+  const std::size_t m = 3, n = 4, k = 5;
+  std::mt19937 rng(6);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> a(m * k), b(n * k), c(m * n, 2.0);
+  for (double& x : a) x = d(rng);
+  for (double& x : b) x = d(rng);
+  gemm_nt_tile(a.data(), b.data(), c.data(), m, n, k, k, k, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += a[i * k + p] * b[j * k + p];
+      EXPECT_NEAR(c[i * n + j], 2.0 - s, 1e-12);
+    }
+  }
+}
+
+TEST(Cholesky, TiledFactorizationEqualsUnblocked) {
+  // Drive the four tile kernels by hand in right-looking order and compare
+  // against a whole-matrix potrf — this is exactly what the CF app
+  // schedules through streams.
+  const std::size_t n = 24, tb = 8, g = n / tb;
+  auto a = spd_matrix(n, 7);
+  auto tiled = a;
+  auto full = a;
+  ASSERT_TRUE(cholesky_reference(full.data(), n, n));
+
+  auto tile = [&](std::size_t i, std::size_t j) { return tiled.data() + (i * tb) * n + j * tb; };
+  for (std::size_t k = 0; k < g; ++k) {
+    ASSERT_TRUE(potrf_tile(tile(k, k), tb, n));
+    for (std::size_t i = k + 1; i < g; ++i) {
+      trsm_tile(tile(k, k), tile(i, k), tb, tb, n, n);
+    }
+    for (std::size_t j = k + 1; j < g; ++j) {
+      for (std::size_t i = j; i < g; ++i) {
+        if (i == j) {
+          syrk_tile(tile(j, k), tile(j, j), tb, tb, n, n);
+        } else {
+          gemm_nt_tile(tile(i, k), tile(j, k), tile(i, j), tb, tb, tb, n, n, n);
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(tiled[i * n + j], full[i * n + j], 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(Cholesky, FlopCountsArePositiveAndOrdered) {
+  EXPECT_DOUBLE_EQ(potrf_flops(8), 512.0 / 3.0);
+  EXPECT_DOUBLE_EQ(trsm_flops(8, 8), 512.0);
+  EXPECT_DOUBLE_EQ(syrk_flops(8, 8), 512.0);
+  EXPECT_DOUBLE_EQ(cholesky_flops(9600), 9600.0 * 9600.0 * 9600.0 / 3.0);
+}
+
+class CholeskySizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySizeSweep, ResidualSmall) {
+  const std::size_t n = GetParam();
+  auto a = spd_matrix(n, static_cast<unsigned>(n));
+  auto l = a;
+  ASSERT_TRUE(potrf_tile(l.data(), n, n));
+  EXPECT_LT(factor_residual(l, a, n), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeSweep, ::testing::Values(1, 2, 3, 8, 17, 32, 64));
+
+}  // namespace
+}  // namespace ms::kern

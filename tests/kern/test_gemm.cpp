@@ -1,0 +1,99 @@
+#include "kern/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace ms::kern {
+namespace {
+
+void fill(std::vector<double>& v, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (double& x : v) x = d(rng);
+}
+
+TEST(Gemm, MatchesReferenceSquare) {
+  const std::size_t n = 37;
+  std::vector<double> a(n * n), b(n * n), c1(n * n, 0.0), c2(n * n, 0.0);
+  fill(a, 1);
+  fill(b, 2);
+  gemm_tile(a.data(), b.data(), c1.data(), n, n, n, n, n, n);
+  gemm_reference(a.data(), b.data(), c2.data(), n, n, n, n, n, n);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(c1[i], c2[i], 1e-10);
+}
+
+TEST(Gemm, AccumulatesIntoC) {
+  const std::size_t n = 8;
+  std::vector<double> a(n * n), b(n * n), c(n * n, 1.0), expect(n * n, 1.0);
+  fill(a, 3);
+  fill(b, 4);
+  gemm_reference(a.data(), b.data(), expect.data(), n, n, n, n, n, n);
+  gemm_tile(a.data(), b.data(), c.data(), n, n, n, n, n, n);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(c[i], expect[i], 1e-12);
+}
+
+TEST(Gemm, IdentityLeavesMatrixUnchanged) {
+  const std::size_t n = 16;
+  std::vector<double> eye(n * n, 0.0), b(n * n), c(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) eye[i * n + i] = 1.0;
+  fill(b, 5);
+  gemm_tile(eye.data(), b.data(), c.data(), n, n, n, n, n, n);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(c[i], b[i], 1e-13);
+}
+
+TEST(Gemm, RectangularWithStrides) {
+  // C (3x5) += A (3x4) * B (4x5), embedded in larger leading dimensions.
+  const std::size_t m = 3, n = 5, k = 4, lda = 7, ldb = 9, ldc = 11;
+  std::vector<double> a(m * lda), b(k * ldb), c1(m * ldc, 0.5), c2(m * ldc, 0.5);
+  fill(a, 6);
+  fill(b, 7);
+  gemm_tile(a.data(), b.data(), c1.data(), m, n, k, lda, ldb, ldc);
+  gemm_reference(a.data(), b.data(), c2.data(), m, n, k, lda, ldb, ldc);
+  for (std::size_t i = 0; i < m * ldc; ++i) EXPECT_NEAR(c1[i], c2[i], 1e-12);
+}
+
+TEST(Gemm, NtAccMatchesExplicitTranspose) {
+  const std::size_t m = 6, n = 9, k = 13;
+  std::vector<double> a(m * k), bt(n * k), b(k * n), c1(m * n, 0.0), c2(m * n, 0.0);
+  fill(a, 8);
+  fill(bt, 9);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t p = 0; p < k; ++p) b[p * n + j] = bt[j * k + p];
+  }
+  gemm_nt_acc(a.data(), bt.data(), c1.data(), m, n, k, k, k, n);
+  gemm_reference(a.data(), b.data(), c2.data(), m, n, k, k, n, n);
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c1[i], c2[i], 1e-12);
+}
+
+TEST(Gemm, FlopCount) {
+  EXPECT_DOUBLE_EQ(gemm_flops(2, 3, 4), 48.0);
+  EXPECT_DOUBLE_EQ(gemm_flops(1000, 1000, 1000), 2e9);
+}
+
+TEST(Gemm, ZeroDimensionsAreNoOps) {
+  std::vector<double> a(4), b(4), c(4, 7.0);
+  gemm_tile(a.data(), b.data(), c.data(), 0, 2, 2, 2, 2, 2);
+  gemm_tile(a.data(), b.data(), c.data(), 2, 2, 0, 2, 2, 2);
+  for (const double x : c) EXPECT_DOUBLE_EQ(x, 7.0);
+}
+
+class GemmSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GemmSizeSweep, BlockedEqualsNaive) {
+  const std::size_t n = GetParam();
+  std::vector<double> a(n * n), b(n * n), c1(n * n, 0.0), c2(n * n, 0.0);
+  fill(a, static_cast<unsigned>(n));
+  fill(b, static_cast<unsigned>(n + 1));
+  gemm_tile(a.data(), b.data(), c1.data(), n, n, n, n, n, n);
+  gemm_reference(a.data(), b.data(), c2.data(), n, n, n, n, n, n);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n * n; ++i) max_err = std::max(max_err, std::abs(c1[i] - c2[i]));
+  EXPECT_LT(max_err, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmSizeSweep, ::testing::Values(1, 2, 5, 16, 63, 64, 65, 100));
+
+}  // namespace
+}  // namespace ms::kern

@@ -1,0 +1,103 @@
+#include "kern/hotspot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace ms::kern {
+namespace {
+
+TEST(Hotspot, UniformGridWithoutPowerRelaxesToAmbient) {
+  const std::size_t n = 8;
+  HotspotParams p;
+  std::vector<double> t(n * n, 100.0), power(n * n, 0.0), out(n * n, 0.0);
+  hotspot_step(t.data(), power.data(), out.data(), n, n, 0, n, 0, n, p);
+  // With a uniform grid the neighbour terms vanish; only the ambient pull
+  // remains, which moves every cell toward t_ambient (80).
+  for (const double v : out) {
+    EXPECT_LT(v, 100.0);
+    EXPECT_GT(v, p.t_ambient);
+  }
+}
+
+TEST(Hotspot, PowerHeatsTheCell) {
+  const std::size_t n = 4;
+  HotspotParams p;
+  std::vector<double> t(n * n, p.t_ambient), power(n * n, 0.0), out(n * n, 0.0);
+  power[5] = 100.0;
+  hotspot_step(t.data(), power.data(), out.data(), n, n, 0, n, 0, n, p);
+  EXPECT_GT(out[5], p.t_ambient);
+  EXPECT_DOUBLE_EQ(out[0], p.t_ambient);  // no power, already at ambient
+}
+
+TEST(Hotspot, HeatDiffusesToNeighbors) {
+  const std::size_t n = 5;
+  HotspotParams p;
+  std::vector<double> t(n * n, p.t_ambient), power(n * n, 0.0), out(n * n, 0.0);
+  t[12] = p.t_ambient + 50.0;  // hot center
+  hotspot_step(t.data(), power.data(), out.data(), n, n, 0, n, 0, n, p);
+  EXPECT_LT(out[12], t[12]);               // center cools
+  EXPECT_GT(out[11], p.t_ambient);         // west neighbour warms
+  EXPECT_GT(out[7], p.t_ambient);          // north neighbour warms
+  EXPECT_DOUBLE_EQ(out[0], p.t_ambient);   // far corner untouched
+}
+
+TEST(Hotspot, BandUpdateWritesOnlyItsRows) {
+  const std::size_t n = 6;
+  HotspotParams p;
+  std::vector<double> t(n * n, 90.0), power(n * n, 1.0), out(n * n, -1.0);
+  hotspot_step(t.data(), power.data(), out.data(), n, n, 2, 4, 0, n, p);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r >= 2 && r < 4) {
+        EXPECT_NE(out[r * n + c], -1.0);
+      } else {
+        EXPECT_DOUBLE_EQ(out[r * n + c], -1.0);
+      }
+    }
+  }
+}
+
+TEST(Hotspot, ColumnRangeWritesOnlyItsColumns) {
+  const std::size_t n = 6;
+  HotspotParams p;
+  std::vector<double> t(n * n, 90.0), power(n * n, 1.0), out(n * n, -1.0);
+  hotspot_step(t.data(), power.data(), out.data(), n, n, 0, n, 1, 3, p);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c >= 1 && c < 3) {
+        EXPECT_NE(out[r * n + c], -1.0);
+      } else {
+        EXPECT_DOUBLE_EQ(out[r * n + c], -1.0);
+      }
+    }
+  }
+}
+
+TEST(Hotspot, TiledStepEqualsWholeGridStep) {
+  // The tiling the streamed app uses must be bit-identical to the
+  // whole-grid kernel (tiles read the same input grid).
+  const std::size_t n = 16;
+  HotspotParams p;
+  std::vector<double> t(n * n), power(n * n), whole(n * n, 0.0), tiled(n * n, 0.0);
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> d(60.0, 100.0);
+  for (double& x : t) x = d(rng);
+  for (double& x : power) x = d(rng) * 0.01;
+  hotspot_step(t.data(), power.data(), whole.data(), n, n, 0, n, 0, n, p);
+  for (std::size_t r0 = 0; r0 < n; r0 += 4) {
+    for (std::size_t c0 = 0; c0 < n; c0 += 8) {
+      hotspot_step(t.data(), power.data(), tiled.data(), n, n, r0, r0 + 4, c0, c0 + 8, p);
+    }
+  }
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_DOUBLE_EQ(tiled[i], whole[i]);
+}
+
+TEST(Hotspot, WorkFormulas) {
+  EXPECT_DOUBLE_EQ(hotspot_elems(4, 8), 6.0 * 32);
+  EXPECT_DOUBLE_EQ(hotspot_flops(4, 8), 12.0 * 32);
+}
+
+}  // namespace
+}  // namespace ms::kern

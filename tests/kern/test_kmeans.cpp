@@ -1,0 +1,112 @@
+#include "kern/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace ms::kern {
+namespace {
+
+TEST(Kmeans, AssignsToNearestCentroid) {
+  // Two well-separated clusters in 1-D.
+  const std::vector<float> points{0.0f, 0.1f, 0.2f, 10.0f, 10.1f};
+  const std::vector<float> centroids{0.0f, 10.0f};
+  std::vector<std::int32_t> memb(5, -1);
+  kmeans_assign(points.data(), centroids.data(), memb.data(), 5, 1, 2);
+  EXPECT_EQ(memb, (std::vector<std::int32_t>{0, 0, 0, 1, 1}));
+}
+
+TEST(Kmeans, TieBreaksToLowestIndex) {
+  const std::vector<float> points{5.0f};
+  const std::vector<float> centroids{0.0f, 10.0f};  // equidistant
+  std::vector<std::int32_t> memb(1, -1);
+  kmeans_assign(points.data(), centroids.data(), memb.data(), 1, 1, 2);
+  EXPECT_EQ(memb[0], 0);
+}
+
+TEST(Kmeans, MultiDimensionalDistance) {
+  const std::vector<float> points{1.0f, 1.0f, /*p1*/ 4.0f, 5.0f};
+  const std::vector<float> centroids{0.0f, 0.0f, /*c1*/ 4.0f, 4.0f};
+  std::vector<std::int32_t> memb(2, -1);
+  kmeans_assign(points.data(), centroids.data(), memb.data(), 2, 2, 2);
+  EXPECT_EQ(memb[0], 0);
+  EXPECT_EQ(memb[1], 1);
+}
+
+TEST(Kmeans, AccumulateSumsAndCounts) {
+  const std::vector<float> points{1.0f, 2.0f, 3.0f, 5.0f};
+  const std::vector<std::int32_t> memb{0, 0, 1, 1};
+  std::vector<float> sums(2, 0.0f);
+  std::vector<std::int32_t> counts(2, 0);
+  kmeans_accumulate(points.data(), memb.data(), sums.data(), counts.data(), 4, 1, 2);
+  EXPECT_FLOAT_EQ(sums[0], 3.0f);
+  EXPECT_FLOAT_EQ(sums[1], 8.0f);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+}
+
+TEST(Kmeans, UpdateComputesMeans) {
+  const std::vector<float> sums{3.0f, 8.0f};
+  const std::vector<std::int32_t> counts{2, 4};
+  std::vector<float> cent(2, -1.0f);
+  kmeans_update(sums.data(), counts.data(), cent.data(), 2, 1);
+  EXPECT_FLOAT_EQ(cent[0], 1.5f);
+  EXPECT_FLOAT_EQ(cent[1], 2.0f);
+}
+
+TEST(Kmeans, EmptyClusterKeepsPreviousCentroid) {
+  const std::vector<float> sums{0.0f, 8.0f};
+  const std::vector<std::int32_t> counts{0, 4};
+  std::vector<float> cent{42.0f, 0.0f};
+  kmeans_update(sums.data(), counts.data(), cent.data(), 2, 1);
+  EXPECT_FLOAT_EQ(cent[0], 42.0f);
+  EXPECT_FLOAT_EQ(cent[1], 2.0f);
+}
+
+TEST(Kmeans, DeltaCountsChangedMemberships) {
+  const std::vector<std::int32_t> a{0, 1, 2, 3};
+  const std::vector<std::int32_t> b{0, 1, 3, 2};
+  EXPECT_EQ(kmeans_delta(a.data(), b.data(), 4), 2u);
+  EXPECT_EQ(kmeans_delta(a.data(), a.data(), 4), 0u);
+}
+
+TEST(Kmeans, LloydIterationConvergesOnSeparatedClusters) {
+  // Full algorithm loop built from the kernels: must find the two obvious
+  // cluster centers.
+  std::mt19937 rng(12);
+  std::normal_distribution<float> n1(0.0f, 0.1f), n2(8.0f, 0.1f);
+  const std::size_t n = 200, dims = 2, k = 2;
+  std::vector<float> pts(n * dims);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    pts[i * 2] = n1(rng);
+    pts[i * 2 + 1] = n1(rng);
+  }
+  for (std::size_t i = n / 2; i < n; ++i) {
+    pts[i * 2] = n2(rng);
+    pts[i * 2 + 1] = n2(rng);
+  }
+  std::vector<float> cent{pts[0], pts[1], pts[2], pts[3]};  // poor seeds, same cluster
+  // Nudge the second seed toward the other mass so the clusters can split.
+  cent[2] = 4.0f;
+  cent[3] = 4.0f;
+  std::vector<std::int32_t> memb(n, -1);
+  for (int it = 0; it < 20; ++it) {
+    kmeans_assign(pts.data(), cent.data(), memb.data(), n, dims, k);
+    std::vector<float> sums(k * dims, 0.0f);
+    std::vector<std::int32_t> counts(k, 0);
+    kmeans_accumulate(pts.data(), memb.data(), sums.data(), counts.data(), n, dims, k);
+    kmeans_update(sums.data(), counts.data(), cent.data(), k, dims);
+  }
+  // One centroid near (0,0), the other near (8,8), in either order.
+  const bool order_a = std::abs(cent[0]) < 0.5 && std::abs(cent[2] - 8.0f) < 0.5;
+  const bool order_b = std::abs(cent[2]) < 0.5 && std::abs(cent[0] - 8.0f) < 0.5;
+  EXPECT_TRUE(order_a || order_b) << cent[0] << "," << cent[2];
+}
+
+TEST(Kmeans, AssignFlopsFormula) {
+  EXPECT_DOUBLE_EQ(kmeans_assign_flops(10, 34, 8), 3.0 * 10 * 34 * 8);
+}
+
+}  // namespace
+}  // namespace ms::kern

@@ -1,0 +1,176 @@
+#include "kern/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace ms::kern {
+namespace {
+
+std::vector<double> dominant_matrix(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> a(n * n);
+  for (double& x : a) x = d(rng);
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] += static_cast<double>(n) + 1.0;
+  return a;
+}
+
+/// max |(L U)_{ij} - A_{ij}| with unit-diagonal L packed below the diagonal.
+double lu_residual(const std::vector<double>& lu, const std::vector<double>& a, std::size_t n) {
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      const std::size_t kmax = std::min(i, j);
+      for (std::size_t k = 0; k <= kmax; ++k) {
+        const double lik = k == i ? 1.0 : lu[i * n + k];
+        s += lik * lu[k * n + j];
+      }
+      err = std::max(err, std::abs(s - a[i * n + j]));
+    }
+  }
+  return err;
+}
+
+TEST(Lu, GetrfFactorsDominantMatrix) {
+  const std::size_t n = 20;
+  const auto a = dominant_matrix(n, 1);
+  auto lu = a;
+  ASSERT_TRUE(getrf_tile(lu.data(), n, n));
+  EXPECT_LT(lu_residual(lu, a, n), 1e-9);
+}
+
+TEST(Lu, GetrfRejectsSingularMatrix) {
+  std::vector<double> a{0.0, 1.0, 1.0, 0.0};  // zero pivot, no pivoting
+  EXPECT_FALSE(getrf_tile(a.data(), 2, 2));
+}
+
+TEST(Lu, IdentityIsFixedPoint) {
+  const std::size_t n = 6;
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] = 1.0;
+  ASSERT_TRUE(getrf_tile(a.data(), n, n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(a[i * n + j], i == j ? 1.0 : 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(Lu, TrsmLowerLeftSolves) {
+  // After B' = L^{-1} B we must have L B' = B.
+  const std::size_t n = 8, m = 5;
+  auto lu = dominant_matrix(n, 2);
+  ASSERT_TRUE(getrf_tile(lu.data(), n, n));
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> b(n * m);
+  for (double& x : b) x = d(rng);
+  auto x = b;
+  trsm_lower_left(lu.data(), x.data(), n, m, n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      double s = x[i * m + j];
+      for (std::size_t p = 0; p < i; ++p) s += lu[i * n + p] * x[p * m + j];
+      EXPECT_NEAR(s, b[i * m + j], 1e-9);
+    }
+  }
+}
+
+TEST(Lu, TrsmUpperRightSolves) {
+  // After B' = B U^{-1} we must have B' U = B.
+  const std::size_t n = 8, m = 5;
+  auto lu = dominant_matrix(n, 4);
+  ASSERT_TRUE(getrf_tile(lu.data(), n, n));
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> b(m * n);
+  for (double& x : b) x = d(rng);
+  auto x = b;
+  trsm_upper_right(lu.data(), x.data(), m, n, n, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p <= j; ++p) s += x[i * n + p] * lu[p * n + j];
+      EXPECT_NEAR(s, b[i * n + j], 1e-9);
+    }
+  }
+}
+
+TEST(Lu, GemmNnSubSubtractsProduct) {
+  const std::size_t m = 3, n = 4, k = 5;
+  std::mt19937 rng(6);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> a(m * k), b(k * n), c(m * n, 1.5);
+  for (double& x : a) x = d(rng);
+  for (double& x : b) x = d(rng);
+  gemm_nn_sub(a.data(), b.data(), c.data(), m, n, k, k, n, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += a[i * k + p] * b[p * n + j];
+      EXPECT_NEAR(c[i * n + j], 1.5 - s, 1e-12);
+    }
+  }
+}
+
+TEST(Lu, TiledFactorizationEqualsUnblocked) {
+  const std::size_t n = 24, tb = 8, g = n / tb;
+  auto a = dominant_matrix(n, 7);
+  auto tiled = a;
+  auto full = a;
+  ASSERT_TRUE(lu_reference(full.data(), n, n));
+
+  auto tile = [&](std::size_t i, std::size_t j) { return tiled.data() + (i * tb) * n + j * tb; };
+  for (std::size_t k = 0; k < g; ++k) {
+    ASSERT_TRUE(getrf_tile(tile(k, k), tb, n));
+    for (std::size_t j = k + 1; j < g; ++j) trsm_lower_left(tile(k, k), tile(k, j), tb, tb, n, n);
+    for (std::size_t i = k + 1; i < g; ++i) trsm_upper_right(tile(k, k), tile(i, k), tb, tb, n, n);
+    for (std::size_t i = k + 1; i < g; ++i) {
+      for (std::size_t j = k + 1; j < g; ++j) {
+        gemm_nn_sub(tile(i, k), tile(k, j), tile(i, j), tb, tb, tb, n, n, n);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(tiled[i], full[i], 1e-9);
+}
+
+TEST(Lu, SolveInvertsTheSystem) {
+  const std::size_t n = 16;
+  const auto a = dominant_matrix(n, 8);
+  auto lu = a;
+  ASSERT_TRUE(getrf_tile(lu.data(), n, n));
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = static_cast<double>(i) - 3.5;
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * x_true[j];
+  }
+  lu_solve(lu.data(), b.data(), n, n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-8);
+}
+
+TEST(Lu, FlopFormulas) {
+  EXPECT_DOUBLE_EQ(getrf_flops(6), 144.0);
+  EXPECT_DOUBLE_EQ(lu_trsm_flops(4, 8), 128.0);
+  // The paper's remark: LU costs ~2x CF's n^3/3 for the same n.
+  EXPECT_DOUBLE_EQ(getrf_flops(1000) / (1000.0 * 1000.0 * 1000.0 / 3.0), 2.0);
+}
+
+class LuSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuSizeSweep, ResidualSmall) {
+  const std::size_t n = GetParam();
+  const auto a = dominant_matrix(n, static_cast<unsigned>(n));
+  auto lu = a;
+  ASSERT_TRUE(getrf_tile(lu.data(), n, n));
+  EXPECT_LT(lu_residual(lu, a, n), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizeSweep, ::testing::Values(1, 2, 3, 8, 17, 32, 48));
+
+}  // namespace
+}  // namespace ms::kern

@@ -1,0 +1,110 @@
+#include "kern/nn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace ms::kern {
+namespace {
+
+std::vector<LatLng> random_records(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> d(0.0f, 180.0f);
+  std::vector<LatLng> r(n);
+  for (auto& x : r) x = LatLng{d(rng), d(rng)};
+  return r;
+}
+
+TEST(Nn, DistanceIsEuclidean) {
+  const std::vector<LatLng> rec{{3.0f, 4.0f}};
+  std::vector<float> dist(1);
+  nn_distances(rec.data(), dist.data(), 1, LatLng{0.0f, 0.0f});
+  EXPECT_FLOAT_EQ(dist[0], 5.0f);
+}
+
+TEST(Nn, DistanceToSelfIsZero) {
+  const LatLng t{40.0f, 120.0f};
+  const std::vector<LatLng> rec{t};
+  std::vector<float> dist(1, -1.0f);
+  nn_distances(rec.data(), dist.data(), 1, t);
+  EXPECT_FLOAT_EQ(dist[0], 0.0f);
+}
+
+TEST(Nn, MergeKeepsAscendingOrder) {
+  std::vector<Neighbor> best(3, Neighbor{std::numeric_limits<float>::max(), 0});
+  const std::vector<float> dist{5.0f, 1.0f, 3.0f, 4.0f, 0.5f};
+  nn_merge_topk(dist.data(), dist.size(), 100, best.data(), 3);
+  EXPECT_FLOAT_EQ(best[0].dist, 0.5f);
+  EXPECT_EQ(best[0].index, 104u);
+  EXPECT_FLOAT_EQ(best[1].dist, 1.0f);
+  EXPECT_EQ(best[1].index, 101u);
+  EXPECT_FLOAT_EQ(best[2].dist, 3.0f);
+  EXPECT_EQ(best[2].index, 102u);
+}
+
+TEST(Nn, MergeAcrossBlocksEqualsGlobalTopK) {
+  const auto rec = random_records(500, 9);
+  const LatLng target{40.0f, 120.0f};
+  std::vector<float> dist(rec.size());
+  nn_distances(rec.data(), dist.data(), rec.size(), target);
+
+  std::vector<Neighbor> best(10, Neighbor{std::numeric_limits<float>::max(), 0});
+  // Merge in 4 unequal chunks, as the tiled app does.
+  const std::size_t cuts[] = {0, 100, 137, 402, 500};
+  for (int i = 0; i < 4; ++i) {
+    nn_merge_topk(dist.data() + cuts[i], cuts[i + 1] - cuts[i], cuts[i], best.data(), 10);
+  }
+  const auto expect = nn_reference(rec.data(), rec.size(), target, 10);
+  ASSERT_EQ(expect.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_FLOAT_EQ(best[i].dist, expect[i].dist) << i;
+  }
+}
+
+TEST(Nn, ReferenceReturnsSortedUniqueIndices) {
+  const auto rec = random_records(64, 10);
+  const auto out = nn_reference(rec.data(), rec.size(), LatLng{10.0f, 10.0f}, 8);
+  ASSERT_EQ(out.size(), 8u);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].dist, out[i].dist);
+    EXPECT_NE(out[i - 1].index, out[i].index);
+  }
+}
+
+TEST(Nn, KLargerThanNClamps) {
+  const auto rec = random_records(3, 11);
+  const auto out = nn_reference(rec.data(), rec.size(), LatLng{0.0f, 0.0f}, 10);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Nn, MergeIgnoresWorseThanCurrentWorst) {
+  std::vector<Neighbor> best{{1.0f, 1}, {2.0f, 2}};
+  const std::vector<float> dist{9.0f};
+  nn_merge_topk(dist.data(), 1, 0, best.data(), 2);
+  EXPECT_FLOAT_EQ(best[1].dist, 2.0f);
+}
+
+class NnTopKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NnTopKSweep, BlockMergeMatchesReference) {
+  const std::size_t k = GetParam();
+  const auto rec = random_records(333, static_cast<unsigned>(k + 17));
+  const LatLng target{90.0f, 90.0f};
+  std::vector<float> dist(rec.size());
+  nn_distances(rec.data(), dist.data(), rec.size(), target);
+  std::vector<Neighbor> best(k, Neighbor{std::numeric_limits<float>::max(), 0});
+  for (std::size_t off = 0; off < rec.size(); off += 37) {
+    const std::size_t len = std::min<std::size_t>(37, rec.size() - off);
+    nn_merge_topk(dist.data() + off, len, off, best.data(), k);
+  }
+  const auto expect = nn_reference(rec.data(), rec.size(), target, k);
+  for (std::size_t i = 0; i < k; ++i) EXPECT_FLOAT_EQ(best[i].dist, expect[i].dist);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, NnTopKSweep, ::testing::Values(1, 2, 5, 10, 32));
+
+}  // namespace
+}  // namespace ms::kern

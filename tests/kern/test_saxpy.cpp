@@ -1,0 +1,40 @@
+#include "kern/saxpy_iter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ms::kern {
+namespace {
+
+TEST(SaxpyIter, ComputesAPlusAlpha) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f};
+  std::vector<float> b(3, 0.0f);
+  saxpy_iter(a.data(), b.data(), 3, 0.5f, 1);
+  EXPECT_FLOAT_EQ(b[0], 1.5f);
+  EXPECT_FLOAT_EQ(b[1], 2.5f);
+  EXPECT_FLOAT_EQ(b[2], 3.5f);
+}
+
+TEST(SaxpyIter, IsIdempotentAcrossIterations) {
+  const std::vector<float> a{1.0f, -4.0f};
+  std::vector<float> b1(2, 0.0f), b40(2, 0.0f);
+  saxpy_iter(a.data(), b1.data(), 2, 2.0f, 1);
+  saxpy_iter(a.data(), b40.data(), 2, 2.0f, 40);
+  EXPECT_EQ(b1, b40);
+}
+
+TEST(SaxpyIter, ZeroIterationsLeavesOutputUntouched) {
+  const std::vector<float> a{1.0f};
+  std::vector<float> b{9.0f};
+  saxpy_iter(a.data(), b.data(), 1, 1.0f, 0);
+  EXPECT_FLOAT_EQ(b[0], 9.0f);
+}
+
+TEST(SaxpyIter, ElemsFormulaScalesWithIterations) {
+  EXPECT_DOUBLE_EQ(saxpy_elems(100, 40), 4000.0);
+  EXPECT_DOUBLE_EQ(saxpy_elems(0, 40), 0.0);
+}
+
+}  // namespace
+}  // namespace ms::kern

@@ -1,0 +1,148 @@
+#include "kern/srad.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace ms::kern {
+namespace {
+
+std::vector<float> random_image(std::size_t cells, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> d(10.0f, 200.0f);
+  std::vector<float> img(cells);
+  for (float& x : img) x = d(rng);
+  return img;
+}
+
+TEST(Srad, ExtractIsExp) {
+  const std::vector<float> img{0.0f, 255.0f};
+  std::vector<float> j(2, 0.0f);
+  srad_extract(img.data(), j.data(), 0, 2);
+  EXPECT_FLOAT_EQ(j[0], 1.0f);
+  EXPECT_NEAR(j[1], std::exp(1.0f), 1e-5);
+}
+
+TEST(Srad, CompressInvertsExtract) {
+  const auto img = random_image(64, 1);
+  std::vector<float> j(64), back(64);
+  srad_extract(img.data(), j.data(), 0, 64);
+  srad_compress(j.data(), back.data(), 0, 64);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_NEAR(back[i], img[i], 1e-3);
+}
+
+TEST(Srad, StatisticsComputeSums) {
+  const std::vector<float> j{1.0f, 2.0f, 3.0f};
+  double s = 0.0, s2 = 0.0;
+  srad_statistics(j.data(), 0, 3, &s, &s2);
+  EXPECT_DOUBLE_EQ(s, 6.0);
+  EXPECT_DOUBLE_EQ(s2, 14.0);
+}
+
+TEST(Srad, StatisticsOverSubrange) {
+  const std::vector<float> j{1.0f, 2.0f, 3.0f, 4.0f};
+  double s = 0.0, s2 = 0.0;
+  srad_statistics(j.data(), 1, 3, &s, &s2);
+  EXPECT_DOUBLE_EQ(s, 5.0);
+  EXPECT_DOUBLE_EQ(s2, 13.0);
+}
+
+TEST(Srad, Q0sqrOfConstantImageIsZero) {
+  EXPECT_NEAR(srad_q0sqr(10.0, 10.0, 10), 0.0, 1e-12);  // all values 1.0
+}
+
+TEST(Srad, Q0sqrIsNormalizedVariance) {
+  // Two values {1, 3}: mean 2, var 1, q0^2 = 1/4.
+  EXPECT_DOUBLE_EQ(srad_q0sqr(4.0, 10.0, 2), 0.25);
+}
+
+TEST(Srad, CoeffInUnitRange) {
+  const std::size_t n = 12;
+  auto img = random_image(n * n, 2);
+  std::vector<float> j(n * n), c(n * n), dn(n * n), ds(n * n), dw(n * n), de(n * n);
+  srad_extract(img.data(), j.data(), 0, n * n);
+  double s = 0.0, s2 = 0.0;
+  srad_statistics(j.data(), 0, n * n, &s, &s2);
+  srad_coeff(j.data(), c.data(), dn.data(), ds.data(), dw.data(), de.data(), n, n, 0, n, 0, n,
+             srad_q0sqr(s, s2, n * n));
+  for (const float x : c) {
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LE(x, 1.0f);
+  }
+}
+
+TEST(Srad, ConstantImageIsFixedPoint) {
+  // On a constant J the gradients vanish, so the update must not change J.
+  const std::size_t n = 8;
+  std::vector<float> j(n * n, 2.0f), c(n * n), dn(n * n), ds(n * n), dw(n * n), de(n * n);
+  srad_coeff(j.data(), c.data(), dn.data(), ds.data(), dw.data(), de.data(), n, n, 0, n, 0, n,
+             0.5);
+  auto j2 = j;
+  srad_update(j2.data(), c.data(), dn.data(), ds.data(), dw.data(), de.data(), n, n, 0, n, 0, n,
+              0.5);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_FLOAT_EQ(j2[i], j[i]);
+}
+
+TEST(Srad, DiffusionSmoothsSpeckle) {
+  // A single bright pixel should lose intensity relative to its value.
+  const std::size_t n = 9;
+  std::vector<float> j(n * n, 1.0f);
+  j[40] = 3.0f;
+  std::vector<float> c(n * n), dn(n * n), ds(n * n), dw(n * n), de(n * n);
+  double s = 0.0, s2 = 0.0;
+  srad_statistics(j.data(), 0, n * n, &s, &s2);
+  srad_coeff(j.data(), c.data(), dn.data(), ds.data(), dw.data(), de.data(), n, n, 0, n, 0, n,
+             srad_q0sqr(s, s2, n * n));
+  srad_update(j.data(), c.data(), dn.data(), ds.data(), dw.data(), de.data(), n, n, 0, n, 0, n,
+              0.5);
+  EXPECT_LT(j[40], 3.0f);
+}
+
+TEST(Srad, TiledPipelineEqualsWholeImage) {
+  // One full iteration computed tile-by-tile must equal the whole-image
+  // computation (the streamed-vs-baseline functional equivalence at the
+  // kernel level).
+  const std::size_t n = 16;
+  auto img = random_image(n * n, 3);
+  std::vector<float> jw(n * n), jt(n * n);
+  srad_extract(img.data(), jw.data(), 0, n * n);
+  jt = jw;
+
+  auto run_iteration = [&](std::vector<float>& j, std::size_t tile) {
+    std::vector<float> c(n * n), dn(n * n), ds(n * n), dw(n * n), de(n * n);
+    double s = 0.0, s2 = 0.0;
+    for (std::size_t r0 = 0; r0 < n; r0 += tile) {
+      double ps = 0.0, ps2 = 0.0;
+      srad_statistics(j.data(), r0 * n, (r0 + tile) * n, &ps, &ps2);
+      s += ps;
+      s2 += ps2;
+    }
+    const double q0 = srad_q0sqr(s, s2, n * n);
+    for (std::size_t r0 = 0; r0 < n; r0 += tile) {
+      for (std::size_t c0 = 0; c0 < n; c0 += tile) {
+        srad_coeff(j.data(), c.data(), dn.data(), ds.data(), dw.data(), de.data(), n, n, r0,
+                   r0 + tile, c0, c0 + tile, q0);
+      }
+    }
+    for (std::size_t r0 = 0; r0 < n; r0 += tile) {
+      for (std::size_t c0 = 0; c0 < n; c0 += tile) {
+        srad_update(j.data(), c.data(), dn.data(), ds.data(), dw.data(), de.data(), n, n, r0,
+                    r0 + tile, c0, c0 + tile, 0.5);
+      }
+    }
+  };
+  run_iteration(jw, n);   // whole image
+  run_iteration(jt, 4);   // 4x4 tiles
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_FLOAT_EQ(jt[i], jw[i]);
+}
+
+TEST(Srad, WorkFormulas) {
+  EXPECT_DOUBLE_EQ(srad_coeff_flops(2, 8), 22.0 * 16);
+  EXPECT_DOUBLE_EQ(srad_update_flops(2, 8), 8.0 * 16);
+  EXPECT_DOUBLE_EQ(srad_elems(2, 8), 6.0 * 16);
+}
+
+}  // namespace
+}  // namespace ms::kern

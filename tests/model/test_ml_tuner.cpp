@@ -1,0 +1,106 @@
+#include "model/ml_tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/workload_sim.hpp"
+
+namespace ms::model {
+namespace {
+
+sim::SimConfig cfg() { return sim::SimConfig::phi_31sp(); }
+
+TEST(KnnTuner, FeaturesAreFiniteAndOrdered) {
+  const auto f = KnnTuner::featurize(KnnTuner::random_shape(42));
+  for (const double x : f) EXPECT_TRUE(std::isfinite(x));
+  // Balance feature lives in (0, 1).
+  EXPECT_GT(f[3], 0.0);
+  EXPECT_LT(f[3], 1.0);
+}
+
+TEST(KnnTuner, FeaturesSeparateComputeFromTransferBound) {
+  OffloadShape io;
+  io.h2d_bytes = 64.0 * (1 << 20);
+  io.d2h_bytes = 64.0 * (1 << 20);
+  io.work.elems = 1e3;
+  OffloadShape compute = io;
+  compute.work.elems = 1e10;
+  // The compute/transfer-balance feature must differ markedly.
+  EXPECT_GT(std::abs(KnnTuner::featurize(compute)[2] - KnnTuner::featurize(io)[2]), 5.0);
+}
+
+TEST(KnnTuner, PredictWithoutTrainingThrows) {
+  KnnTuner t(3);
+  EXPECT_THROW((void)t.predict(KnnTuner::random_shape(1)), std::logic_error);
+}
+
+TEST(KnnTuner, InvalidKThrows) {
+  EXPECT_THROW(KnnTuner{0}, std::invalid_argument);
+  EXPECT_THROW((void)KnnTuner::train(cfg(), 0, 1), std::invalid_argument);
+}
+
+TEST(KnnTuner, SingleSampleAlwaysPredictsThatLabel) {
+  KnnTuner t(3);
+  t.add_sample(KnnTuner::random_shape(7), {14, 28});
+  const auto c = t.predict(KnnTuner::random_shape(99));
+  EXPECT_EQ(c.partitions, 14);
+  EXPECT_EQ(c.tiles, 28);
+}
+
+TEST(KnnTuner, NearestNeighborWinsForExactMatch) {
+  KnnTuner t(1);
+  const auto a = KnnTuner::random_shape(1);
+  const auto b = KnnTuner::random_shape(2);
+  t.add_sample(a, {2, 4});
+  t.add_sample(b, {56, 112});
+  EXPECT_EQ(t.predict(a).partitions, 2);
+  EXPECT_EQ(t.predict(b).partitions, 56);
+}
+
+TEST(KnnTuner, RandomShapesAreReproducibleAndVaried) {
+  const auto a = KnnTuner::random_shape(5);
+  const auto b = KnnTuner::random_shape(5);
+  EXPECT_DOUBLE_EQ(a.h2d_bytes, b.h2d_bytes);
+  EXPECT_DOUBLE_EQ(a.work.flops + a.work.elems, b.work.flops + b.work.elems);
+  const auto c = KnnTuner::random_shape(6);
+  EXPECT_NE(a.h2d_bytes, c.h2d_bytes);
+}
+
+TEST(KnnTuner, TrainedTunerGivesNearOptimalConfigs) {
+  // Train on a small universe, evaluate on held-out shapes: the predicted
+  // configuration's simulated time must be within 40% of the true optimum
+  // found by exhausting the pruned space.
+  const auto tuner = KnnTuner::train(cfg(), /*samples=*/24, /*seed=*/1000, /*k=*/3);
+  EXPECT_EQ(tuner.size(), 24u);
+
+  rt::TunerOptions opt;
+  opt.max_multiplier = 6;
+  const auto space = rt::Tuner::pruned_space(cfg().device, opt);
+
+  double total_regret = 0.0;
+  const int eval = 6;
+  for (int i = 0; i < eval; ++i) {
+    const auto shape = KnnTuner::random_shape(5000 + static_cast<std::uint32_t>(i));
+    const auto predicted = tuner.predict(shape);
+    const double predicted_ms =
+        simulate_streamed_ms(cfg(), shape, predicted.partitions, predicted.tiles);
+    const auto best = rt::Tuner::search(space, [&](rt::Tuner::Candidate c) {
+      return simulate_streamed_ms(cfg(), shape, c.partitions, c.tiles);
+    });
+    EXPECT_LT(predicted_ms, best.best_metric * 1.4) << "shape " << i;
+    total_regret += predicted_ms / best.best_metric - 1.0;
+  }
+  EXPECT_LT(total_regret / eval, 0.2);  // <20% mean regret
+}
+
+TEST(KnnTuner, PredictionsComeFromPrunedSpace) {
+  const auto tuner = KnnTuner::train(cfg(), 8, 77, 3);
+  const auto c = tuner.predict(KnnTuner::random_shape(123));
+  EXPECT_EQ(56 % c.partitions, 0);        // divisor-set P
+  EXPECT_EQ(c.tiles % c.partitions, 0);   // T = m*P
+}
+
+}  // namespace
+}  // namespace ms::model

@@ -1,0 +1,77 @@
+#include "model/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/workload_sim.hpp"
+
+namespace ms::model {
+namespace {
+
+sim::SimConfig cfg() { return sim::SimConfig::phi_31sp(); }
+
+OffloadShape flop_shape(double flops, double mib_each_way) {
+  OffloadShape s;
+  s.h2d_bytes = mib_each_way * (1 << 20);
+  s.d2h_bytes = mib_each_way * (1 << 20);
+  s.work.kind = sim::KernelKind::Gemm;
+  s.work.flops = flops;
+  return s;
+}
+
+TEST(Roofline, MachineBalanceIsPeakOverBandwidth) {
+  const auto r = analyze_roofline(cfg(), flop_shape(1e9, 16));
+  // ~985 x 0.6 GFLOPS over ~6.87 GB/s => ~86 flops/byte.
+  EXPECT_NEAR(r.balance, 86.0, 3.0);
+  EXPECT_NEAR(r.compute_roof_gflops, 591.0, 5.0);
+}
+
+TEST(Roofline, LowIntensityIsPcieBound) {
+  // 1 GFLOP over 128 MiB round trip: ~7.5 flops/byte, far below balance.
+  const auto r = analyze_roofline(cfg(), flop_shape(1e9, 64));
+  EXPECT_TRUE(r.pcie_bound);
+  EXPECT_LT(r.intensity, r.balance);
+  EXPECT_LT(r.bound_gflops(), r.compute_roof_gflops);
+}
+
+TEST(Roofline, HighIntensityEscapesTheLink) {
+  // MM at D = 6000: 432 GFLOP over ~864 MB => ~500 flops/byte.
+  OffloadShape mm;
+  mm.h2d_bytes = 2.0 * 6000.0 * 6000.0 * 8.0;
+  mm.d2h_bytes = 6000.0 * 6000.0 * 8.0;
+  mm.work.kind = sim::KernelKind::Gemm;
+  mm.work.flops = 2.0 * 6000.0 * 6000.0 * 6000.0;
+  const auto r = analyze_roofline(cfg(), mm);
+  EXPECT_FALSE(r.pcie_bound);
+  EXPECT_GT(r.intensity, r.balance);
+  EXPECT_DOUBLE_EQ(r.bound_gflops(), r.compute_roof_gflops);
+}
+
+TEST(Roofline, ElementKernelsClassifyByTimeComparison) {
+  // The NN shape: tiny kernel vs big transfers -> PCIe bound.
+  OffloadShape nn;
+  nn.h2d_bytes = 40.0 * (1 << 20);
+  nn.d2h_bytes = 20.0 * (1 << 20);
+  nn.work.kind = sim::KernelKind::Streaming;
+  nn.work.elems = 1e6;
+  EXPECT_TRUE(analyze_roofline(cfg(), nn).pcie_bound);
+
+  OffloadShape heavy = nn;
+  heavy.work.elems = 1e10;
+  EXPECT_FALSE(analyze_roofline(cfg(), heavy).pcie_bound);
+}
+
+TEST(Roofline, BoundIsAnActualUpperBoundOnTheSimulator) {
+  // No (P, T) configuration may exceed the roofline's GFLOPS bound.
+  const auto shape = flop_shape(50e9, 32);
+  const auto roof = analyze_roofline(cfg(), shape);
+  for (const int p : {2, 4, 8, 28}) {
+    for (const int t : {4, 16, 64}) {
+      const double ms = simulate_streamed_ms(cfg(), shape, p, t);
+      const double gflops = shape.work.flops / (ms * 1e6);
+      EXPECT_LE(gflops, roof.bound_gflops() * 1.01) << p << "/" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ms::model

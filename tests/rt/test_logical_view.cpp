@@ -1,0 +1,93 @@
+#include "rt/logical_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "rt/context.hpp"
+
+namespace ms::rt {
+namespace {
+
+TEST(LogicalView, SingleCardLayoutMatchesFig3) {
+  Context ctx(sim::SimConfig::phi_31sp());
+  ctx.setup(4);
+  LogicalView view(ctx);
+  EXPECT_EQ(view.domain_count(), 1);
+  EXPECT_EQ(view.place_count(), 4);
+  EXPECT_EQ(view.stream_count(), 4);
+  for (int p = 0; p < 4; ++p) {
+    const auto& place = view.place(0, p);
+    EXPECT_EQ(place.partition.threads(), 56);
+    ASSERT_EQ(place.streams.size(), 1u);
+    EXPECT_EQ(place.streams[0]->partition(), p);
+  }
+}
+
+TEST(LogicalView, TwoCardsAreTwoDomains) {
+  Context ctx(sim::SimConfig::phi_31sp_x2());
+  ctx.setup(2);
+  LogicalView view(ctx);
+  EXPECT_EQ(view.domain_count(), 2);
+  EXPECT_EQ(view.place_count(), 4);
+  EXPECT_EQ(view.place(1, 1).streams[0]->device(), 1);
+}
+
+TEST(LogicalView, ExtraStreamsAppearOnTheirPlace) {
+  Context ctx(sim::SimConfig::phi_31sp());
+  ctx.setup(2);
+  ctx.add_stream(0, 0);
+  ctx.add_stream(0, 0);
+  LogicalView view(ctx);
+  EXPECT_EQ(view.place(0, 0).streams.size(), 3u);  // 1 compute + 2 extra
+  EXPECT_EQ(view.place(0, 1).streams.size(), 1u);
+  EXPECT_EQ(view.stream_count(), 4);
+}
+
+TEST(LogicalView, ExposesPhysicalGeometry) {
+  Context ctx(sim::SimConfig::phi_31sp());
+  ctx.setup(5);  // split cores
+  LogicalView view(ctx);
+  bool any_split = false;
+  for (int p = 0; p < 5; ++p) {
+    any_split |= view.place(0, p).partition.split_fraction > 0.0;
+  }
+  EXPECT_TRUE(any_split);
+}
+
+TEST(LogicalView, PlaceLookupValidatesRanges) {
+  Context ctx(sim::SimConfig::phi_31sp());
+  ctx.setup(2);
+  LogicalView view(ctx);
+  EXPECT_THROW((void)view.place(1, 0), std::out_of_range);
+  EXPECT_THROW((void)view.place(0, 2), std::out_of_range);
+  EXPECT_THROW((void)view.place(-1, 0), std::out_of_range);
+}
+
+TEST(LogicalView, DescribeRendersHierarchy) {
+  Context ctx(sim::SimConfig::phi_31sp());
+  ctx.setup(2);
+  ctx.add_stream(0, 1);
+  LogicalView view(ctx);
+  std::ostringstream os;
+  view.describe(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("domain 0"), std::string::npos);
+  EXPECT_NE(s.find("place 0"), std::string::npos);
+  EXPECT_NE(s.find("place 1"), std::string::npos);
+  EXPECT_NE(s.find("2 stream(s)"), std::string::npos);  // place 1 has the extra
+}
+
+TEST(LogicalView, SnapshotDoesNotTrackLaterChanges) {
+  Context ctx(sim::SimConfig::phi_31sp());
+  ctx.setup(2);
+  LogicalView before(ctx);
+  ctx.add_stream(0, 0);
+  EXPECT_EQ(before.stream_count(), 2);  // snapshot semantics
+  LogicalView after(ctx);
+  EXPECT_EQ(after.stream_count(), 3);
+}
+
+}  // namespace
+}  // namespace ms::rt

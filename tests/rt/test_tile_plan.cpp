@@ -1,0 +1,127 @@
+#include "rt/tile_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ms::rt {
+namespace {
+
+TEST(TilePlan, SplitEvenExactDivision) {
+  const auto r = split_even(100, 4);
+  ASSERT_EQ(r.size(), 4u);
+  for (const auto& x : r) EXPECT_EQ(x.size(), 25u);
+  EXPECT_EQ(r[0].begin, 0u);
+  EXPECT_EQ(r[3].end, 100u);
+}
+
+TEST(TilePlan, SplitEvenRemainderGoesToFirstParts) {
+  const auto r = split_even(10, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].size(), 4u);
+  EXPECT_EQ(r[1].size(), 3u);
+  EXPECT_EQ(r[2].size(), 3u);
+}
+
+TEST(TilePlan, SplitEvenIsContiguousAndComplete) {
+  const auto r = split_even(1234, 17);
+  std::size_t cursor = 0;
+  for (const auto& x : r) {
+    EXPECT_EQ(x.begin, cursor);
+    cursor = x.end;
+  }
+  EXPECT_EQ(cursor, 1234u);
+}
+
+TEST(TilePlan, SplitEvenInvalidArgsThrow) {
+  EXPECT_THROW(split_even(10, 0), std::invalid_argument);
+  EXPECT_THROW(split_even(3, 4), std::invalid_argument);
+}
+
+TEST(TilePlan, SplitChunksLastMayBeShort) {
+  const auto r = split_chunks(10, 4);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].size(), 4u);
+  EXPECT_EQ(r[1].size(), 4u);
+  EXPECT_EQ(r[2].size(), 2u);
+}
+
+TEST(TilePlan, SplitChunksExact) {
+  const auto r = split_chunks(8, 4);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[1].end, 8u);
+}
+
+TEST(TilePlan, SplitChunksZeroChunkThrows) {
+  EXPECT_THROW(split_chunks(8, 0), std::invalid_argument);
+}
+
+TEST(TilePlan, GridTilesCoverExactly) {
+  const auto tiles = grid_tiles(10, 12, 4, 5);
+  ASSERT_EQ(tiles.size(), 9u);  // 3 row bands x 3 col bands
+  std::size_t total = 0;
+  for (const auto& t : tiles) total += t.elems();
+  EXPECT_EQ(total, 120u);
+  // Edge tiles are clipped.
+  EXPECT_EQ(tiles.back().rows(), 2u);
+  EXPECT_EQ(tiles.back().cols(), 2u);
+}
+
+TEST(TilePlan, GridTilesRowMajorOrder) {
+  const auto tiles = grid_tiles(4, 4, 2, 2);
+  ASSERT_EQ(tiles.size(), 4u);
+  EXPECT_EQ(tiles[0].row_begin, 0u);
+  EXPECT_EQ(tiles[0].col_begin, 0u);
+  EXPECT_EQ(tiles[1].col_begin, 2u);
+  EXPECT_EQ(tiles[2].row_begin, 2u);
+}
+
+TEST(TilePlan, GridTilesSingleTile) {
+  const auto tiles = grid_tiles(8, 8, 8, 8);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0].elems(), 64u);
+}
+
+TEST(TilePlan, GridTilesInvalidThrow) {
+  EXPECT_THROW(grid_tiles(4, 4, 0, 2), std::invalid_argument);
+  EXPECT_THROW(grid_tiles(4, 4, 2, 0), std::invalid_argument);
+}
+
+TEST(TilePlan, RoundRobinCycles) {
+  const auto m = round_robin(7, 3);
+  EXPECT_EQ(m, (std::vector<int>{0, 1, 2, 0, 1, 2, 0}));
+}
+
+TEST(TilePlan, RoundRobinMoreStreamsThanTasks) {
+  const auto m = round_robin(2, 8);
+  EXPECT_EQ(m, (std::vector<int>{0, 1}));
+}
+
+TEST(TilePlan, RoundRobinInvalidThrows) {
+  EXPECT_THROW(round_robin(4, 0), std::invalid_argument);
+}
+
+class SplitEvenSweep : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SplitEvenSweep, BalancedWithinOne) {
+  const auto [total, parts] = GetParam();
+  const auto r = split_even(total, parts);
+  std::size_t lo = total, hi = 0, sum = 0;
+  for (const auto& x : r) {
+    lo = std::min(lo, x.size());
+    hi = std::max(hi, x.size());
+    sum += x.size();
+  }
+  EXPECT_LE(hi - lo, 1u);
+  EXPECT_EQ(sum, total);
+  EXPECT_EQ(r.size(), parts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SplitEvenSweep,
+                         ::testing::Values(std::pair{1UL, 1UL}, std::pair{56UL, 7UL},
+                                           std::pair{224UL, 13UL}, std::pair{1000000UL, 224UL},
+                                           std::pair{97UL, 96UL}));
+
+}  // namespace
+}  // namespace ms::rt

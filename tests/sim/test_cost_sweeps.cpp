@@ -1,0 +1,114 @@
+// Property sweeps over the cost model: invariants that must hold for every
+// kernel kind and every partition geometry, so calibration changes cannot
+// silently produce nonsense (negative durations, superlinear scaling, free
+// work).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/cost_model.hpp"
+
+namespace ms::sim {
+namespace {
+
+SimConfig cfg() { return SimConfig::phi_31sp(); }
+
+const KernelKind kAllKinds[] = {KernelKind::Generic,      KernelKind::Streaming,
+                                KernelKind::Gemm,         KernelKind::CholeskyTask,
+                                KernelKind::Stencil,      KernelKind::Reduction};
+
+class KindPartitionSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KindPartitionSweep, DurationsArePositiveAndFinite) {
+  const auto [kind_idx, partitions] = GetParam();
+  CostModel m(cfg());
+  PartitionTable table(cfg().device, partitions);
+  KernelWork w;
+  w.kind = kAllKinds[kind_idx];
+  w.flops = 1e8;
+  w.elems = 1e6;
+  for (int p = 0; p < partitions; ++p) {
+    const SimTime d = m.kernel_duration(w, table.view(p));
+    EXPECT_GT(d, SimTime::zero());
+    EXPECT_LT(d, SimTime::seconds(100.0));
+  }
+}
+
+TEST_P(KindPartitionSweep, HalfTheWorkIsNeverSlower) {
+  const auto [kind_idx, partitions] = GetParam();
+  CostModel m(cfg());
+  PartitionTable table(cfg().device, partitions);
+  KernelWork full;
+  full.kind = kAllKinds[kind_idx];
+  full.flops = 2e8;
+  full.elems = 2e6;
+  KernelWork half = full;
+  half.flops /= 2.0;
+  half.elems /= 2.0;
+  EXPECT_LE(m.compute_duration(half, table.view(0)), m.compute_duration(full, table.view(0)));
+}
+
+TEST_P(KindPartitionSweep, PerfectScalingIsAnUpperBound) {
+  // Splitting work over P partitions can at best divide the compute time by
+  // P (the ramps and contention only hurt): P x quarter-device duration of
+  // work/P >= whole-device duration of the full work.
+  const auto [kind_idx, partitions] = GetParam();
+  if (partitions == 1) return;
+  CostModel m(cfg());
+  PartitionTable table(cfg().device, partitions);
+  KernelWork full;
+  full.kind = kAllKinds[kind_idx];
+  full.flops = 1e10;
+  full.elems = 1e8;
+  KernelWork slice = full;
+  slice.flops /= partitions;
+  slice.elems /= partitions;
+  const SimTime whole = m.compute_duration(full, PartitionTable::whole_device(cfg().device));
+  const SimTime sliced = m.compute_duration(slice, table.view(0));
+  EXPECT_GE(sliced * 1.0001, whole / static_cast<double>(partitions));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, KindPartitionSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),
+                                            ::testing::Values(1, 2, 4, 7, 13, 28, 56)));
+
+TEST(CostSweeps, LaunchOverheadIsMonotoneInPartitions) {
+  CostModel m(cfg());
+  SimTime prev = SimTime::zero();
+  for (const int p : {1, 2, 4, 8, 16, 32, 56}) {
+    PartitionTable t(cfg().device, p);
+    const SimTime launch = m.launch_overhead(t.view(0));
+    EXPECT_GE(launch, prev);
+    prev = launch;
+  }
+}
+
+TEST(CostSweeps, AllocPerThreadIsMonotoneInPartitionWidth) {
+  CostModel m(cfg());
+  KernelWork w;
+  w.temp_alloc_bytes = 4096;
+  w.temp_alloc_per_thread = true;
+  SimTime prev = SimTime::max();
+  for (const int p : {1, 2, 4, 8, 16, 32, 56}) {
+    PartitionTable t(cfg().device, p);
+    const SimTime alloc = m.alloc_overhead(w, t.view(0));
+    EXPECT_LE(alloc, prev);  // narrower partitions allocate cheaper
+    prev = alloc;
+  }
+}
+
+TEST(CostSweeps, EffectiveGflopsNeverExceedsConfiguredCeiling) {
+  CostModel m(cfg());
+  const double ceiling = cfg().device.peak_gflops() * cfg().efficiency.max_flop_efficiency;
+  for (double flops = 1e6; flops <= 1e13; flops *= 10.0) {
+    KernelWork w;
+    w.kind = KernelKind::Gemm;
+    w.flops = flops;
+    EXPECT_LE(m.effective_gflops(w, PartitionTable::whole_device(cfg().device)), ceiling * 1.001)
+        << flops;
+  }
+}
+
+}  // namespace
+}  // namespace ms::sim

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "rt/tuner.hpp"
+#include "sim/partition.hpp"
+#include "sim/sim_config.hpp"
+
+namespace ms::sim {
+namespace {
+
+TEST(DevicePresets, Phi31spX2HasTwoCards) {
+  const auto c = SimConfig::phi_31sp_x2();
+  EXPECT_EQ(c.num_devices, 2);
+  EXPECT_EQ(c.device.cores, 57);
+}
+
+TEST(DevicePresets, Phi7120pSpec) {
+  const auto c = SimConfig::phi_7120p();
+  EXPECT_EQ(c.device.cores, 61);
+  EXPECT_EQ(c.device.usable_cores(), 60);
+  EXPECT_EQ(c.device.usable_threads(), 240);
+  EXPECT_GT(c.device.peak_gflops(), SimConfig::phi_31sp().device.peak_gflops());
+  EXPECT_GT(c.link.bandwidth_gib_s, SimConfig::phi_31sp().link.bandwidth_gib_s);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(DevicePresets, DivisorSetFollowsTheDevice) {
+  const auto set_31sp = rt::Tuner::partition_candidates(SimConfig::phi_31sp().device);
+  const auto set_7120 = rt::Tuner::partition_candidates(SimConfig::phi_7120p().device);
+  // 7 divides 56 but not 60; 5 divides 60 but not 56.
+  EXPECT_NE(std::find(set_31sp.begin(), set_31sp.end(), 7), set_31sp.end());
+  EXPECT_EQ(std::find(set_7120.begin(), set_7120.end(), 7), set_7120.end());
+  EXPECT_EQ(std::find(set_31sp.begin(), set_31sp.end(), 5), set_31sp.end());
+  EXPECT_NE(std::find(set_7120.begin(), set_7120.end(), 5), set_7120.end());
+}
+
+TEST(DevicePresets, CoreAlignmentMovesWithTheDevice) {
+  // P = 5 splits cores on the 31SP (224/5) but aligns on the 7120P (240/5 = 48 = 12 cores).
+  PartitionTable on_31sp(SimConfig::phi_31sp().device, 5);
+  PartitionTable on_7120(SimConfig::phi_7120p().device, 5);
+  EXPECT_FALSE(on_31sp.core_aligned());
+  EXPECT_TRUE(on_7120.core_aligned());
+
+  PartitionTable p7_31sp(SimConfig::phi_31sp().device, 7);
+  PartitionTable p7_7120(SimConfig::phi_7120p().device, 7);
+  EXPECT_TRUE(p7_31sp.core_aligned());
+  EXPECT_FALSE(p7_7120.core_aligned());
+}
+
+}  // namespace
+}  // namespace ms::sim

@@ -1,0 +1,126 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ms::sim {
+namespace {
+
+TEST(Engine, StartsIdleAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), SimTime::zero());
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(SimTime::micros(30), [&] { order.push_back(3); });
+  e.schedule_at(SimTime::micros(10), [&] { order.push_back(1); });
+  e.schedule_at(SimTime::micros(20), [&] { order.push_back(2); });
+  e.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), SimTime::micros(30));
+}
+
+TEST(Engine, SameTimestampIsFifoStable) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    e.schedule_at(SimTime::micros(5), [&order, i] { order.push_back(i); });
+  }
+  e.run_until_idle();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, CallbackMaySchedule) {
+  Engine e;
+  int hits = 0;
+  e.schedule_at(SimTime::micros(1), [&] {
+    ++hits;
+    e.schedule_after(SimTime::micros(1), [&] { ++hits; });
+  });
+  e.run_until_idle();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(e.now(), SimTime::micros(2));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(SimTime::micros(10), [] {});
+  e.run_until_idle();
+  EXPECT_THROW(e.schedule_at(SimTime::micros(5), [] {}), std::invalid_argument);
+}
+
+TEST(Engine, EmptyCallbackThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(SimTime::micros(1), Engine::Callback{}), std::invalid_argument);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(SimTime::micros(1), [&] { order.push_back(1); });
+  e.schedule_at(SimTime::micros(5), [&] { order.push_back(5); });
+  e.run_until(SimTime::micros(3));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(e.pending(), 1u);
+  e.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenDrained) {
+  Engine e;
+  e.run_until(SimTime::micros(100));
+  EXPECT_EQ(e.now(), SimTime::micros(100));
+}
+
+TEST(Engine, StepFiresExactlyOne) {
+  Engine e;
+  int hits = 0;
+  e.schedule_at(SimTime::micros(1), [&] { ++hits; });
+  e.schedule_at(SimTime::micros(2), [&] { ++hits; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(hits, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(hits, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, CountsFiredEvents) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(SimTime::micros(i + 1), [] {});
+  e.run_until_idle();
+  EXPECT_EQ(e.events_fired(), 7u);
+}
+
+TEST(Engine, ResetClearsEverything) {
+  Engine e;
+  e.schedule_at(SimTime::micros(50), [] {});
+  e.reset();
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(e.now(), SimTime::zero());
+  EXPECT_EQ(e.events_fired(), 0u);
+  // Scheduling at t=0 works again after reset.
+  int hits = 0;
+  e.schedule_at(SimTime::zero(), [&] { ++hits; });
+  e.run_until_idle();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Engine, InterleavedScheduleAndRunKeepsOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(SimTime::micros(10), [&] { order.push_back(10); });
+  e.run_until(SimTime::micros(4));
+  e.schedule_at(SimTime::micros(6), [&] { order.push_back(6); });
+  e.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{6, 10}));
+}
+
+}  // namespace
+}  // namespace ms::sim

@@ -1,0 +1,150 @@
+#include "sim/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace ms::sim {
+namespace {
+
+CoprocessorSpec phi() { return SimConfig::phi_31sp().device; }
+
+TEST(Partition, Phi31spSpecSanity) {
+  const auto s = phi();
+  EXPECT_EQ(s.cores, 57);
+  EXPECT_EQ(s.usable_cores(), 56);
+  EXPECT_EQ(s.usable_threads(), 224);
+  EXPECT_NEAR(s.peak_gflops(), 985.6, 0.1);
+}
+
+TEST(Partition, SinglePartitionIsWholeDevice) {
+  PartitionTable t(phi(), 1);
+  ASSERT_EQ(t.partitions(), 1);
+  EXPECT_EQ(t.view(0).threads(), 224);
+  EXPECT_EQ(t.view(0).cores_spanned, 56);
+  EXPECT_DOUBLE_EQ(t.view(0).split_fraction, 0.0);
+}
+
+TEST(Partition, WholeDeviceHelperMatchesSinglePartition) {
+  const auto v = PartitionTable::whole_device(phi());
+  EXPECT_EQ(v.threads(), 224);
+  EXPECT_EQ(v.cores_spanned, 56);
+  EXPECT_EQ(v.total_partitions, 1);
+}
+
+TEST(Partition, FourPartitionsAreCoreAligned) {
+  PartitionTable t(phi(), 4);
+  EXPECT_TRUE(t.core_aligned());
+  for (const auto& v : t.views()) {
+    EXPECT_EQ(v.threads(), 56);
+    EXPECT_EQ(v.cores_spanned, 14);
+    EXPECT_DOUBLE_EQ(v.split_fraction, 0.0);
+  }
+}
+
+TEST(Partition, DivisorSetIsExactlyCoreAligned) {
+  // The paper's recommended set {2,4,7,8,14,28,56}: P divides 56.
+  const std::set<int> divisors{1, 2, 4, 7, 8, 14, 28, 56};
+  for (int p = 1; p <= 56; ++p) {
+    PartitionTable t(phi(), p);
+    EXPECT_EQ(t.core_aligned(), divisors.contains(p)) << "P=" << p;
+  }
+}
+
+TEST(Partition, RecommendedCountsMatchPaperSet) {
+  const auto rec = PartitionTable::recommended_partition_counts(phi());
+  EXPECT_EQ(rec, (std::vector<int>{2, 4, 7, 8, 14, 28, 56}));
+}
+
+TEST(Partition, ThreePartitionsSplitCores) {
+  // 224/3 = 75,75,74: boundaries at 75 and 150 are mid-core.
+  PartitionTable t(phi(), 3);
+  EXPECT_FALSE(t.core_aligned());
+  EXPECT_GT(t.view(0).split_fraction, 0.0);
+  EXPECT_GT(t.view(1).split_fraction, 0.0);
+  EXPECT_GT(t.view(2).split_fraction, 0.0);
+}
+
+TEST(Partition, LastPartitionBoundaryAtDeviceEndIsNotSplit) {
+  // P=224: every partition is one thread; all interior boundaries are
+  // mid-core, so everything is split except... nothing: each 1-thread
+  // partition shares its core with 3 others.
+  PartitionTable t(phi(), 224);
+  for (const auto& v : t.views()) {
+    EXPECT_EQ(v.threads(), 1);
+    EXPECT_EQ(v.cores_spanned, 1);
+  }
+  // The very last thread of the device ends on a core boundary, but its core
+  // is still shared with the three preceding partitions.
+  EXPECT_GT(t.view(0).split_fraction, 0.0);
+}
+
+TEST(Partition, InvalidCountsThrow) {
+  EXPECT_THROW(PartitionTable(phi(), 0), std::invalid_argument);
+  EXPECT_THROW(PartitionTable(phi(), -1), std::invalid_argument);
+  EXPECT_THROW(PartitionTable(phi(), 225), std::invalid_argument);
+}
+
+// Properties over every legal partition count.
+class PartitionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionSweep, CoversAllThreadsExactlyOnce) {
+  const int p = GetParam();
+  PartitionTable t(phi(), p);
+  int cursor = 0;
+  int total = 0;
+  for (const auto& v : t.views()) {
+    EXPECT_EQ(v.thread_begin, cursor);
+    EXPECT_GT(v.threads(), 0);
+    cursor = v.thread_end;
+    total += v.threads();
+  }
+  EXPECT_EQ(total, 224);
+  EXPECT_EQ(cursor, 224);
+}
+
+TEST_P(PartitionSweep, SizesDifferByAtMostOne) {
+  const int p = GetParam();
+  PartitionTable t(phi(), p);
+  int lo = 1 << 30;
+  int hi = 0;
+  for (const auto& v : t.views()) {
+    lo = std::min(lo, v.threads());
+    hi = std::max(hi, v.threads());
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST_P(PartitionSweep, SplitFractionInUnitInterval) {
+  const int p = GetParam();
+  PartitionTable t(phi(), p);
+  for (const auto& v : t.views()) {
+    EXPECT_GE(v.split_fraction, 0.0);
+    EXPECT_LE(v.split_fraction, 1.0);
+    EXPECT_GE(v.cores_spanned, 1);
+    EXPECT_EQ(v.total_partitions, p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCounts, PartitionSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 14, 16, 28, 33, 37, 56, 100,
+                                           128, 223, 224));
+
+TEST(Partition, SplitLogicOnTinyDevice) {
+  // 2 cores x 4 threads: P=2 aligns (4+4); P=3 gives 3,3,2 with splits.
+  CoprocessorSpec tiny;
+  tiny.cores = 3;
+  tiny.reserved_cores = 1;
+  tiny.threads_per_core = 4;
+  PartitionTable aligned(tiny, 2);
+  EXPECT_TRUE(aligned.core_aligned());
+  PartitionTable split(tiny, 3);
+  EXPECT_FALSE(split.core_aligned());
+  // Middle partition [3,6) straddles cores 0 and 1 entirely.
+  EXPECT_DOUBLE_EQ(split.view(1).split_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace ms::sim

@@ -1,0 +1,61 @@
+#include "sim/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ms::sim {
+namespace {
+
+TEST(Platform, DefaultHasOneDevice) {
+  Platform p(SimConfig::phi_31sp());
+  EXPECT_EQ(p.device_count(), 1);
+  EXPECT_EQ(p.device(0).id(), 0);
+  EXPECT_EQ(p.now(), SimTime::zero());
+}
+
+TEST(Platform, TwoMicConfigHasTwoIndependentLinks) {
+  Platform p(SimConfig::phi_31sp_x2());
+  ASSERT_EQ(p.device_count(), 2);
+  // Links are independent resources: saturating one leaves the other free.
+  p.device(0).link().reserve(Direction::HostToDevice, SimTime::zero(), 1 << 20);
+  const auto g = p.device(1).link().reserve(Direction::HostToDevice, SimTime::zero(), 1 << 20);
+  EXPECT_EQ(g.start, SimTime::zero());
+}
+
+TEST(Platform, DevicesStartWithOnePartition) {
+  Platform p(SimConfig::phi_31sp());
+  EXPECT_EQ(p.device(0).partitions(), 1);
+  EXPECT_EQ(p.device(0).partition(0).threads(), 224);
+}
+
+TEST(Platform, RepartitionRebuildsResources) {
+  Platform p(SimConfig::phi_31sp());
+  p.device(0).set_partitions(4);
+  EXPECT_EQ(p.device(0).partitions(), 4);
+  // Each partition is its own FIFO server.
+  p.device(0).partition_resource(0).reserve(SimTime::zero(), SimTime::micros(10));
+  const auto g = p.device(0).partition_resource(1).reserve(SimTime::zero(), SimTime::micros(10));
+  EXPECT_EQ(g.start, SimTime::zero());
+}
+
+TEST(Platform, DeviceMemorySizedFromSpec) {
+  SimConfig cfg = SimConfig::phi_31sp();
+  cfg.device.memory_bytes = 4096;
+  Platform p(cfg);
+  EXPECT_EQ(p.device(0).memory().capacity(), 4096u);
+}
+
+TEST(Platform, InvalidConfigThrows) {
+  SimConfig cfg = SimConfig::phi_31sp();
+  cfg.num_devices = 0;
+  EXPECT_THROW(Platform{cfg}, std::invalid_argument);
+}
+
+TEST(Platform, CostModelReflectsConfig) {
+  Platform p(SimConfig::phi_31sp());
+  EXPECT_DOUBLE_EQ(p.cost().config().link.bandwidth_gib_s, 6.4);
+}
+
+}  // namespace
+}  // namespace ms::sim

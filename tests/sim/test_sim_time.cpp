@@ -1,0 +1,56 @@
+#include "sim/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ms::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_DOUBLE_EQ(t.micros(), 0.0);
+  EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(SimTime, UnitConversionsRoundTrip) {
+  const SimTime t = SimTime::millis(2.5);
+  EXPECT_DOUBLE_EQ(t.micros(), 2500.0);
+  EXPECT_DOUBLE_EQ(t.millis(), 2.5);
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0025);
+  EXPECT_EQ(SimTime::seconds(1.0), SimTime::micros(1e6));
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const SimTime a = SimTime::micros(10);
+  const SimTime b = SimTime::micros(4);
+  EXPECT_EQ(a + b, SimTime::micros(14));
+  EXPECT_EQ(a - b, SimTime::micros(6));
+  EXPECT_EQ(a * 2.0, SimTime::micros(20));
+  EXPECT_EQ(3.0 * b, SimTime::micros(12));
+  EXPECT_EQ(a / 2.0, SimTime::micros(5));
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_LT(b, a);
+  EXPECT_GE(a, a);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::micros(1);
+  t += SimTime::micros(2);
+  EXPECT_EQ(t, SimTime::micros(3));
+  t -= SimTime::micros(1);
+  EXPECT_EQ(t, SimTime::micros(2));
+}
+
+TEST(SimTime, MinMaxHelpers) {
+  const SimTime a = SimTime::micros(1);
+  const SimTime b = SimTime::micros(2);
+  EXPECT_EQ(max(a, b), b);
+  EXPECT_EQ(min(a, b), a);
+  EXPECT_EQ(max(a, a), a);
+}
+
+TEST(SimTime, MaxSentinelDominatesEverything) {
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1e12));
+}
+
+}  // namespace
+}  // namespace ms::sim

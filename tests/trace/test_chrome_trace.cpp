@@ -1,0 +1,75 @@
+#include "trace/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ms::trace {
+namespace {
+
+Span make(SpanKind k, double start_us, double end_us, int device, int stream,
+          const std::string& label) {
+  Span s;
+  s.kind = k;
+  s.device = device;
+  s.stream = stream;
+  s.start = sim::SimTime::micros(start_us);
+  s.end = sim::SimTime::micros(end_us);
+  s.label = label;
+  s.bytes = 1024;
+  return s;
+}
+
+TEST(ChromeTrace, EmptyTimelineIsValidJson) {
+  Timeline t;
+  std::ostringstream os;
+  write_chrome_trace(os, t);
+  EXPECT_EQ(os.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+}
+
+TEST(ChromeTrace, EmitsCompleteEvents) {
+  Timeline t;
+  t.record(make(SpanKind::H2D, 0, 150, 0, 2, "upload"));
+  std::ostringstream os;
+  write_chrome_trace(os, t);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"upload\""), std::string::npos);
+  EXPECT_NE(s.find("\"cat\":\"H2D\""), std::string::npos);
+  EXPECT_NE(s.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(s.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(s.find("\"ts\":0"), std::string::npos);
+  EXPECT_NE(s.find("\"dur\":150"), std::string::npos);
+  EXPECT_NE(s.find("\"bytes\":1024"), std::string::npos);
+}
+
+TEST(ChromeTrace, UnlabelledSpansUseKindName) {
+  Timeline t;
+  t.record(make(SpanKind::Kernel, 0, 10, 0, 0, ""));
+  std::ostringstream os;
+  write_chrome_trace(os, t);
+  EXPECT_NE(os.str().find("\"name\":\"EXE\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesSpecialCharactersInLabels) {
+  Timeline t;
+  t.record(make(SpanKind::Kernel, 0, 10, 0, 0, "a\"b\\c\nd"));
+  std::ostringstream os;
+  write_chrome_trace(os, t);
+  EXPECT_NE(os.str().find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(ChromeTrace, MultipleEventsAreCommaSeparated) {
+  Timeline t;
+  t.record(make(SpanKind::H2D, 0, 10, 0, 0, "x"));
+  t.record(make(SpanKind::D2H, 10, 20, 1, 3, "y"));
+  std::ostringstream os;
+  write_chrome_trace(os, t);
+  const std::string s = os.str();
+  // Two events, one separating comma between the closing and opening braces.
+  EXPECT_NE(s.find("},\n{"), std::string::npos);
+  EXPECT_NE(s.find("\"pid\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ms::trace

@@ -1,0 +1,66 @@
+#include "trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ms::trace {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStat, NegativeValues) {
+  RunningStat s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(MeanSkipFirst, DropsWarmup) {
+  EXPECT_DOUBLE_EQ(mean_skip_first({100.0, 10.0, 20.0}), 15.0);
+}
+
+TEST(MeanSkipFirst, TwoSamplesUsesSecond) {
+  EXPECT_DOUBLE_EQ(mean_skip_first({99.0, 7.0}), 7.0);
+}
+
+TEST(MeanSkipFirst, TooFewSamplesThrows) {
+  EXPECT_THROW((void)mean_skip_first({1.0}), std::invalid_argument);
+  EXPECT_THROW((void)mean_skip_first({}), std::invalid_argument);
+}
+
+TEST(Gflops, Conversion) {
+  EXPECT_DOUBLE_EQ(gflops(2e9, 1000.0), 2.0);  // 2 GFLOP in 1 s
+  EXPECT_DOUBLE_EQ(gflops(1e9, 1.0), 1000.0);  // 1 GFLOP in 1 ms
+  EXPECT_DOUBLE_EQ(gflops(1e9, 0.0), 0.0);     // guard
+}
+
+}  // namespace
+}  // namespace ms::trace

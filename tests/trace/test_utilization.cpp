@@ -1,0 +1,77 @@
+#include "trace/utilization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ms::trace {
+namespace {
+
+Span make(SpanKind k, double s, double e, int device = 0, int partition = 0) {
+  Span sp;
+  sp.kind = k;
+  sp.device = device;
+  sp.partition = partition;
+  sp.start = sim::SimTime::micros(s);
+  sp.end = sim::SimTime::micros(e);
+  return sp;
+}
+
+TEST(Utilization, EmptyTimeline) {
+  const auto r = summarize(Timeline{});
+  EXPECT_DOUBLE_EQ(r.horizon_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.link_utilization, 0.0);
+  EXPECT_TRUE(r.partition_busy_ms.empty());
+}
+
+TEST(Utilization, AggregatesByKindAndPartition) {
+  Timeline t;
+  t.record(make(SpanKind::H2D, 0, 1000));
+  t.record(make(SpanKind::D2H, 1000, 1500));
+  t.record(make(SpanKind::Kernel, 0, 2000, 0, 0));
+  t.record(make(SpanKind::Kernel, 0, 1000, 0, 1));
+  t.record(make(SpanKind::Sync, 2000, 2000));
+  const auto r = summarize(t);
+  EXPECT_DOUBLE_EQ(r.horizon_ms, 2.0);
+  EXPECT_DOUBLE_EQ(r.link_busy_ms, 1.5);
+  EXPECT_DOUBLE_EQ(r.kernel_busy_ms, 3.0);
+  EXPECT_DOUBLE_EQ(r.link_utilization, 0.75);
+  ASSERT_EQ(r.partition_busy_ms.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.partition_busy_ms.at({0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(r.partition_busy_ms.at({0, 1}), 1.0);
+  EXPECT_NEAR(r.mean_partition_utilization, 0.75, 1e-12);
+}
+
+TEST(Utilization, ClassifiesBottleneck) {
+  Timeline io;
+  io.record(make(SpanKind::H2D, 0, 1000));
+  io.record(make(SpanKind::Kernel, 0, 100, 0, 0));
+  EXPECT_TRUE(summarize(io).transfer_bound());
+
+  Timeline compute;
+  compute.record(make(SpanKind::H2D, 0, 100));
+  compute.record(make(SpanKind::Kernel, 0, 1000, 0, 0));
+  EXPECT_FALSE(summarize(compute).transfer_bound());
+}
+
+TEST(Utilization, MultiDevicePartitionsAreDistinct) {
+  Timeline t;
+  t.record(make(SpanKind::Kernel, 0, 100, 0, 0));
+  t.record(make(SpanKind::Kernel, 0, 100, 1, 0));
+  const auto r = summarize(t);
+  EXPECT_EQ(r.partition_busy_ms.size(), 2u);
+}
+
+TEST(Utilization, PrintsReadableSummary) {
+  Timeline t;
+  t.record(make(SpanKind::H2D, 0, 500));
+  t.record(make(SpanKind::Kernel, 0, 1000, 0, 3));
+  std::ostringstream os;
+  print(os, summarize(t));
+  const std::string s = os.str();
+  EXPECT_NE(s.find("link busy"), std::string::npos);
+  EXPECT_NE(s.find("dev0.p3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ms::trace

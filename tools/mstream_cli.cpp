@@ -1,0 +1,320 @@
+// mstream_cli — run any of the ported applications (or the hBench
+// microbenchmark) from the command line against a chosen simulated
+// platform, with optional Chrome-trace export.
+//
+//   mstream_cli app mm      --dim 6000 --tiles 144 --partitions 4
+//   mstream_cli app kmeans  --points 1120000 --tiles 56 --partitions 28 --iters 100
+//   mstream_cli app srad    --dim 10000 --tiles 400 --baseline
+//   mstream_cli app cf      --dim 9600 --tiles 144 --device 31sp-x2 --trace out.json
+//   mstream_cli hbench fig7 --partitions 8
+//   mstream_cli tune --h2d-mib 32 --d2h-mib 32 --gflop 5
+//   mstream_cli devices
+//
+// Flags:
+//   --device {31sp | 31sp-x2 | 7120p}   platform preset     (default 31sp)
+//   --partitions N                      resource granularity (default 4)
+//   --tiles N                           task granularity     (default 4; apps
+//                                       with 2-D tiles take a square count)
+//   --dim N / --points N / --iters N    workload size knobs
+//   --baseline                          run the non-streamed port instead
+//   --functional                        real data + kernels (slower, verifiable)
+//   --trace FILE                        write the Chrome trace JSON
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "apps/cf_app.hpp"
+#include "apps/hbench.hpp"
+#include "apps/hotspot_app.hpp"
+#include "apps/kmeans_app.hpp"
+#include "apps/mm_app.hpp"
+#include "apps/nn_app.hpp"
+#include "apps/srad_app.hpp"
+#include "model/analytic.hpp"
+#include "trace/chrome_trace.hpp"
+
+namespace {
+
+struct Cli {
+  std::string device = "31sp";
+  int partitions = 4;
+  int tiles = 4;
+  std::size_t dim = 0;
+  std::size_t points = 0;
+  int iters = 0;
+  bool baseline = false;
+  bool functional = false;
+  std::string trace_path;
+  double h2d_mib = 16.0;
+  double d2h_mib = 16.0;
+  double gflop = 0.0;
+  double gelem = 0.2;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mstream_cli app {mm|cf|kmeans|hotspot|nn|srad} [flags]\n"
+               "       mstream_cli hbench {fig5|fig6|fig7} [flags]\n"
+               "       mstream_cli tune [--h2d-mib N --d2h-mib N --gflop N | --gelem N]\n"
+               "       mstream_cli devices\n"
+               "flags: --device {31sp|31sp-x2|7120p} --partitions N --tiles N\n"
+               "       --dim N --points N --iters N --baseline --functional --trace FILE\n");
+  return 2;
+}
+
+bool parse_flags(int argc, char** argv, int first, Cli* cli) {
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--baseline") {
+      cli->baseline = true;
+    } else if (flag == "--functional") {
+      cli->functional = true;
+    } else if (flag == "--device") {
+      const char* v = next("--device");
+      if (v == nullptr) return false;
+      cli->device = v;
+    } else if (flag == "--trace") {
+      const char* v = next("--trace");
+      if (v == nullptr) return false;
+      cli->trace_path = v;
+    } else if (flag == "--partitions") {
+      const char* v = next("--partitions");
+      if (v == nullptr) return false;
+      cli->partitions = std::atoi(v);
+    } else if (flag == "--tiles") {
+      const char* v = next("--tiles");
+      if (v == nullptr) return false;
+      cli->tiles = std::atoi(v);
+    } else if (flag == "--dim") {
+      const char* v = next("--dim");
+      if (v == nullptr) return false;
+      cli->dim = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--points") {
+      const char* v = next("--points");
+      if (v == nullptr) return false;
+      cli->points = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--iters") {
+      const char* v = next("--iters");
+      if (v == nullptr) return false;
+      cli->iters = std::atoi(v);
+    } else if (flag == "--h2d-mib") {
+      const char* v = next("--h2d-mib");
+      if (v == nullptr) return false;
+      cli->h2d_mib = std::atof(v);
+    } else if (flag == "--d2h-mib") {
+      const char* v = next("--d2h-mib");
+      if (v == nullptr) return false;
+      cli->d2h_mib = std::atof(v);
+    } else if (flag == "--gflop") {
+      const char* v = next("--gflop");
+      if (v == nullptr) return false;
+      cli->gflop = std::atof(v);
+    } else if (flag == "--gelem") {
+      const char* v = next("--gelem");
+      if (v == nullptr) return false;
+      cli->gelem = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool pick_config(const Cli& cli, ms::sim::SimConfig* out) {
+  if (cli.device == "31sp") {
+    *out = ms::sim::SimConfig::phi_31sp();
+  } else if (cli.device == "31sp-x2") {
+    *out = ms::sim::SimConfig::phi_31sp_x2();
+  } else if (cli.device == "7120p") {
+    *out = ms::sim::SimConfig::phi_7120p();
+  } else {
+    std::fprintf(stderr, "unknown device: %s\n", cli.device.c_str());
+    return false;
+  }
+  return true;
+}
+
+ms::apps::CommonConfig common_from(const Cli& cli) {
+  ms::apps::CommonConfig c;
+  c.partitions = cli.partitions;
+  c.streamed = !cli.baseline;
+  c.functional = cli.functional;
+  c.protocol_iterations = 1;
+  return c;
+}
+
+int square_edge(int tiles) {
+  const int edge = static_cast<int>(std::lround(std::sqrt(static_cast<double>(tiles))));
+  return edge > 0 ? edge : 1;
+}
+
+void report(const ms::apps::AppResult& r, const Cli& cli) {
+  std::printf("virtual time: %.3f ms", r.ms);
+  if (r.gflops > 0.0) std::printf("  (%.1f GFLOPS)", r.gflops);
+  if (cli.functional) std::printf("  checksum %.6g", r.checksum);
+  std::printf("\n");
+  if (!cli.trace_path.empty()) {
+    std::ofstream f(cli.trace_path);
+    if (f) {
+      ms::trace::write_chrome_trace(f, r.timeline);
+      std::printf("trace: %zu spans -> %s\n", r.timeline.size(), cli.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", cli.trace_path.c_str());
+    }
+  }
+}
+
+int run_app(const std::string& name, const Cli& cli) {
+  ms::sim::SimConfig cfg;
+  if (!pick_config(cli, &cfg)) return 2;
+  const auto common = common_from(cli);
+
+  if (name == "mm") {
+    ms::apps::MmConfig mc;
+    mc.common = common;
+    mc.dim = cli.dim ? cli.dim : 6000;
+    mc.tile_grid = square_edge(cli.tiles);
+    report(ms::apps::MmApp::run(cfg, mc), cli);
+  } else if (name == "cf") {
+    ms::apps::CfConfig cc;
+    cc.common = common;
+    cc.dim = cli.dim ? cli.dim : 9600;
+    cc.tile = cc.dim / static_cast<std::size_t>(square_edge(cli.tiles));
+    report(ms::apps::CfApp::run(cfg, cc), cli);
+  } else if (name == "kmeans") {
+    ms::apps::KmeansConfig kc;
+    kc.common = common;
+    kc.points = cli.points ? cli.points : 1120000;
+    kc.tiles = cli.tiles;
+    kc.iterations = cli.iters ? cli.iters : 100;
+    report(ms::apps::KmeansApp::run(cfg, kc), cli);
+  } else if (name == "hotspot") {
+    ms::apps::HotspotConfig hc;
+    hc.common = common;
+    hc.rows = hc.cols = cli.dim ? cli.dim : 16384;
+    hc.tile_rows = hc.tile_cols = hc.rows / static_cast<std::size_t>(square_edge(cli.tiles));
+    hc.steps = cli.iters ? cli.iters : 50;
+    report(ms::apps::HotspotApp::run(cfg, hc), cli);
+  } else if (name == "nn") {
+    ms::apps::NnConfig nc;
+    nc.common = common;
+    nc.records = cli.points ? cli.points : 5242880;
+    nc.tiles = cli.tiles;
+    report(ms::apps::NnApp::run(cfg, nc), cli);
+  } else if (name == "srad") {
+    ms::apps::SradConfig sc;
+    sc.common = common;
+    sc.rows = sc.cols = cli.dim ? cli.dim : 10000;
+    sc.tile_rows = sc.tile_cols = sc.rows / static_cast<std::size_t>(square_edge(cli.tiles));
+    sc.iterations = cli.iters ? cli.iters : 100;
+    report(ms::apps::SradApp::run(cfg, sc), cli);
+  } else {
+    std::fprintf(stderr, "unknown app: %s\n", name.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int run_hbench(const std::string& mode, const Cli& cli) {
+  ms::sim::SimConfig cfg;
+  if (!pick_config(cli, &cfg)) return 2;
+
+  if (mode == "fig5") {
+    for (int hd = 0; hd <= 16; hd += 4) {
+      std::printf("hd=%2d dh=%2d -> %.3f ms\n", hd, 16 - hd,
+                  ms::apps::HBench::transfer_pattern(cfg, hd, 16 - hd, 1 << 20));
+    }
+  } else if (mode == "fig6") {
+    const int iters = cli.iters ? cli.iters : 40;
+    const auto p = ms::apps::HBench::overlap(cfg, 4u << 20, iters, cli.partitions,
+                                             cli.tiles > 1 ? cli.tiles : cli.partitions);
+    std::printf("data %.2f  kernel %.2f  serial %.2f  streamed %.2f  ideal %.2f [ms]\n",
+                p.data_ms, p.kernel_ms, p.serial_ms, p.streamed_ms, p.ideal_ms);
+  } else if (mode == "fig7") {
+    std::printf("P=%d: %.2f ms (ref %.2f ms)\n", cli.partitions,
+                ms::apps::HBench::spatial(cfg, cli.partitions, 128, 100, 4u << 20),
+                ms::apps::HBench::spatial_ref(cfg, 100, 4u << 20));
+  } else {
+    std::fprintf(stderr, "unknown hbench mode: %s\n", mode.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int run_tune(const Cli& cli) {
+  ms::sim::SimConfig cfg;
+  if (!pick_config(cli, &cfg)) return 2;
+
+  ms::model::OffloadShape shape;
+  shape.h2d_bytes = cli.h2d_mib * (1 << 20);
+  shape.d2h_bytes = cli.d2h_mib * (1 << 20);
+  if (cli.gflop > 0.0) {
+    shape.work.kind = ms::sim::KernelKind::Gemm;
+    shape.work.flops = cli.gflop * 1e9;
+  } else {
+    shape.work.kind = ms::sim::KernelKind::Streaming;
+    shape.work.elems = cli.gelem * 1e9;
+  }
+
+  const ms::model::AnalyticModel model(cfg);
+  const auto choice = model.best_configuration(shape, 16);
+  const auto pred = model.predict(shape, choice.partitions, choice.tiles);
+  std::printf("offload: %.1f MiB in, %.1f MiB out, %s-bound kernel\n", cli.h2d_mib, cli.d2h_mib,
+              pred.transfer_bound ? "transfer" : "compute");
+  std::printf("recommended: P = %d partitions, T = %d tiles\n", choice.partitions, choice.tiles);
+  std::printf("predicted: serial %.2f ms, streamed %.2f ms (%.2fx), ideal %.2f ms\n",
+              pred.serial_ms, pred.streamed_ms, pred.speedup, pred.ideal_ms);
+  return 0;
+}
+
+int list_devices() {
+  const std::map<std::string, ms::sim::SimConfig> devices{
+      {"31sp", ms::sim::SimConfig::phi_31sp()},
+      {"31sp-x2", ms::sim::SimConfig::phi_31sp_x2()},
+      {"7120p", ms::sim::SimConfig::phi_7120p()},
+  };
+  for (const auto& [name, cfg] : devices) {
+    std::printf("%-8s %d card(s), %d cores (%d usable, %d threads), %.0f GFLOPS peak, "
+                "%.1f GiB/s link\n",
+                name.c_str(), cfg.num_devices, cfg.device.cores, cfg.device.usable_cores(),
+                cfg.device.usable_threads(), cfg.device.peak_gflops(),
+                cfg.link.bandwidth_gib_s);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "devices") return list_devices();
+  if (argc < 3) return usage();
+
+  Cli cli;
+  const int flag_start = cmd == "tune" ? 2 : 3;
+  if (!parse_flags(argc, argv, flag_start, &cli)) return usage();
+
+  try {
+    if (cmd == "app") return run_app(argv[2], cli);
+    if (cmd == "hbench") return run_hbench(argv[2], cli);
+    if (cmd == "tune") return run_tune(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
