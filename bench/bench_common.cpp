@@ -1,10 +1,47 @@
 #include "bench_common.hpp"
 
+#include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 namespace ms::bench {
+
+namespace {
+
+/// Tables accumulated for --json. Written by a static destructor so every
+/// figure binary gets the file without threading a "finish" call through
+/// each main(); the sink outlives any table emitted from main's scope.
+struct JsonSink {
+  std::string path;
+  std::vector<std::pair<std::string, trace::Table>> tables;
+
+  ~JsonSink() {
+    if (path.empty()) return;
+    std::ofstream f(path);
+    if (!f) {
+      std::cerr << "warning: cannot write JSON to " << path << "\n";
+      return;
+    }
+    f << "{\n";
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      f << "  \"" << tables[i].first << "\": ";
+      tables[i].second.write_json(f);
+      f << (i + 1 < tables.size() ? ",\n" : "\n");
+    }
+    f << "}\n";
+  }
+};
+
+JsonSink& json_sink() {
+  static JsonSink sink;
+  return sink;
+}
+
+}  // namespace
 
 Options parse(int argc, char** argv) {
   Options opt;
@@ -13,8 +50,10 @@ Options parse(int argc, char** argv) {
       opt.quick = true;
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       opt.csv_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opt.json_file = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--quick] [--csv DIR]\n";
+      std::cerr << "usage: " << argv[0] << " [--quick] [--csv DIR] [--json FILE]\n";
     }
   }
   return opt;
@@ -25,6 +64,8 @@ void emit(const trace::Table& table, const std::string& name, const std::string&
   std::cout << "\n== " << heading << " ==\n";
   table.print(std::cout);
   if (!opt.csv_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.csv_dir, ec);  // best-effort; open reports failure
     std::ofstream f(opt.csv_dir + "/" + name + ".csv");
     if (f) {
       table.write_csv(f);
@@ -32,10 +73,14 @@ void emit(const trace::Table& table, const std::string& name, const std::string&
       std::cerr << "warning: cannot write CSV for " << name << " into " << opt.csv_dir << "\n";
     }
   }
+  if (!opt.json_file.empty()) {
+    json_sink().path = opt.json_file;
+    json_sink().tables.emplace_back(name, table);
+  }
 }
 
 std::string improvement_cell(double baseline, double streamed) {
-  if (baseline <= 0.0) return "n/a";
+  if (!(baseline > 0.0) || !std::isfinite(baseline) || !std::isfinite(streamed)) return "n/a";
   return trace::Table::num((baseline - streamed) / baseline * 100.0, 1) + "%";
 }
 

@@ -8,10 +8,13 @@ namespace ms::bench {
 
 /// Shared command-line handling for the figure-reproduction binaries.
 ///   --quick      shrink sweeps (CI smoke run; shapes still visible)
-///   --csv DIR    also write each table as DIR/<name>.csv
+///   --csv DIR    also write each table as DIR/<name>.csv (DIR is created)
+///   --json FILE  write every emitted table into one machine-readable JSON
+///                file keyed by table name (perf-trajectory tracking)
 struct Options {
   bool quick = false;
   std::string csv_dir;
+  std::string json_file;
 };
 
 Options parse(int argc, char** argv);

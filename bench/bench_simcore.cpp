@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "rt/context.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
@@ -69,4 +73,27 @@ BENCHMARK(BM_ContextSetup)->Arg(4)->Arg(56);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so `--json FILE` works like the figure benches: it maps onto
+// google-benchmark's JSON reporter (--benchmark_out), giving one consistent
+// flag across every perf-tracked binary.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (std::string_view(args[i]) == "--json") {
+      out_flag = std::string("--benchmark_out=") + args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+      break;
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

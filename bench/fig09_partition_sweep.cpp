@@ -6,6 +6,7 @@
 //   NN     — sharp drop until P = 4, flat after (transfer-bound)
 //   SRAD   — rise then fall, like Fig. 7
 
+#include <cstddef>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "apps/nn_app.hpp"
 #include "apps/srad_app.hpp"
 #include "bench_common.hpp"
+#include "sim/sweep.hpp"
 #include "trace/report.hpp"
 
 namespace {
@@ -40,9 +42,25 @@ std::vector<int> sweep_points(bool quick) {
   return p;
 }
 
-void chart_out(const std::string& title, const std::vector<int>& ps,
-               const std::vector<double>& ys) {
-  AsciiChart chart(title);
+/// Run one simulated point per partition count across the sweep pool. Each
+/// point builds its own Context, so points are independent; parallel_map's
+/// by-index result ordering keeps every virtual-time number identical to
+/// the former serial loop.
+template <typename Fn>
+std::vector<double> sweep(const std::vector<int>& ps, Fn&& point) {
+  return ms::sim::parallel_map<double>(ps.size(),
+                                       [&](std::size_t i) { return point(ps[i]); });
+}
+
+void panel(const std::string& name, const std::string& heading, const std::string& col,
+           const std::vector<int>& ps, const std::vector<double>& ys, int decimals,
+           const ms::bench::Options& opt) {
+  Table t({"P", col});
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    t.add_row({std::to_string(ps[i]), Table::num(ys[i], decimals)});
+  }
+  ms::bench::emit(t, name, heading, opt);
+  AsciiChart chart(heading + " shape");
   chart.add_series("measured", ys);
   chart.set_x_labels({std::to_string(ps.front()), std::to_string(ps.back())});
   chart.print(std::cout);
@@ -56,109 +74,79 @@ int main(int argc, char** argv) {
   const auto ps = sweep_points(opt.quick);
 
   // (a) MM: D = 6000, tile 500x500 (T = 144 tasks), GFLOPS.
-  {
-    Table t({"P", "GFLOPS"});
-    std::vector<double> ys;
-    for (const int p : ps) {
-      ms::apps::MmConfig mc;
-      mc.common = sweep_common(p);
-      mc.dim = 6000;
-      mc.tile_grid = 12;
-      const auto r = ms::apps::MmApp::run(cfg, mc);
-      t.add_row({std::to_string(p), Table::num(r.gflops, 1)});
-      ys.push_back(r.gflops);
-    }
-    ms::bench::emit(t, "fig09a_mm", "Fig. 9(a) MM GFLOPS vs P (peaks on divisors of 56)", opt);
-    chart_out("Fig. 9(a) shape", ps, ys);
-  }
+  panel("fig09a_mm", "Fig. 9(a) MM GFLOPS vs P (peaks on divisors of 56)", "GFLOPS", ps,
+        sweep(ps,
+              [&](int p) {
+                ms::apps::MmConfig mc;
+                mc.common = sweep_common(p);
+                mc.dim = 6000;
+                mc.tile_grid = 12;
+                return ms::apps::MmApp::run(cfg, mc).gflops;
+              }),
+        1, opt);
 
   // (b) CF: D = 9600, tile 800x800, GFLOPS.
-  {
-    Table t({"P", "GFLOPS"});
-    std::vector<double> ys;
-    for (const int p : ps) {
-      ms::apps::CfConfig cc;
-      cc.common = sweep_common(p);
-      cc.dim = 9600;
-      cc.tile = 800;
-      const auto r = ms::apps::CfApp::run(cfg, cc);
-      t.add_row({std::to_string(p), Table::num(r.gflops, 1)});
-      ys.push_back(r.gflops);
-    }
-    ms::bench::emit(t, "fig09b_cf", "Fig. 9(b) CF GFLOPS vs P (peaks on divisors of 56)", opt);
-    chart_out("Fig. 9(b) shape", ps, ys);
-  }
+  panel("fig09b_cf", "Fig. 9(b) CF GFLOPS vs P (peaks on divisors of 56)", "GFLOPS", ps,
+        sweep(ps,
+              [&](int p) {
+                ms::apps::CfConfig cc;
+                cc.common = sweep_common(p);
+                cc.dim = 9600;
+                cc.tile = 800;
+                return ms::apps::CfApp::run(cfg, cc).gflops;
+              }),
+        1, opt);
 
   // (c) Kmeans: D = 1120000 points, tile = 20000 points (56 tasks).
-  {
-    Table t({"P", "time [s]"});
-    std::vector<double> ys;
-    for (const int p : ps) {
-      ms::apps::KmeansConfig kc;
-      kc.common = sweep_common(p);
-      kc.points = 1120000;
-      kc.tiles = 56;
-      kc.iterations = 100;
-      const auto r = ms::apps::KmeansApp::run(cfg, kc);
-      t.add_row({std::to_string(p), Table::num(r.ms / 1e3, 3)});
-      ys.push_back(r.ms / 1e3);
-    }
-    ms::bench::emit(t, "fig09c_kmeans", "Fig. 9(c) Kmeans time vs P (monotone decline)", opt);
-    chart_out("Fig. 9(c) shape", ps, ys);
-  }
+  panel("fig09c_kmeans", "Fig. 9(c) Kmeans time vs P (monotone decline)", "time [s]", ps,
+        sweep(ps,
+              [&](int p) {
+                ms::apps::KmeansConfig kc;
+                kc.common = sweep_common(p);
+                kc.points = 1120000;
+                kc.tiles = 56;
+                kc.iterations = 100;
+                return ms::apps::KmeansApp::run(cfg, kc).ms / 1e3;
+              }),
+        3, opt);
 
   // (d) Hotspot: 16384^2 grid, 1024^2 tiles (256 tasks), 50 steps.
-  {
-    Table t({"P", "time [ms]"});
-    std::vector<double> ys;
-    for (const int p : ps) {
-      ms::apps::HotspotConfig hc;
-      hc.common = sweep_common(p);
-      hc.rows = hc.cols = 16384;
-      hc.tile_rows = hc.tile_cols = 1024;
-      hc.steps = 50;
-      const auto r = ms::apps::HotspotApp::run(cfg, hc);
-      t.add_row({std::to_string(p), Table::num(r.ms, 1)});
-      ys.push_back(r.ms);
-    }
-    ms::bench::emit(t, "fig09d_hotspot", "Fig. 9(d) Hotspot time vs P (dip near P=33..37)", opt);
-    chart_out("Fig. 9(d) shape", ps, ys);
-  }
+  panel("fig09d_hotspot", "Fig. 9(d) Hotspot time vs P (dip near P=33..37)", "time [ms]", ps,
+        sweep(ps,
+              [&](int p) {
+                ms::apps::HotspotConfig hc;
+                hc.common = sweep_common(p);
+                hc.rows = hc.cols = 16384;
+                hc.tile_rows = hc.tile_cols = 1024;
+                hc.steps = 50;
+                return ms::apps::HotspotApp::run(cfg, hc).ms;
+              }),
+        1, opt);
 
   // (e) NN: 5242880 records, 512 tasks.
-  {
-    Table t({"P", "time [ms]"});
-    std::vector<double> ys;
-    for (const int p : ps) {
-      ms::apps::NnConfig nc;
-      nc.common = sweep_common(p);
-      nc.records = 5242880;
-      nc.tiles = 512;
-      const auto r = ms::apps::NnApp::run(cfg, nc);
-      t.add_row({std::to_string(p), Table::num(r.ms, 1)});
-      ys.push_back(r.ms);
-    }
-    ms::bench::emit(t, "fig09e_nn", "Fig. 9(e) NN time vs P (drop until 4, then flat)", opt);
-    chart_out("Fig. 9(e) shape", ps, ys);
-  }
+  panel("fig09e_nn", "Fig. 9(e) NN time vs P (drop until 4, then flat)", "time [ms]", ps,
+        sweep(ps,
+              [&](int p) {
+                ms::apps::NnConfig nc;
+                nc.common = sweep_common(p);
+                nc.records = 5242880;
+                nc.tiles = 512;
+                return ms::apps::NnApp::run(cfg, nc).ms;
+              }),
+        1, opt);
 
   // (f) SRAD: 10000^2 image, 400 tiles, 100 iterations.
-  {
-    Table t({"P", "time [s]"});
-    std::vector<double> ys;
-    for (const int p : ps) {
-      ms::apps::SradConfig sc;
-      sc.common = sweep_common(p);
-      sc.rows = sc.cols = 10000;
-      sc.tile_rows = sc.tile_cols = 500;  // 20x20 tile grid
-      sc.iterations = 100;
-      const auto r = ms::apps::SradApp::run(cfg, sc);
-      t.add_row({std::to_string(p), Table::num(r.ms / 1e3, 3)});
-      ys.push_back(r.ms / 1e3);
-    }
-    ms::bench::emit(t, "fig09f_srad", "Fig. 9(f) SRAD time vs P (fall then rise)", opt);
-    chart_out("Fig. 9(f) shape", ps, ys);
-  }
+  panel("fig09f_srad", "Fig. 9(f) SRAD time vs P (fall then rise)", "time [s]", ps,
+        sweep(ps,
+              [&](int p) {
+                ms::apps::SradConfig sc;
+                sc.common = sweep_common(p);
+                sc.rows = sc.cols = 10000;
+                sc.tile_rows = sc.tile_cols = 500;  // 20x20 tile grid
+                sc.iterations = 100;
+                return ms::apps::SradApp::run(cfg, sc).ms / 1e3;
+              }),
+        3, opt);
 
   return 0;
 }

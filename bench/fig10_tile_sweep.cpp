@@ -3,6 +3,7 @@
 // performance rises to an optimum (T = 4 for most apps, T ~ 100 for CF,
 // T ~ 400 for SRAD) and then falls as per-task overheads dominate.
 
+#include <cstddef>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "apps/nn_app.hpp"
 #include "apps/srad_app.hpp"
 #include "bench_common.hpp"
+#include "sim/sweep.hpp"
 #include "trace/report.hpp"
 
 namespace {
@@ -30,11 +32,27 @@ ms::apps::CommonConfig sweep_common() {
   return c;
 }
 
-void chart_out(const std::string& title, const std::vector<std::string>& xs,
-               const std::vector<double>& ys) {
-  AsciiChart chart(title);
+/// Run one simulated point per tile-count across the sweep pool. Each point
+/// builds its own Context, so points are independent; parallel_map's
+/// by-index result ordering keeps every virtual-time number identical to
+/// the former serial loop.
+template <typename X, typename Fn>
+std::vector<double> sweep(const std::vector<X>& points, Fn&& point) {
+  return ms::sim::parallel_map<double>(points.size(),
+                                       [&](std::size_t i) { return point(points[i]); });
+}
+
+void panel(const std::string& name, const std::string& heading, const std::string& col,
+           const std::vector<std::string>& xs, const std::vector<double>& ys, int decimals,
+           const ms::bench::Options& opt) {
+  Table t({"T", col});
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    t.add_row({xs[i], Table::num(ys[i], decimals)});
+  }
+  ms::bench::emit(t, name, heading, opt);
+  AsciiChart chart(heading + " shape");
   chart.add_series("measured", ys);
-  chart.set_x_labels(xs);
+  chart.set_x_labels({xs.front(), xs.back()});
   chart.print(std::cout);
 }
 
@@ -46,134 +64,108 @@ int main(int argc, char** argv) {
 
   // (a) MM: D = 6000, T = g^2 for g in {1..20} (paper x-axis 1..400).
   {
-    Table t({"T", "GFLOPS"});
-    std::vector<double> ys;
-    std::vector<std::string> xs;
     const std::vector<int> grids =
         opt.quick ? std::vector<int>{1, 4, 12} : std::vector<int>{1, 2, 3, 4, 5, 6, 10, 12, 15, 20};
-    for (const int g : grids) {
+    std::vector<std::string> xs;
+    for (const int g : grids) xs.push_back(std::to_string(g * g));
+    const auto ys = sweep(grids, [&](int g) {
       ms::apps::MmConfig mc;
       mc.common = sweep_common();
       mc.dim = 6000;
       mc.tile_grid = g;
-      const auto r = ms::apps::MmApp::run(cfg, mc);
-      t.add_row({std::to_string(g * g), Table::num(r.gflops, 1)});
-      ys.push_back(r.gflops);
-      xs.push_back(std::to_string(g * g));
-    }
-    ms::bench::emit(t, "fig10a_mm", "Fig. 10(a) MM GFLOPS vs T (paper optimum T=4)", opt);
-    chart_out("Fig. 10(a) shape", {xs.front(), xs.back()}, ys);
+      return ms::apps::MmApp::run(cfg, mc).gflops;
+    });
+    panel("fig10a_mm", "Fig. 10(a) MM GFLOPS vs T (paper optimum T=4)", "GFLOPS", xs, ys, 1, opt);
   }
 
   // (b) CF: D = 9600, T = g^2 for g in {2..20}.
   {
-    Table t({"T", "GFLOPS"});
-    std::vector<double> ys;
-    std::vector<std::string> xs;
     const std::vector<int> grids =
-        opt.quick ? std::vector<int>{2, 10, 20} : std::vector<int>{2, 3, 4, 5, 6, 8, 10, 12, 15, 16, 20};
-    for (const int g : grids) {
+        opt.quick ? std::vector<int>{2, 10, 20}
+                  : std::vector<int>{2, 3, 4, 5, 6, 8, 10, 12, 15, 16, 20};
+    std::vector<std::string> xs;
+    for (const int g : grids) xs.push_back(std::to_string(g * g));
+    const auto ys = sweep(grids, [&](int g) {
       ms::apps::CfConfig cc;
       cc.common = sweep_common();
       cc.dim = 9600;
       cc.tile = 9600 / static_cast<std::size_t>(g);
-      const auto r = ms::apps::CfApp::run(cfg, cc);
-      t.add_row({std::to_string(g * g), Table::num(r.gflops, 1)});
-      ys.push_back(r.gflops);
-      xs.push_back(std::to_string(g * g));
-    }
-    ms::bench::emit(t, "fig10b_cf", "Fig. 10(b) CF GFLOPS vs T (paper optimum T=100)", opt);
-    chart_out("Fig. 10(b) shape", {xs.front(), xs.back()}, ys);
+      return ms::apps::CfApp::run(cfg, cc).gflops;
+    });
+    panel("fig10b_cf", "Fig. 10(b) CF GFLOPS vs T (paper optimum T=100)", "GFLOPS", xs, ys, 1,
+          opt);
   }
 
   // (c) Kmeans: D = 1120000, T in {1..224}.
   {
-    Table t({"T", "time [s]"});
-    std::vector<double> ys;
+    const std::vector<int> tiles = opt.quick
+                                       ? std::vector<int>{1, 8, 224}
+                                       : std::vector<int>{1, 2, 4, 8, 16, 20, 28, 32, 56, 112, 224};
     std::vector<std::string> xs;
-    const std::vector<int> tiles =
-        opt.quick ? std::vector<int>{1, 8, 224}
-                  : std::vector<int>{1, 2, 4, 8, 16, 20, 28, 32, 56, 112, 224};
-    for (const int tcount : tiles) {
+    for (const int tcount : tiles) xs.push_back(std::to_string(tcount));
+    const auto ys = sweep(tiles, [&](int tcount) {
       ms::apps::KmeansConfig kc;
       kc.common = sweep_common();
       kc.points = 1120000;
       kc.tiles = tcount;
       kc.iterations = 100;
-      const auto r = ms::apps::KmeansApp::run(cfg, kc);
-      t.add_row({std::to_string(tcount), Table::num(r.ms / 1e3, 3)});
-      ys.push_back(r.ms / 1e3);
-      xs.push_back(std::to_string(tcount));
-    }
-    ms::bench::emit(t, "fig10c_kmeans", "Fig. 10(c) Kmeans time vs T", opt);
-    chart_out("Fig. 10(c) shape", {xs.front(), xs.back()}, ys);
+      return ms::apps::KmeansApp::run(cfg, kc).ms / 1e3;
+    });
+    panel("fig10c_kmeans", "Fig. 10(c) Kmeans time vs T", "time [s]", xs, ys, 3, opt);
   }
 
   // (d) Hotspot: 16384^2, T = g^2 for g in {1..256} (paper 1^2..256^2).
   {
-    Table t({"T", "time [s]"});
-    std::vector<double> ys;
-    std::vector<std::string> xs;
     const std::vector<std::size_t> grids =
         opt.quick ? std::vector<std::size_t>{1, 16, 64}
                   : std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64, 128, 256};
-    for (const std::size_t g : grids) {
+    std::vector<std::string> xs;
+    for (const std::size_t g : grids) xs.push_back(std::to_string(g) + "^2");
+    const auto ys = sweep(grids, [&](std::size_t g) {
       ms::apps::HotspotConfig hc;
       hc.common = sweep_common();
       hc.rows = hc.cols = 16384;
       hc.tile_rows = hc.tile_cols = 16384 / g;
       hc.steps = 50;
-      const auto r = ms::apps::HotspotApp::run(cfg, hc);
-      t.add_row({std::to_string(g) + "^2", Table::num(r.ms / 1e3, 3)});
-      ys.push_back(r.ms / 1e3);
-      xs.push_back(std::to_string(g) + "^2");
-    }
-    ms::bench::emit(t, "fig10d_hotspot", "Fig. 10(d) Hotspot time vs T", opt);
-    chart_out("Fig. 10(d) shape", {xs.front(), xs.back()}, ys);
+      return ms::apps::HotspotApp::run(cfg, hc).ms / 1e3;
+    });
+    panel("fig10d_hotspot", "Fig. 10(d) Hotspot time vs T", "time [s]", xs, ys, 3, opt);
   }
 
   // (e) NN: 5242880 records, T = 2^0..2^11.
   {
-    Table t({"T", "time [ms]"});
-    std::vector<double> ys;
-    std::vector<std::string> xs;
     std::vector<int> tiles;
     for (int e = 0; e <= 11; e += opt.quick ? 4 : 1) tiles.push_back(1 << e);
-    for (const int tcount : tiles) {
+    std::vector<std::string> xs;
+    for (const int tcount : tiles) xs.push_back(std::to_string(tcount));
+    const auto ys = sweep(tiles, [&](int tcount) {
       ms::apps::NnConfig nc;
       nc.common = sweep_common();
       nc.records = 5242880;
       nc.tiles = tcount;
-      const auto r = ms::apps::NnApp::run(cfg, nc);
-      t.add_row({std::to_string(tcount), Table::num(r.ms, 1)});
-      ys.push_back(r.ms);
-      xs.push_back(std::to_string(tcount));
-    }
-    ms::bench::emit(t, "fig10e_nn", "Fig. 10(e) NN time vs T (flat between T=1 and 4)", opt);
-    chart_out("Fig. 10(e) shape", {xs.front(), xs.back()}, ys);
+      return ms::apps::NnApp::run(cfg, nc).ms;
+    });
+    panel("fig10e_nn", "Fig. 10(e) NN time vs T (flat between T=1 and 4)", "time [ms]", xs, ys, 1,
+          opt);
   }
 
   // (f) SRAD: 10000^2, T = g^2 for g in {1..100}.
   {
-    Table t({"T", "time [s]"});
-    std::vector<double> ys;
-    std::vector<std::string> xs;
     const std::vector<std::size_t> grids =
         opt.quick ? std::vector<std::size_t>{1, 20, 100}
                   : std::vector<std::size_t>{1, 2, 3, 4, 5, 10, 13, 20, 25, 50, 100};
-    for (const std::size_t g : grids) {
+    std::vector<std::string> xs;
+    for (const std::size_t g : grids) xs.push_back(std::to_string(g * g));
+    const auto ys = sweep(grids, [&](std::size_t g) {
       ms::apps::SradConfig sc;
       sc.common = sweep_common();
       sc.rows = sc.cols = 10000;
       sc.tile_rows = sc.tile_cols = 10000 / g;
       sc.iterations = 100;
-      const auto r = ms::apps::SradApp::run(cfg, sc);
-      t.add_row({std::to_string(g * g), Table::num(r.ms / 1e3, 3)});
-      ys.push_back(r.ms / 1e3);
-      xs.push_back(std::to_string(g * g));
-    }
-    ms::bench::emit(t, "fig10f_srad", "Fig. 10(f) SRAD time vs T (paper optimum T=400)", opt);
-    chart_out("Fig. 10(f) shape", {xs.front(), xs.back()}, ys);
+      return ms::apps::SradApp::run(cfg, sc).ms / 1e3;
+    });
+    panel("fig10f_srad", "Fig. 10(f) SRAD time vs T (paper optimum T=400)", "time [s]", xs, ys, 3,
+          opt);
   }
 
   return 0;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Sanitizer CI leg: build the library + tests with MS_SANITIZE and run the
+# sim/rt test suites (the ones exercising the thread pool and the pooled
+# runtime hot path). Defaults to ThreadSanitizer, which is what the
+# multithreaded sweep engine needs; pass "address" for an ASan run.
+#
+#   scripts/ci_sanitize.sh [thread|address] [build-dir]
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+BUILD_DIR="${2:-build-${SANITIZER}san}"
+SOURCE_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+case "${SANITIZER}" in
+  thread|address) ;;
+  *)
+    echo "usage: $0 [thread|address] [build-dir]" >&2
+    exit 2
+    ;;
+esac
+
+cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMS_SANITIZE="${SANITIZER}"
+cmake --build "${BUILD_DIR}" -j --target test_sim test_rt
+
+# Fail on any sanitizer report even when the test itself would pass.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+export ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}"
+
+"${BUILD_DIR}/tests/test_sim"
+"${BUILD_DIR}/tests/test_rt"
+
+echo "ci_sanitize(${SANITIZER}): OK"

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "model/workload_sim.hpp"
+#include "sim/sweep.hpp"
 
 namespace ms::model {
 
@@ -100,12 +101,24 @@ KnnTuner KnnTuner::train(const sim::SimConfig& cfg, int samples, std::uint32_t s
   opt.max_multiplier = 6;
   const auto space = rt::Tuner::pruned_space(cfg.device, opt);
 
-  for (int i = 0; i < samples; ++i) {
-    const OffloadShape shape = random_shape(seed + static_cast<std::uint32_t>(i));
-    const auto result = rt::Tuner::search(space, [&](rt::Tuner::Candidate c) {
-      return simulate_streamed_ms(cfg, shape, c.partitions, c.tiles);
-    });
-    tuner.add_sample(shape, result.best);
+  // Label samples across the sweep pool: each sample's pruned-space search
+  // runs serially inside one worker (its simulations share nothing), and
+  // samples are added back in index order, so the trained tuner is
+  // bit-identical to a serial run.
+  struct Labeled {
+    OffloadShape shape;
+    rt::Tuner::Candidate best;
+  };
+  const auto labeled = sim::parallel_map<Labeled>(
+      static_cast<std::size_t>(samples), [&](std::size_t i) {
+        const OffloadShape shape = random_shape(seed + static_cast<std::uint32_t>(i));
+        const auto result = rt::Tuner::search(space, [&](rt::Tuner::Candidate c) {
+          return simulate_streamed_ms(cfg, shape, c.partitions, c.tiles);
+        });
+        return Labeled{shape, result.best};
+      });
+  for (const Labeled& l : labeled) {
+    tuner.add_sample(l.shape, l.best);
   }
   return tuner;
 }

@@ -4,10 +4,12 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "rt/buffer.hpp"
 #include "rt/event.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/sim_time.hpp"
 
 namespace ms::rt {
@@ -26,24 +28,27 @@ struct KernelLaunch {
 
 namespace detail {
 
-/// Internal per-action bookkeeping. Owned by the stream that queued it.
+/// Internal per-action bookkeeping. Placement-constructed in a Context pool
+/// node at enqueue and destroyed back into it on completion — the runtime's
+/// steady state recycles the node storage instead of allocating per
+/// enqueue. `label` views static or interned storage, never owns it.
 struct Action {
   ActionKind kind = ActionKind::Kernel;
-  std::string label;
+  std::string_view label;
 
   // Scheduling state -------------------------------------------------------
   sim::SimTime ready_floor = sim::SimTime::zero();  ///< issue time and dep completions
   int deps_pending = 0;
   bool pred_done = false;  ///< predecessor in the stream completed
   bool armed = false;
-  std::shared_ptr<ActionState> state = std::make_shared<ActionState>();
+  std::shared_ptr<ActionState> state;  ///< assigned by the pool on acquire
 
   // Payload ----------------------------------------------------------------
   sim::SimTime duration = sim::SimTime::zero();  ///< precomputed service time
   BufferId buffer;                               ///< transfers only
   std::size_t offset = 0;
   std::size_t bytes = 0;
-  std::function<void()> fn;  ///< executed at completion (memcpy / kernel body)
+  sim::InlineFunction<48> fn;  ///< executed at completion (memcpy / kernel body)
 };
 
 }  // namespace detail

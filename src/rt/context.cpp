@@ -10,7 +10,18 @@ Context::Context(const sim::SimConfig& cfg) : platform_(std::make_unique<sim::Pl
   setup(1);
 }
 
-Context::~Context() = default;
+Context::~Context() {
+  // Actions still in flight (a Context dropped without synchronize()) are
+  // placement-constructed in pool nodes, so run their destructors before the
+  // store releases the chunks. In-order queues hold every live action.
+  for (const auto& s : streams_) {
+    while (!s->queue_.empty()) {
+      detail::Action* a = s->queue_.front();
+      s->queue_.pop_front();
+      a->~Action();
+    }
+  }
+}
 
 int Context::device_count() const noexcept { return platform_->device_count(); }
 
@@ -154,6 +165,24 @@ void Context::wait(const Event& ev) {
   }
   host_cursor_ = sim::max(host_cursor_, sim::max(engine.now(), ev.time())) +
                  platform_->cost().sync_overhead(1, false);
+}
+
+detail::Action* Context::acquire_action() {
+  auto* a = new (ActionPool::allocate(action_store_)) detail::Action;
+  // Control block + state live in one pool node; the pool store is kept
+  // alive by the allocator copy inside the control block, so states held
+  // by user Events may safely outlive this Context.
+  a->state = std::allocate_shared<detail::ActionState>(
+      detail::PoolAlloc<detail::ActionState>(state_pool_));
+  return a;
+}
+
+void Context::release_action(detail::Action* a) {
+  // Destroying the Action drops its state reference; the state's node goes
+  // straight back to the pool unless some Event still holds it (then it is
+  // freed into the — still alive — store when the last Event dies).
+  a->~Action();
+  ActionPool::deallocate(action_store_, a);
 }
 
 sim::SimTime Context::host_issue() {

@@ -8,6 +8,7 @@
 
 #include "rt/buffer.hpp"
 #include "rt/event.hpp"
+#include "rt/pool.hpp"
 #include "rt/stream.hpp"
 #include "sim/platform.hpp"
 #include "trace/timeline.hpp"
@@ -157,6 +158,22 @@ private:
   /// time at which the action is issued.
   sim::SimTime host_issue();
 
+  // --- Action / state pools ---------------------------------------------------
+  //
+  // Streams acquire Actions here per enqueue and release them on completion.
+  // Both Actions and their ActionStates live in fixed-node pools with
+  // intrusive free lists (and depot-recycled chunk storage), so steady-state
+  // scheduling performs no heap allocation and a destroyed Context leaves
+  // its pages parked for the next one instead of faulting them back in.
+
+  /// Node class sized for a placement-new'd Action (rounded to preserve
+  /// max alignment between consecutive nodes).
+  using ActionPool = detail::NodePool<(sizeof(detail::Action) + alignof(std::max_align_t) - 1) /
+                                      alignof(std::max_align_t) * alignof(std::max_align_t)>;
+
+  [[nodiscard]] detail::Action* acquire_action();
+  void release_action(detail::Action* a);
+
   void require_all_idle(const char* who) const;
   [[nodiscard]] const BufferRec& buffer_rec(BufferId id) const;
 
@@ -170,6 +187,8 @@ private:
   std::vector<std::unique_ptr<Stream>> streams_;
   std::unordered_map<std::uint64_t, BufferRec> buffers_;
   std::uint64_t next_buffer_ = 1;
+  ActionPool::Store action_store_;
+  std::shared_ptr<detail::StatePool::Store> state_pool_ = detail::StatePool::make_store();
 };
 
 }  // namespace ms::rt

@@ -1,25 +1,32 @@
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/sim_time.hpp"
 
 namespace ms::rt {
 
 namespace detail {
 
-/// Shared completion state of one enqueued action.
+/// Shared completion state of one enqueued action. Instances live in the
+/// owning Context's state node pool (control block and all), so
+/// steady-state enqueue/complete cycles allocate nothing. Waiters are
+/// inline callables — registering a dependency never heap-allocates the
+/// closure itself (only the waiter vector's storage).
 struct ActionState {
+  using Waiter = sim::InlineFunction<48>;
+
   bool done = false;
   sim::SimTime end = sim::SimTime::zero();
-  std::vector<std::function<void()>> waiters;
+  std::vector<Waiter> waiters;
 
   void complete(sim::SimTime t) {
     done = true;
     end = t;
+    if (waiters.empty()) return;  // the overwhelmingly common case
     // Detach first: a waiter may enqueue work that waits on this same state.
     auto fire = std::move(waiters);
     waiters.clear();

@@ -5,10 +5,20 @@
 
 #include "rt/context.hpp"
 #include "rt/errors.hpp"
+#include "trace/timeline.hpp"
 
 namespace ms::rt {
 
 using detail::Action;
+
+Stream::Stream(Context& ctx, int index, int device, int partition)
+    : ctx_(&ctx),
+      engine_(&ctx.platform().engine()),
+      dev_(&ctx.platform().device(device)),
+      part_res_(&dev_->partition_resource(partition)),
+      index_(index),
+      device_(device),
+      partition_(partition) {}
 
 Event Stream::enqueue_h2d(BufferId buf, std::size_t offset, std::size_t bytes,
                           const std::vector<Event>& deps) {
@@ -30,7 +40,7 @@ Event Stream::enqueue_transfer(ActionKind kind, BufferId buf, std::size_t offset
     throw Error("Stream::enqueue transfer: zero-length transfer");
   }
 
-  auto a = std::make_unique<Action>();
+  Action* a = ctx_->acquire_action();
   a->kind = kind;
   a->label = kind == ActionKind::H2D ? "h2d" : "d2h";
   a->buffer = buf;
@@ -55,29 +65,33 @@ Event Stream::enqueue_transfer(ActionKind kind, BufferId buf, std::size_t offset
                   ctx->device_data(buf, dev) + offset, bytes);
     };
   }
-  return enqueue_common(std::move(a), deps);
+  return enqueue_common(a, deps);
 }
 
 Event Stream::enqueue_kernel(KernelLaunch launch, const std::vector<Event>& deps) {
-  auto a = std::make_unique<Action>();
+  Action* a = ctx_->acquire_action();
   a->kind = ActionKind::Kernel;
-  a->label = launch.label.empty() ? "kernel" : std::move(launch.label);
-  a->fn = std::move(launch.fn);
+  // Labels only feed trace spans; intern them (stable storage, no per-span
+  // string) and skip the intern-table lock entirely when tracing is off.
+  if (launch.label.empty() || !ctx_->tracing()) {
+    a->label = "kernel";
+  } else {
+    a->label = trace::intern_label(launch.label);
+  }
+  if (launch.fn) a->fn = std::move(launch.fn);
 
-  const auto& part = ctx_->platform().device(device_).partition(partition_);
-  a->duration = ctx_->cost().kernel_duration(launch.work, part);
-  return enqueue_common(std::move(a), deps);
+  a->duration = ctx_->cost().kernel_duration(launch.work, dev_->partition(partition_));
+  return enqueue_common(a, deps);
 }
 
 Event Stream::enqueue_barrier(const std::vector<Event>& deps) {
-  auto a = std::make_unique<Action>();
+  Action* a = ctx_->acquire_action();
   a->kind = ActionKind::Barrier;
   a->label = "barrier";
-  return enqueue_common(std::move(a), deps);
+  return enqueue_common(a, deps);
 }
 
-Event Stream::enqueue_common(std::unique_ptr<Action> owned, const std::vector<Event>& deps) {
-  Action* a = owned.get();
+Event Stream::enqueue_common(Action* a, const std::vector<Event>& deps) {
   a->ready_floor = ctx_->host_issue();
 
   // Wire cross-stream dependencies. Completed deps only raise the ready
@@ -88,15 +102,18 @@ Event Stream::enqueue_common(std::unique_ptr<Action> owned, const std::vector<Ev
       continue;
     }
     ++a->deps_pending;
-    auto dep_state = e.state_;
+    // The dep's state is kept alive by its still-pending Action (and is only
+    // recycled after complete() has fired every waiter), so a raw pointer is
+    // safe and skips two refcount round-trips per dependency.
+    detail::ActionState* dep = e.state_.get();
     Stream* self = this;
-    dep_state->waiters.push_back([self, a, dep_state] {
-      a->ready_floor = sim::max(a->ready_floor, dep_state->end);
+    dep->waiters.push_back(detail::ActionState::Waiter([self, a, dep] {
+      a->ready_floor = sim::max(a->ready_floor, dep->end);
       if (--a->deps_pending == 0) self->maybe_arm(a);
-    });
+    }));
   }
 
-  queue_.push_back(std::move(owned));
+  queue_.push_back(a);
   a->pred_done = queue_.size() == 1;
   const Event ev{a->state};
   last_ = ev;
@@ -108,15 +125,25 @@ void Stream::maybe_arm(Action* a) {
   if (a->armed || !a->pred_done || a->deps_pending > 0) return;
   a->armed = true;
 
-  auto& engine = ctx_->platform().engine();
+  sim::Engine& engine = *engine_;
   const sim::SimTime ready = sim::max(a->ready_floor, engine.now());
+  if (ready == engine.now() && engine.dispatching()) {
+    // The action is ready at the current instant and we are already inside
+    // the event that unblocked it (a predecessor's or dependency's
+    // completion). A queued start would fire at this same point in the
+    // event order — every same-timestamp event ahead of us has already
+    // fired, and later arms get later seq numbers either way — so dispatch
+    // inline and save the queue round-trip. This halves the events per
+    // action on a draining stream without changing any grant order.
+    start(a);
+    return;
+  }
   engine.schedule_at(ready, [this, a] { start(a); });
 }
 
 void Stream::start(Action* a) {
-  auto& platform = ctx_->platform();
-  auto& device = platform.device(device_);
-  const sim::SimTime now = platform.engine().now();
+  sim::Engine& engine = *engine_;
+  const sim::SimTime now = engine.now();
 
   if (a->kind == ActionKind::Barrier) {
     // No resource use: the barrier completes as soon as it is reached.
@@ -129,24 +156,24 @@ void Stream::start(Action* a) {
       span.start = now;
       span.end = now;
       span.label = a->label;
-      ctx_->timeline().record(std::move(span));
+      ctx_->timeline().record(span);
     }
-    platform.engine().schedule_at(now, [this, a] { on_complete(a); });
+    engine.schedule_at(now, [this, a] { on_complete(a); });
     return;
   }
 
   sim::FifoResource::Grant grant{};
   if (a->kind == ActionKind::Kernel) {
-    grant = device.partition_resource(partition_).reserve(now, a->duration);
+    grant = part_res_->reserve(now, a->duration);
   } else {
     const auto dir =
         a->kind == ActionKind::H2D ? sim::Direction::HostToDevice : sim::Direction::DeviceToHost;
-    const std::size_t chunk = device.link().spec().dma_chunk_bytes;
+    const std::size_t chunk = dev_->link().spec().dma_chunk_bytes;
     if (chunk > 0 && a->bytes > chunk) {
       start_transfer_chunked(a, dir, chunk, now);
       return;
     }
-    grant = device.link().reserve(dir, now, a->bytes);
+    grant = dev_->link().reserve(dir, now, a->bytes);
   }
 
   if (ctx_->tracing()) {
@@ -161,10 +188,10 @@ void Stream::start(Action* a) {
     span.end = grant.end;
     span.bytes = a->bytes;
     span.label = a->label;
-    ctx_->timeline().record(std::move(span));
+    ctx_->timeline().record(span);
   }
 
-  platform.engine().schedule_at(grant.end, [this, a] { on_complete(a); });
+  engine.schedule_at(grant.end, [this, a] { on_complete(a); });
 }
 
 void Stream::start_transfer_chunked(detail::Action* a, sim::Direction dir, std::size_t chunk,
@@ -172,9 +199,8 @@ void Stream::start_transfer_chunked(detail::Action* a, sim::Direction dir, std::
   // Progressive reservation: each chunk is requested only when the previous
   // one finishes, so competing transfers that become ready mid-way slot in
   // between chunks (no head-of-line blocking behind a huge upload).
-  auto& device = ctx_->platform().device(device_);
   const std::size_t first_len = std::min(chunk, a->bytes);
-  const auto first = device.link().reserve_chunk(dir, now, first_len, /*first_chunk=*/true);
+  const auto first = dev_->link().reserve_chunk(dir, now, first_len, /*first_chunk=*/true);
   a->duration = sim::SimTime::zero();  // unused for chunked transfers
 
   struct ChunkPlan {
@@ -183,11 +209,12 @@ void Stream::start_transfer_chunked(detail::Action* a, sim::Direction dir, std::
   };
   auto plan = std::make_shared<ChunkPlan>(ChunkPlan{first.start, a->bytes - first_len});
 
-  // Continuation invoked at each chunk's completion.
+  // Continuation invoked at each chunk's completion. Scheduled via a small
+  // shared handle so the (deliberately self-referential) functor stays put.
   auto step = std::make_shared<std::function<void()>>();
   *step = [this, a, dir, chunk, plan, step] {
-    auto& link = ctx_->platform().device(device_).link();
-    const sim::SimTime t = ctx_->platform().engine().now();
+    auto& link = dev_->link();
+    const sim::SimTime t = engine_->now();
     if (plan->remaining == 0) {
       if (ctx_->tracing()) {
         trace::Span span;
@@ -199,7 +226,7 @@ void Stream::start_transfer_chunked(detail::Action* a, sim::Direction dir, std::
         span.end = t;
         span.bytes = a->bytes;
         span.label = a->label;
-        ctx_->timeline().record(std::move(span));
+        ctx_->timeline().record(span);
       }
       on_complete(a);
       return;
@@ -207,35 +234,34 @@ void Stream::start_transfer_chunked(detail::Action* a, sim::Direction dir, std::
     const std::size_t len = std::min(chunk, plan->remaining);
     plan->remaining -= len;
     const auto grant = link.reserve_chunk(dir, t, len, /*first_chunk=*/false);
-    ctx_->platform().engine().schedule_at(grant.end, *step);
+    engine_->schedule_at(grant.end, [step] { (*step)(); });
   };
-  ctx_->platform().engine().schedule_at(first.end, *step);
+  engine_->schedule_at(first.end, [step] { (*step)(); });
 }
 
 void Stream::on_complete(Action* a) {
   // Strict in-order streams: the completing action is necessarily the front.
-  if (queue_.empty() || queue_.front().get() != a) {
+  if (queue_.empty() || queue_.front() != a) {
     throw Error("Stream: completion order corrupted (internal bug)");
   }
   if (a->fn) a->fn();
-
-  // Keep the action alive until state notification and successor arming are
-  // done, then release it.
-  auto owned = std::move(queue_.front());
   queue_.pop_front();
 
-  const sim::SimTime now = ctx_->platform().engine().now();
+  const sim::SimTime now = engine_->now();
   a->state->complete(now);
 
   if (!queue_.empty()) {
-    Action* next = queue_.front().get();
+    Action* next = queue_.front();
     next->pred_done = true;
     maybe_arm(next);
   }
+
+  // Notification and successor arming are done; recycle the action.
+  ctx_->release_action(a);
 }
 
 void Stream::synchronize() {
-  auto& engine = ctx_->platform().engine();
+  sim::Engine& engine = *engine_;
   while (!queue_.empty()) {
     if (!engine.step()) {
       throw Error("Stream::synchronize: pending actions but no events (deadlock?)");

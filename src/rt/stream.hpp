@@ -1,14 +1,19 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "rt/action.hpp"
 #include "rt/buffer.hpp"
 #include "rt/event.hpp"
+#include "rt/ring.hpp"
 #include "sim/pcie_link.hpp"
+
+namespace ms::sim {
+class Engine;
+class Coprocessor;
+}  // namespace ms::sim
 
 namespace ms::rt {
 
@@ -57,12 +62,11 @@ public:
 
 private:
   friend class Context;
-  Stream(Context& ctx, int index, int device, int partition)
-      : ctx_(&ctx), index_(index), device_(device), partition_(partition) {}
+  Stream(Context& ctx, int index, int device, int partition);
 
   Event enqueue_transfer(ActionKind kind, BufferId buf, std::size_t offset, std::size_t bytes,
                          const std::vector<Event>& deps);
-  Event enqueue_common(std::unique_ptr<detail::Action> a, const std::vector<Event>& deps);
+  Event enqueue_common(detail::Action* a, const std::vector<Event>& deps);
   void maybe_arm(detail::Action* a);
   void start(detail::Action* a);
   void start_transfer_chunked(detail::Action* a, sim::Direction dir, std::size_t chunk,
@@ -70,10 +74,18 @@ private:
   void on_complete(detail::Action* a);
 
   Context* ctx_;
+  // Cached hot-path plumbing, stable for this stream's lifetime: streams are
+  // recreated by Context::setup() whenever the partition layout (and with it
+  // these resources) is rebuilt.
+  sim::Engine* engine_;
+  sim::Coprocessor* dev_;
+  sim::FifoResource* part_res_;
   int index_;
   int device_;
   int partition_;
-  std::deque<std::unique_ptr<detail::Action>> queue_;
+  /// In-order action queue; entries are owned by the Context's action pool
+  /// and returned to it on completion.
+  detail::PtrRing<detail::Action> queue_;
   Event last_;
 };
 

@@ -75,4 +75,29 @@ Tuner::Result Tuner::search(const std::vector<Candidate>& candidates,
   return r;
 }
 
+Tuner::Result Tuner::search(const std::vector<Candidate>& candidates,
+                            const std::function<double(Candidate)>& metric,
+                            const sim::SweepOptions& sweep) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("Tuner::search: empty candidate list");
+  }
+  if (!metric) {
+    throw std::invalid_argument("Tuner::search: empty metric");
+  }
+  const auto values = sim::parallel_map<double>(
+      candidates.size(), [&](std::size_t i) { return metric(candidates[i]); }, sweep);
+
+  // Ordered reduction: same winner and tie-breaks as the serial loop.
+  Result r;
+  r.best_metric = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ++r.evaluated;
+    if (values[i] < r.best_metric) {
+      r.best_metric = values[i];
+      r.best = candidates[i];
+    }
+  }
+  return r;
+}
+
 }  // namespace ms::rt

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "sim/sim_config.hpp"
+#include "sim/sweep.hpp"
 
 namespace ms::rt {
 
@@ -56,9 +57,19 @@ public:
                                                                int max_tiles);
 
   /// Evaluate `metric` (lower is better — e.g. virtual execution time in
-  /// ms) over a candidate list and return the winner.
+  /// ms) over a candidate list and return the winner. Evaluations run
+  /// serially; ties keep the earliest candidate.
   [[nodiscard]] static Result search(const std::vector<Candidate>& candidates,
                                      const std::function<double(Candidate)>& metric);
+
+  /// Parallel variant: candidates are evaluated across the shared sweep
+  /// pool (`metric` must therefore be thread-safe — simulator-backed
+  /// metrics are, since every evaluation builds its own Context). The
+  /// reduction is performed in candidate order afterwards, so the winner,
+  /// including tie-breaks, is identical to the serial search.
+  [[nodiscard]] static Result search(const std::vector<Candidate>& candidates,
+                                     const std::function<double(Candidate)>& metric,
+                                     const sim::SweepOptions& sweep);
 };
 
 }  // namespace ms::rt

@@ -1,0 +1,67 @@
+#include "sim/chunk_depot.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace ms::sim::detail {
+
+namespace {
+
+/// One bin per distinct chunk size. A handful of sizes exist process-wide
+/// (one per pool type), so linear search beats any map.
+struct Bin {
+  std::size_t bytes = 0;
+  std::vector<std::unique_ptr<std::byte[]>> chunks;
+};
+
+struct Depot {
+  std::vector<Bin> bins;
+  std::size_t parked = 0;
+
+  Bin* find(std::size_t bytes) noexcept {
+    for (auto& b : bins) {
+      if (b.bytes == bytes) return &b;
+    }
+    return nullptr;
+  }
+};
+
+Depot& depot() {
+  thread_local Depot d;
+  return d;
+}
+
+}  // namespace
+
+std::unique_ptr<std::byte[]> ChunkDepot::acquire(std::size_t bytes) {
+  Depot& d = depot();
+  if (Bin* bin = d.find(bytes); bin != nullptr && !bin->chunks.empty()) {
+    auto chunk = std::move(bin->chunks.back());
+    bin->chunks.pop_back();
+    d.parked -= bytes;
+    return chunk;
+  }
+  return std::make_unique<std::byte[]>(bytes);
+}
+
+void ChunkDepot::release(std::unique_ptr<std::byte[]> chunk, std::size_t bytes) noexcept {
+  Depot& d = depot();
+  if (chunk == nullptr || d.parked + bytes > kMaxParkedBytes) return;  // drop: frees
+  Bin* bin = d.find(bytes);
+  if (bin == nullptr) {
+    d.bins.push_back(Bin{bytes, {}});
+    bin = &d.bins.back();
+  }
+  bin->chunks.push_back(std::move(chunk));
+  d.parked += bytes;
+}
+
+std::size_t ChunkDepot::parked_bytes() noexcept { return depot().parked; }
+
+void ChunkDepot::trim() noexcept {
+  Depot& d = depot();
+  d.bins.clear();
+  d.parked = 0;
+}
+
+}  // namespace ms::sim::detail

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace ms::sim::detail {
+
+/// Thread-local recycler for pool chunk storage. A destroyed pool parks its
+/// chunk arrays here and the next pool of the same chunk size adopts them,
+/// instead of round-tripping through the heap. The round trip is not just
+/// allocator overhead: multi-chunk pools freed en masse sit at the top of
+/// the heap, glibc trims them back to the OS, and the next simulation
+/// context pays a minor page fault per 4 KiB re-touching memory it held a
+/// microsecond earlier. Parked chunks keep their pages committed (and their
+/// TLB/cache residency), which is what makes a create-run-destroy context
+/// loop — the shape of every sweep and benchmark — scale flat.
+///
+/// Per-thread by construction: sweep workers each park and reuse their own
+/// chunks with no synchronization; whatever is still parked when a thread
+/// exits is freed by the thread-local destructor. Total parked bytes are
+/// capped, so a one-off giant run cannot pin memory forever.
+class ChunkDepot {
+public:
+  /// Return a chunk of exactly `bytes` (recycled if one is parked, freshly
+  /// allocated otherwise). Contents are indeterminate.
+  [[nodiscard]] static std::unique_ptr<std::byte[]> acquire(std::size_t bytes);
+
+  /// Park `chunk` (which must be exactly `bytes` long) for reuse; frees it
+  /// instead when the depot is at capacity.
+  static void release(std::unique_ptr<std::byte[]> chunk, std::size_t bytes) noexcept;
+
+  /// Bytes currently parked on this thread (observability / tests).
+  [[nodiscard]] static std::size_t parked_bytes() noexcept;
+
+  /// Free everything parked on this thread (tests and memory-pressure use).
+  static void trim() noexcept;
+
+private:
+  static constexpr std::size_t kMaxParkedBytes = 16u << 20;
+};
+
+}  // namespace ms::sim::detail

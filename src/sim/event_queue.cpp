@@ -1,59 +1,113 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace ms::sim {
 
-void Engine::schedule_at(SimTime when, Callback cb) {
-  if (when < now_) {
-    throw std::invalid_argument("Engine::schedule_at: event scheduled in the past");
+Engine::Slot* Engine::acquire_empty_slot() {
+  if (free_slots_.empty()) {
+    auto chunk = std::make_unique<Slot[]>(kSlotChunk);
+    free_slots_.reserve(free_slots_.size() + kSlotChunk);
+    for (std::size_t i = 0; i < kSlotChunk; ++i) {
+      free_slots_.push_back(&chunk[i]);
+    }
+    slot_chunks_.push_back(std::move(chunk));
   }
+  Slot* s = free_slots_.back();
+  free_slots_.pop_back();
+  return s;
+}
+
+void Engine::throw_past() {
+  throw std::invalid_argument("Engine::schedule_at: event scheduled in the past");
+}
+
+void Engine::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) throw_past();
   if (!cb) {
     throw std::invalid_argument("Engine::schedule_at: empty callback");
   }
-  queue_.push(Entry{when, next_seq_++, std::move(cb)});
+  Slot* slot = acquire_empty_slot();
+  slot->cb = std::move(cb);
+  push_item(Item{when, next_seq_++, slot});
 }
 
 void Engine::fire_next() {
-  // Move the entry out before popping so the callback may schedule new events
-  // (priority_queue::top is const, hence the const_cast idiom is avoided by
-  // copying the pieces we need).
-  Entry top = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
-  now_ = top.when;
+  Item item;  // NOLINT(cppcoreguidelines-pro-type-member-init): assigned below
+  if (heapified_) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    item = heap_.back();
+    heap_.pop_back();
+  } else {
+    const std::size_t idx = earliest_index();
+    item = heap_[idx];
+    heap_[idx] = heap_.back();
+    heap_.pop_back();
+  }
+
+  // Slots never move, so the callback is invoked in place; it may schedule
+  // new events freely (they take other slots — this one is released only
+  // after the call returns).
+  Slot* s = item.slot;
+  now_ = item.when;
   ++fired_;
-  top.cb();
+  const bool prev = dispatching_;
+  dispatching_ = true;
+  try {
+    s->cb();
+  } catch (...) {
+    dispatching_ = prev;
+    s->cb.reset();
+    free_slots_.push_back(s);
+    throw;
+  }
+  dispatching_ = prev;
+  s->cb.reset();
+  free_slots_.push_back(s);
 }
 
 SimTime Engine::run_until_idle() {
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     fire_next();
   }
   return now_;
 }
 
 SimTime Engine::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  while (!heap_.empty() && heap_[earliest_index()].when <= deadline) {
     fire_next();
   }
-  if (now_ < deadline && queue_.empty()) {
+  if (now_ < deadline && heap_.empty()) {
     now_ = deadline;
   }
   return now_;
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
+  if (heap_.empty()) return false;
   fire_next();
   return true;
 }
 
 void Engine::reset() {
-  queue_ = {};
+  heap_.clear();
+  // Drop pending callbacks but keep every chunk: a reused engine stays
+  // allocation-free. Rebuild the free list from scratch.
+  free_slots_.clear();
+  free_slots_.reserve(slot_chunks_.size() * kSlotChunk);
+  for (auto& chunk : slot_chunks_) {
+    for (std::size_t i = 0; i < kSlotChunk; ++i) {
+      chunk[i].cb.reset();
+      free_slots_.push_back(&chunk[i]);
+    }
+  }
   now_ = SimTime::zero();
   next_seq_ = 0;
   fired_ = 0;
+  dispatching_ = false;
+  heapified_ = false;
 }
 
 }  // namespace ms::sim

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/sim_time.hpp"
 
 namespace ms::sim {
@@ -13,9 +16,16 @@ namespace ms::sim {
 /// callbacks. Events scheduled for the same instant fire in FIFO order
 /// (stable by insertion sequence), which the multi-stream scheduler relies on
 /// for deterministic arbitration of simultaneous resource requests.
+///
+/// The representation is built for host-side throughput: the binary heap
+/// holds only POD {when, seq, slot} items, and the callbacks live in a slot
+/// pool recycled through a free list, so a schedule/fire cycle performs no
+/// heap allocation once the engine has warmed up (capacity is retained
+/// across events). Callbacks are inline up to Callback's capacity — a
+/// larger capture is a compile error, never a silent allocation.
 class Engine {
 public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction<64>;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -28,8 +38,24 @@ public:
   /// Scheduling in the past is an error (throws std::invalid_argument).
   void schedule_at(SimTime when, Callback cb);
 
+  /// Emplace overload for raw callables: the functor is constructed directly
+  /// inside its slot, skipping every type-erased move a Callback round-trip
+  /// would cost. This is the scheduler's hot path.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void schedule_at(SimTime when, F&& f) {
+    if (when < now_) throw_past();
+    Slot* slot = acquire_empty_slot();
+    slot->cb.emplace(std::forward<F>(f));
+    push_item(Item{when, next_seq_++, slot});
+  }
+
   /// Schedule `cb` to run `delay` after the current time.
-  void schedule_after(SimTime delay, Callback cb) { schedule_at(now_ + delay, std::move(cb)); }
+  template <typename F>
+  void schedule_after(SimTime delay, F&& f) {
+    schedule_at(now_ + delay, std::forward<F>(f));
+  }
 
   /// Run events until the queue is empty. Returns the final clock value.
   SimTime run_until_idle();
@@ -43,32 +69,87 @@ public:
   /// own holds (e.g. "this stream drained").
   bool step();
 
-  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool idle() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
   [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
 
-  /// Reset the clock to zero and drop all pending events.
+  /// True while an event callback is executing. Clients use this to detect
+  /// "virtual time is advancing" contexts where work that is ready *now* may
+  /// be dispatched inline instead of through a same-timestamp event (the
+  /// inline call runs at the exact point in the event order where the queued
+  /// event would have fired, so the schedule is unchanged and one queue
+  /// round-trip is saved).
+  [[nodiscard]] bool dispatching() const noexcept { return dispatching_; }
+
+  /// Reset the clock to zero and drop all pending events. Slot and heap
+  /// capacity is retained so a reused engine stays allocation-free.
   void reset();
 
 private:
-  struct Entry {
-    SimTime when;
-    std::uint64_t seq;
+  /// POD heap item; the callback lives in a pool slot so heap sift
+  /// operations move 24 bytes instead of a type-erased functor. Slots are
+  /// chunk-allocated and never move, so a firing callback is invoked in
+  /// place — no per-event functor relocation — even while new events are
+  /// being scheduled from inside it.
+  struct Slot {
     Callback cb;
   };
+  struct Item {
+    SimTime when;
+    std::uint64_t seq;
+    Slot* slot;
+  };
+  static constexpr std::size_t kSlotChunk = 64;
+
+  /// Min-heap ordering: earliest `when` first, ties broken by insertion
+  /// sequence (earlier fires first) — the documented FIFO guarantee.
+  /// A functor (not a function pointer) so push_heap/pop_heap inline it.
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
+    bool operator()(const Item& a, const Item& b) const noexcept {
       if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;  // stable: earlier insertion fires first
+      return a.seq > b.seq;
     }
   };
 
-  void fire_next();
+  /// Queues this small stay an unsorted array: a linear min-scan over a
+  /// couple of cache lines beats O(log n) heap sifts, and a streaming
+  /// pipeline holds only one armed event per stream plus in-flight
+  /// completions. Crossing the threshold heapifies once and the engine
+  /// stays a heap from then on (sticky, so mixed workloads never flip-flop).
+  static constexpr std::size_t kHeapThreshold = 16;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  void push_item(Item it) {
+    heap_.push_back(it);
+    if (heapified_) {
+      std::push_heap(heap_.begin(), heap_.end(), Later{});
+    } else if (heap_.size() > kHeapThreshold) {
+      std::make_heap(heap_.begin(), heap_.end(), Later{});
+      heapified_ = true;
+    }
+  }
+
+  /// Index of the earliest pending item (valid only when !heap_.empty()).
+  [[nodiscard]] std::size_t earliest_index() const noexcept {
+    if (heapified_) return 0;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      if (Later{}(heap_[best], heap_[i])) best = i;
+    }
+    return best;
+  }
+
+  void fire_next();
+  [[nodiscard]] Slot* acquire_empty_slot();
+  [[noreturn]] static void throw_past();
+
+  std::vector<Item> heap_;  // unsorted below kHeapThreshold, then a min-heap
+  std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
+  std::vector<Slot*> free_slots_;
+  bool heapified_ = false;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
+  bool dispatching_ = false;
 };
 
 }  // namespace ms::sim

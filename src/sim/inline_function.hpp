@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ms::sim {
+
+/// Move-only callable with a fixed-capacity inline buffer and **no heap
+/// fallback**: a callable larger than `Capacity` is rejected at compile time.
+/// This is what makes the discrete-event hot path allocation-free — every
+/// engine callback and runtime completion functor lives inside the object
+/// that owns it (an Engine slot, an Action) and is recycled with it.
+///
+/// Compared with std::function:
+///   * capacity is a template knob (std::function's inline buffer is ~16
+///     bytes on libstdc++, so the scheduler's 3-4 pointer captures spill to
+///     the heap on every schedule_at);
+///   * move-only, so captures may hold move-only state;
+///   * no copy, no allocator, no RTTI;
+///   * trivially-copyable captures (the common pointer-capture lambdas of
+///     the scheduler) relocate by plain memcpy — no indirect call — and
+///     need no destructor call on reset.
+template <std::size_t Capacity>
+class InlineFunction {
+public:
+  InlineFunction() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    construct(std::forward<F>(f));
+  }
+
+  /// Destroy the current callable (if any) and construct `f` directly in the
+  /// inline buffer — the zero-move way to fill a recycled slot.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void emplace(F&& f) {
+    reset();
+    construct(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void reset() noexcept {
+    if (destroy_ != nullptr) destroy_(buf_);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+private:
+  template <typename F>
+  void construct(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable exceeds InlineFunction capacity; shrink the capture "
+                  "or raise the Capacity parameter");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "InlineFunction requires nothrow-movable callables");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    if constexpr (std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>) {
+      // Trivial callables move by buffer memcpy (see steal()) and need no
+      // teardown; both function pointers stay null.
+      relocate_ = nullptr;
+      destroy_ = nullptr;
+    } else {
+      relocate_ = [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      };
+      destroy_ = [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); };
+    }
+  }
+
+  void steal(InlineFunction& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    if (other.relocate_ == nullptr) {
+      std::memcpy(buf_, other.buf_, Capacity);
+    } else {
+      other.relocate_(buf_, other.buf_);
+    }
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  alignas(std::max_align_t) std::byte buf_[Capacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void* dst, void* src) noexcept = nullptr;
+  void (*destroy_)(void*) noexcept = nullptr;
+};
+
+}  // namespace ms::sim

@@ -5,18 +5,8 @@
 
 namespace ms::sim {
 
-FifoResource::Grant FifoResource::reserve(SimTime ready, SimTime duration) {
-  if (duration < SimTime::zero()) {
-    throw std::invalid_argument("FifoResource::reserve: negative duration");
-  }
-  const SimTime start = max(ready, busy_until_);
-  const SimTime end = start + duration;
-  busy_until_ = end;
-  total_busy_ += duration;
-  const SimTime wait = start - ready;
-  total_wait_ += wait;
-  ++grants_;
-  return Grant{start, end, wait};
+void FifoResource::throw_negative() {
+  throw std::invalid_argument("FifoResource::reserve: negative duration");
 }
 
 double FifoResource::utilization(SimTime horizon) const noexcept {

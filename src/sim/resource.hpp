@@ -26,7 +26,19 @@ public:
   };
 
   /// Reserve the resource for `duration`, no earlier than `ready`.
-  Grant reserve(SimTime ready, SimTime duration);
+  /// Header-inline: this is the scheduler's innermost arbitration step,
+  /// called several times per enqueued action.
+  Grant reserve(SimTime ready, SimTime duration) {
+    if (duration < SimTime::zero()) throw_negative();
+    const SimTime start = max(ready, busy_until_);
+    const SimTime end = start + duration;
+    busy_until_ = end;
+    total_busy_ += duration;
+    const SimTime wait = start - ready;
+    total_wait_ += wait;
+    ++grants_;
+    return Grant{start, end, wait};
+  }
 
   [[nodiscard]] SimTime busy_until() const noexcept { return busy_until_; }
   [[nodiscard]] SimTime total_busy() const noexcept { return total_busy_; }
@@ -40,6 +52,8 @@ public:
   void reset() noexcept;
 
 private:
+  [[noreturn]] static void throw_negative();
+
   std::string name_;
   SimTime busy_until_ = SimTime::zero();
   SimTime total_busy_ = SimTime::zero();

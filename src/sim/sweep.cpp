@@ -1,0 +1,155 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ms::sim {
+
+namespace {
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  /// One run() call. Workers hold their own shared_ptr while draining, so a
+  /// straggler that wakes after the batch finished touches only the (fully
+  /// exhausted) batch object, never state recycled for the next run.
+  struct Batch {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t jobs = 0;
+    std::size_t max_workers = 0;  ///< 0 = unlimited
+    std::atomic<std::size_t> entrants{0};
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable complete;
+    std::exception_ptr error;
+
+    void drain() {
+      if (max_workers != 0 &&
+          entrants.fetch_add(1, std::memory_order_relaxed) >= max_workers) {
+        return;
+      }
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs) return;
+        try {
+          (*body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+        }
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == jobs) {
+          std::lock_guard<std::mutex> lock(mu);
+          complete.notify_all();
+        }
+      }
+    }
+  };
+
+  explicit Impl(unsigned threads) {
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      shutting_down = true;
+    }
+    wake.notify_all();
+    for (auto& w : workers) w.join();
+  }
+
+  void worker_loop() {
+    t_inside_pool_worker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        wake.wait(lock, [&] { return shutting_down || generation != seen; });
+        if (shutting_down) return;
+        seen = generation;
+        batch = current;
+      }
+      if (batch) batch->drain();
+    }
+  }
+
+  void run(std::size_t jobs, const std::function<void(std::size_t)>& body,
+           std::size_t max_workers) {
+    std::lock_guard<std::mutex> run_lock(run_mu);  // one batch at a time
+    auto batch = std::make_shared<Batch>();
+    batch->body = &body;
+    batch->jobs = jobs;
+    batch->max_workers = max_workers;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      current = batch;
+      ++generation;
+    }
+    wake.notify_all();
+    batch->drain();  // the calling thread helps
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->complete.wait(
+        lock, [&] { return batch->done.load(std::memory_order_acquire) == batch->jobs; });
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
+
+  std::vector<std::thread> workers;
+  std::mutex run_mu;
+  std::mutex mu;
+  std::condition_variable wake;
+  bool shutting_down = false;
+  std::uint64_t generation = 0;
+  std::shared_ptr<Batch> current;
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl(threads)) {}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+unsigned ThreadPool::size() const noexcept {
+  return static_cast<unsigned>(impl_->workers.size());
+}
+
+void ThreadPool::run(std::size_t jobs, const std::function<void(std::size_t)>& body,
+                     std::size_t max_workers) {
+  if (jobs == 0) return;
+  if (t_inside_pool_worker) {
+    // Nested sweep from inside a job: run inline, serially. Deterministic
+    // and deadlock-free; the outer sweep already owns the workers.
+    for (std::size_t i = 0; i < jobs; ++i) body(i);
+    return;
+  }
+  impl_->run(jobs, body, max_workers);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t jobs, const std::function<void(std::size_t)>& body,
+                  const SweepOptions& opt) {
+  if (jobs == 0) return;
+  if (opt.threads == 1 || jobs == 1) {
+    for (std::size_t i = 0; i < jobs; ++i) body(i);
+    return;
+  }
+  ThreadPool::shared().run(jobs, body,
+                           opt.threads > 0 ? static_cast<std::size_t>(opt.threads) : 0);
+}
+
+}  // namespace ms::sim

@@ -1,6 +1,7 @@
 #include "trace/chrome_trace.hpp"
 
 #include <ostream>
+#include <string_view>
 
 namespace ms::trace {
 
@@ -8,7 +9,7 @@ namespace {
 
 /// JSON string escaping for the label field (labels are library-generated,
 /// but users may pass arbitrary kernel names).
-void write_escaped(std::ostream& os, const std::string& s) {
+void write_escaped(std::ostream& os, std::string_view s) {
   os << '"';
   for (const char c : s) {
     switch (c) {
@@ -38,7 +39,7 @@ void write_chrome_trace(std::ostream& os, const Timeline& timeline) {
     if (!first) os << ',';
     first = false;
     os << "\n{\"ph\":\"X\",\"name\":";
-    write_escaped(os, s.label.empty() ? to_string(s.kind) : s.label);
+    write_escaped(os, s.label.empty() ? std::string_view(to_string(s.kind)) : s.label);
     os << ",\"cat\":\"" << to_string(s.kind) << "\"";
     os << ",\"pid\":" << s.device << ",\"tid\":" << s.stream;
     os << ",\"ts\":" << s.start.micros() << ",\"dur\":" << s.duration().micros();

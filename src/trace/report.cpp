@@ -62,6 +62,43 @@ void Table::write_csv(std::ostream& os) const {
   for (const auto& row : rows_) csv_line(row);
 }
 
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << ch; break;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Table::write_json(std::ostream& os) const {
+  auto json_row = [&](const std::vector<std::string>& cells) {
+    os << '[';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      json_string(os, cells[c]);
+    }
+    os << ']';
+  };
+  os << "{\"columns\":";
+  json_row(headers_);
+  os << ",\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) os << ',';
+    json_row(rows_[r]);
+  }
+  os << "]}";
+}
+
 AsciiChart::AsciiChart(std::string title, int width, int height)
     : title_(std::move(title)), width_(std::max(16, width)), height_(std::max(4, height)) {}
 

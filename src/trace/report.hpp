@@ -22,6 +22,10 @@ public:
   void print(std::ostream& os) const;
   void write_csv(std::ostream& os) const;
 
+  /// Emit the table as one JSON object: {"columns": [...], "rows": [[...]]}.
+  /// Cells stay strings — they are already formatted for presentation.
+  void write_json(std::ostream& os) const;
+
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
 private:

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <ostream>
+#include <string>
+#include <unordered_set>
 
 namespace ms::trace {
 
@@ -17,64 +20,82 @@ const char* to_string(SpanKind k) noexcept {
   return "?";
 }
 
-sim::SimTime Timeline::busy(SpanKind kind) const {
-  sim::SimTime total = sim::SimTime::zero();
+std::string_view intern_label(std::string_view s) {
+  // node-based set: element addresses are stable across rehashes.
+  static std::mutex mu;
+  static std::unordered_set<std::string> table;
+  std::lock_guard<std::mutex> lock(mu);
+  return *table.emplace(s).first;
+}
+
+const Timeline::Aggregates& Timeline::aggregates() const {
+  if (agg_valid_) return agg_;
+  agg_ = Aggregates{};
+
+  agg_.first_start = spans_.empty() ? sim::SimTime::zero() : sim::SimTime::max();
   for (const Span& s : spans_) {
-    if (s.kind == kind) total += s.duration();
+    const auto k = static_cast<std::size_t>(s.kind);
+    agg_.busy[k] += s.duration();
+    ++agg_.count[k];
+    agg_.first_start = sim::min(agg_.first_start, s.start);
+    agg_.last_end = sim::max(agg_.last_end, s.end);
   }
-  return total;
-}
 
-sim::SimTime Timeline::first_start() const {
-  sim::SimTime t = sim::SimTime::max();
-  for (const Span& s : spans_) t = sim::min(t, s.start);
-  return spans_.empty() ? sim::SimTime::zero() : t;
-}
-
-sim::SimTime Timeline::last_end() const {
-  sim::SimTime t = sim::SimTime::zero();
-  for (const Span& s : spans_) t = sim::max(t, s.end);
-  return t;
-}
-
-sim::SimTime Timeline::overlap(SpanKind a, SpanKind b) const {
-  // Sweep over interval boundaries, tracking how many spans of each kind are
-  // active; accumulate segments where both counts are positive. When a == b
-  // the question becomes "how long were two or more such spans concurrently
-  // active" (kernel/kernel concurrency across partitions).
+  // One boundary sweep computes the overlap of *every* kind pair: at each
+  // edge, accumulate the elapsed segment into each pair whose activity
+  // condition held across it (>=1 of each kind, >=2 for the diagonal).
   struct Edge {
     sim::SimTime t;
-    int da;
-    int db;
+    SpanKind kind;
+    int delta;
   };
   std::vector<Edge> edges;
   edges.reserve(spans_.size() * 2);
   for (const Span& s : spans_) {
-    const int ia = s.kind == a ? 1 : 0;
-    const int ib = s.kind == b ? 1 : 0;
-    if (ia == 0 && ib == 0) continue;
-    edges.push_back(Edge{s.start, ia, ib});
-    edges.push_back(Edge{s.end, -ia, -ib});
+    edges.push_back(Edge{s.start, s.kind, 1});
+    edges.push_back(Edge{s.end, s.kind, -1});
   }
   std::sort(edges.begin(), edges.end(),
             [](const Edge& x, const Edge& y) { return x.t < y.t; });
-  const int need_b = a == b ? 2 : 1;
-  sim::SimTime total = sim::SimTime::zero();
-  int na = 0;
-  int nb = 0;
+
+  std::array<int, kSpanKindCount> active{};
   sim::SimTime prev = sim::SimTime::zero();
   for (const Edge& e : edges) {
-    if (na >= 1 && nb >= need_b) total += e.t - prev;
-    na += e.da;
-    nb += e.db;
+    const sim::SimTime seg = e.t - prev;
+    if (seg > sim::SimTime::zero()) {
+      for (std::size_t a = 0; a < kSpanKindCount; ++a) {
+        if (active[a] == 0) continue;
+        for (std::size_t b = a; b < kSpanKindCount; ++b) {
+          const int need_b = a == b ? 2 : 1;
+          if (active[b] >= need_b) agg_.overlap[a][b] += seg;
+        }
+      }
+    }
+    active[static_cast<std::size_t>(e.kind)] += e.delta;
     prev = e.t;
   }
-  return total;
+
+  agg_valid_ = true;
+  return agg_;
+}
+
+sim::SimTime Timeline::busy(SpanKind kind) const {
+  return aggregates().busy[static_cast<std::size_t>(kind)];
+}
+
+sim::SimTime Timeline::first_start() const { return aggregates().first_start; }
+
+sim::SimTime Timeline::last_end() const { return aggregates().last_end; }
+
+sim::SimTime Timeline::overlap(SpanKind a, SpanKind b) const {
+  auto ia = static_cast<std::size_t>(a);
+  auto ib = static_cast<std::size_t>(b);
+  if (ia > ib) std::swap(ia, ib);
+  return aggregates().overlap[ia][ib];
 }
 
 std::size_t Timeline::count(SpanKind kind) const {
-  return static_cast<std::size_t>(
-      std::count_if(spans_.begin(), spans_.end(), [kind](const Span& s) { return s.kind == kind; }));
+  return aggregates().count[static_cast<std::size_t>(kind)];
 }
 
 void Timeline::render_gantt(std::ostream& os, int width) const {
@@ -89,7 +110,14 @@ void Timeline::render_gantt(std::ostream& os, int width) const {
     os << "(degenerate timeline)\n";
     return;
   }
-  const char glyph[] = {'>', '<', '#', 'a', '|'};  // H2D, D2H, Kernel, Alloc, Sync
+  // H2D, D2H, Kernel, Alloc, Sync — indexed by SpanKind.
+  static constexpr std::array<char, kSpanKindCount> kGlyphs{'>', '<', '#', 'a', '|'};
+  static_assert(kGlyphs.size() == kSpanKindCount,
+                "update the Gantt glyph table when adding a SpanKind");
+  const auto glyph_for = [](SpanKind k) {
+    const auto i = static_cast<std::size_t>(k);
+    return i < kGlyphs.size() ? kGlyphs[i] : '?';
+  };
 
   std::map<std::pair<int, int>, std::string> rows;  // (device, stream) -> lane
   for (const Span& s : spans_) {
@@ -104,7 +132,7 @@ void Timeline::render_gantt(std::ostream& os, int width) const {
     const int c0 = clamp_col(s.start);
     const int c1 = clamp_col(s.end);
     for (int c = c0; c <= c1; ++c) {
-      lane[static_cast<std::size_t>(c)] = glyph[static_cast<std::size_t>(s.kind)];
+      lane[static_cast<std::size_t>(c)] = glyph_for(s.kind);
     }
   }
   os << "virtual span: " << horizon.millis() << " ms  ('>' H2D, '<' D2H, '#' kernel)\n";

@@ -1,0 +1,110 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "rt/context.hpp"
+#include "sim/sim_config.hpp"
+
+namespace ms::sim {
+namespace {
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kJobs = 257;  // deliberately not a multiple of workers
+  std::vector<std::atomic<int>> hits(kJobs);
+  pool.run(kJobs, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroJobsIsANoop) {
+  ThreadPool pool(2);
+  pool.run(0, [&](std::size_t) { FAIL() << "no job should run"; });
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run(8,
+                        [&](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedRunFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.run(4, [&](std::size_t) {
+    ThreadPool::shared().run(4, [&](std::size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 16);
+}
+
+TEST(ParallelMap, ResultsAreOrderedByIndex) {
+  const auto out = parallel_map<std::size_t>(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, SerialOptionBypassesThePool) {
+  SweepOptions serial;
+  serial.threads = 1;
+  const auto out = parallel_map<int>(
+      8, [](std::size_t i) { return static_cast<int>(i) + 1; }, serial);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+/// One simulated streamed pipeline; returns the virtual host time. Each call
+/// builds a private Context, which is the contract that makes sweep points
+/// independent.
+double simulate_point(int partitions, int tasks) {
+  rt::Context ctx(SimConfig::phi_31sp());
+  ctx.set_tracing(false);
+  ctx.setup(partitions);
+  const auto buf = ctx.create_virtual_buffer(static_cast<std::size_t>(tasks) << 12);
+  for (int t = 0; t < tasks; ++t) {
+    auto& s = ctx.stream(t % partitions);
+    const std::size_t off = static_cast<std::size_t>(t) << 12;
+    s.enqueue_h2d(buf, off, 1 << 12);
+    KernelWork w;
+    w.kind = KernelKind::Streaming;
+    w.elems = 5e4 * (1.0 + 0.1 * t);
+    s.enqueue_kernel({"k", w, {}});
+    s.enqueue_d2h(buf, off, 1 << 12);
+  }
+  ctx.synchronize();
+  return ctx.host_time().micros();
+}
+
+// The tentpole guarantee: a parallel sweep returns bit-identical virtual
+// times to a serial one, point for point. The simulation itself is
+// deterministic, and parallel_map's by-index ordering keeps the association.
+TEST(ParallelSweep, VirtualTimesIdenticalSerialVsParallel) {
+  const std::vector<int> partitions{1, 2, 3, 4, 7, 8, 14};
+  const int tasks = 24;
+
+  SweepOptions serial;
+  serial.threads = 1;
+  const auto serial_times = parallel_map<double>(
+      partitions.size(), [&](std::size_t i) { return simulate_point(partitions[i], tasks); },
+      serial);
+
+  const auto parallel_times = parallel_map<double>(
+      partitions.size(), [&](std::size_t i) { return simulate_point(partitions[i], tasks); });
+
+  ASSERT_EQ(serial_times.size(), parallel_times.size());
+  for (std::size_t i = 0; i < serial_times.size(); ++i) {
+    // Bit-identical, not approximately equal: same config, same event order,
+    // same floating-point operations in the same order.
+    EXPECT_EQ(serial_times[i], parallel_times[i]) << "P=" << partitions[i];
+  }
+}
+
+}  // namespace
+}  // namespace ms::sim

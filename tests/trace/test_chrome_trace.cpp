@@ -15,7 +15,7 @@ Span make(SpanKind k, double start_us, double end_us, int device, int stream,
   s.stream = stream;
   s.start = sim::SimTime::micros(start_us);
   s.end = sim::SimTime::micros(end_us);
-  s.label = label;
+  s.label = intern_label(label);  // Span::label views interned storage
   s.bytes = 1024;
   return s;
 }
