@@ -1,0 +1,187 @@
+// Microbenchmarks for the kernel execution engine: one benchmark per
+// parallelized kernel at the paper's working-set shapes. Wall-clock only —
+// virtual time never depends on these. Emit machine-readable results with
+//   bench_kernels --benchmark_format=json --benchmark_out=BENCH_KERNELS.json
+// (scripts/record_bench.sh does exactly that).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "kern/gemm.hpp"
+#include "kern/hotspot.hpp"
+#include "kern/kmeans.hpp"
+#include "kern/nn.hpp"
+#include "kern/saxpy_iter.hpp"
+#include "kern/srad.hpp"
+
+namespace {
+
+template <typename T>
+std::vector<T> random_vec(std::size_t n, unsigned seed, double lo = 0.0, double hi = 1.0) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(lo, hi);
+  std::vector<T> v(n);
+  for (T& x : v) x = static_cast<T>(d(rng));
+  return v;
+}
+
+// The MM app's unit of work: one 500 x 500 C tile of the paper's D = 6000
+// multiplication (C tile += A band * B band, k = 6000).
+void BM_GemmTile(benchmark::State& state) {
+  const std::size_t m = 500, n = 500, k = 6000;
+  const auto a = random_vec<double>(m * k, 1);
+  const auto b = random_vec<double>(k * n, 2);
+  std::vector<double> c(m * n, 0.0);
+  for (auto _ : state) {
+    ms::kern::gemm_tile(a.data(), b.data(), c.data(), m, n, k, k, n, n);
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ms::kern::gemm_flops(m, n, k)));
+}
+BENCHMARK(BM_GemmTile)->Unit(benchmark::kMillisecond);
+
+void BM_GemmNtAcc(benchmark::State& state) {
+  const std::size_t m = 500, n = 500, k = 6000;
+  const auto a = random_vec<double>(m * k, 3);
+  const auto bt = random_vec<double>(n * k, 4);
+  std::vector<double> c(m * n, 0.0);
+  for (auto _ : state) {
+    ms::kern::gemm_nt_acc(a.data(), bt.data(), c.data(), m, n, k, k, k, n);
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ms::kern::gemm_flops(m, n, k)));
+}
+BENCHMARK(BM_GemmNtAcc)->Unit(benchmark::kMillisecond);
+
+// One 1024-row band of the paper's 8192-wide Hotspot grid.
+void BM_HotspotStep(benchmark::State& state) {
+  const std::size_t rows = 1024, cols = 8192;
+  const auto t_in = random_vec<double>(rows * cols, 5, 40.0, 90.0);
+  const auto power = random_vec<double>(rows * cols, 6);
+  std::vector<double> t_out(rows * cols, 0.0);
+  const ms::kern::HotspotParams p;
+  for (auto _ : state) {
+    ms::kern::hotspot_step(t_in.data(), power.data(), t_out.data(), rows, cols, 0, rows, 0,
+                           cols, p);
+    benchmark::DoNotOptimize(t_out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * cols));
+}
+BENCHMARK(BM_HotspotStep)->Unit(benchmark::kMillisecond);
+
+// MineBench shape: 34 features, 8 clusters, a 1M-point assignment pass.
+void BM_KmeansAssign(benchmark::State& state) {
+  const std::size_t n = 1u << 20, dims = 34, k = 8;
+  const auto points = random_vec<float>(n * dims, 7);
+  const auto centroids = random_vec<float>(k * dims, 8);
+  std::vector<std::int32_t> membership(n, 0);
+  for (auto _ : state) {
+    ms::kern::kmeans_assign(points.data(), centroids.data(), membership.data(), n, dims, k);
+    benchmark::DoNotOptimize(membership.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KmeansAssign)->Unit(benchmark::kMillisecond);
+
+// Rodinia NN at the paper's record count: distance scan + blocked top-10.
+void BM_NnTopk(benchmark::State& state) {
+  const std::size_t n = 5'200'000, k = 10;
+  std::vector<ms::kern::LatLng> records(n);
+  const auto coords = random_vec<float>(n * 2, 9, 0.0, 180.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    records[i] = ms::kern::LatLng{coords[2 * i], coords[2 * i + 1]};
+  }
+  std::vector<float> dist(n, 0.0f);
+  const ms::kern::LatLng target{40.0f, 120.0f};
+  for (auto _ : state) {
+    ms::kern::nn_distances(records.data(), dist.data(), n, target);
+    std::vector<ms::kern::Neighbor> best(k,
+                                         {std::numeric_limits<float>::max(), 0});
+    ms::kern::nn_topk(dist.data(), n, 0, best.data(), k);
+    benchmark::DoNotOptimize(best.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NnTopk)->Unit(benchmark::kMillisecond);
+
+// SRAD planes at a 1024 x 10000 working set (paper-scale ultrasound image).
+void BM_SradStats(benchmark::State& state) {
+  const std::size_t rows = 1024, cols = 10000;
+  const auto j = random_vec<float>(rows * cols, 10, 0.5, 2.0);
+  for (auto _ : state) {
+    double s = 0.0, s2 = 0.0;
+    ms::kern::srad_statistics(j.data(), 0, rows * cols, &s, &s2);
+    benchmark::DoNotOptimize(s);
+    benchmark::DoNotOptimize(s2);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * cols));
+}
+BENCHMARK(BM_SradStats)->Unit(benchmark::kMillisecond);
+
+void BM_SradCoeff(benchmark::State& state) {
+  const std::size_t rows = 1024, cols = 10000;
+  const auto j = random_vec<float>(rows * cols, 11, 0.5, 2.0);
+  std::vector<float> c(rows * cols), dn(rows * cols), ds(rows * cols), dw(rows * cols),
+      de(rows * cols);
+  for (auto _ : state) {
+    ms::kern::srad_coeff(j.data(), c.data(), dn.data(), ds.data(), dw.data(), de.data(), rows,
+                         cols, 0, rows, 0, cols, 0.05);
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * cols));
+}
+BENCHMARK(BM_SradCoeff)->Unit(benchmark::kMillisecond);
+
+void BM_SradUpdate(benchmark::State& state) {
+  const std::size_t rows = 1024, cols = 10000;
+  auto j = random_vec<float>(rows * cols, 12, 0.5, 2.0);
+  const auto c = random_vec<float>(rows * cols, 13);
+  const auto dn = random_vec<float>(rows * cols, 14, -0.1, 0.1);
+  const auto ds = random_vec<float>(rows * cols, 15, -0.1, 0.1);
+  const auto dw = random_vec<float>(rows * cols, 16, -0.1, 0.1);
+  const auto de = random_vec<float>(rows * cols, 17, -0.1, 0.1);
+  for (auto _ : state) {
+    ms::kern::srad_update(j.data(), c.data(), dn.data(), ds.data(), dw.data(), de.data(), rows,
+                          cols, 0, rows, 0, cols, 0.5);
+    benchmark::DoNotOptimize(j.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * cols));
+}
+BENCHMARK(BM_SradUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_SaxpyIter(benchmark::State& state) {
+  const std::size_t n = 1u << 24;
+  const auto a = random_vec<float>(n, 18);
+  std::vector<float> b(n, 0.0f);
+  for (auto _ : state) {
+    ms::kern::saxpy_iter(a.data(), b.data(), n, 1.5f, 2);
+    benchmark::DoNotOptimize(b.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SaxpyIter)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

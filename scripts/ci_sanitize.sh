@@ -22,7 +22,7 @@ esac
 cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMS_SANITIZE="${SANITIZER}"
-cmake --build "${BUILD_DIR}" -j --target test_sim test_rt
+cmake --build "${BUILD_DIR}" -j --target test_sim test_rt test_kern
 
 # Fail on any sanitizer report even when the test itself would pass.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -30,5 +30,9 @@ export ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}"
 
 "${BUILD_DIR}/tests/test_sim"
 "${BUILD_DIR}/tests/test_rt"
+# The parallel kernel engine: blocked loops/reductions, the thread-count
+# determinism sweeps, and the nested-pool regression all run under the
+# sanitizer too.
+"${BUILD_DIR}/tests/test_kern"
 
 echo "ci_sanitize(${SANITIZER}): OK"

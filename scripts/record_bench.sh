@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Record the kernel microbenchmark suite to BENCH_KERNELS.json at the repo
+# root (google-benchmark's JSON format, machine-diffable across commits).
+#
+#   scripts/record_bench.sh [build-dir] [output.json]
+#
+# Pass a build configured with -DMS_NATIVE=ON to record the full-ISA numbers.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SOURCE_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+OUT="${2:-${SOURCE_DIR}/BENCH_KERNELS.json}"
+
+if [[ ! -x "${BUILD_DIR}/bench/bench_kernels" ]]; then
+  cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${BUILD_DIR}" -j --target bench_kernels
+fi
+
+"${BUILD_DIR}/bench/bench_kernels" \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="${OUT}"
+
+echo "record_bench: wrote ${OUT}"

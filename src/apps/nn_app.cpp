@@ -70,9 +70,11 @@ NnApp::Output NnApp::run_with_output(const sim::SimConfig& cfg, const NnConfig& 
     }
     ctx.synchronize();
     // Host-side top-k merge (the "master thread updates the list" step).
+    // nn_topk builds per-chunk partial lists in parallel and merges them in
+    // index order — the final list is exactly the sequential scan's.
     if (nc.common.functional) {
       for (const rt::Range& r : ranges) {
-        kern::nn_merge_topk(dist.data() + r.begin, r.size(), r.begin, best.data(), nc.k);
+        kern::nn_topk(dist.data() + r.begin, r.size(), r.begin, best.data(), nc.k);
       }
     }
   });

@@ -99,9 +99,8 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
         launch.fn = [&ctx, bimg, bj, tile, cols] {
           const float* img = ctx.device_ptr<float>(bimg, 0);
           float* j = ctx.device_ptr<float>(bj, 0);
-          for (std::size_t r = tile.row_begin; r < tile.row_end; ++r) {
-            kern::srad_extract(img, j, r * cols + tile.col_begin, r * cols + tile.col_end);
-          }
+          kern::srad_extract_2d(img, j, cols, tile.row_begin, tile.row_end, tile.col_begin,
+                                tile.col_end);
         };
       }
       update_ev[t] = ctx.stream(static_cast<int>(t) % streams)
@@ -123,14 +122,8 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
             const float* j = ctx.device_ptr<float>(bj, 0);
             double sum = 0.0;
             double sum2 = 0.0;
-            for (std::size_t r = tile.row_begin; r < tile.row_end; ++r) {
-              double s1 = 0.0;
-              double s2 = 0.0;
-              kern::srad_statistics(j, r * cols + tile.col_begin, r * cols + tile.col_end, &s1,
-                                    &s2);
-              sum += s1;
-              sum2 += s2;
-            }
+            kern::srad_statistics_2d(j, cols, tile.row_begin, tile.row_end, tile.col_begin,
+                                     tile.col_end, &sum, &sum2);
             auto* out = ctx.device_ptr<double>(bpart, 0, t * 2);
             out[0] = sum;
             out[1] = sum2;
@@ -224,9 +217,8 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
         launch.fn = [&ctx, bimg, bj, tile, cols] {
           const float* j = ctx.device_ptr<float>(bj, 0);
           float* img = ctx.device_ptr<float>(bimg, 0);
-          for (std::size_t r = tile.row_begin; r < tile.row_end; ++r) {
-            kern::srad_compress(j, img, r * cols + tile.col_begin, r * cols + tile.col_end);
-          }
+          kern::srad_compress_2d(j, img, cols, tile.row_begin, tile.row_end, tile.col_begin,
+                                 tile.col_end);
         };
       }
       compress_ev[t] = ctx.stream(static_cast<int>(t) % streams)

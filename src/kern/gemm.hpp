@@ -7,16 +7,20 @@ namespace ms::kern {
 /// C += A * B on row-major tiles.
 ///
 /// A is m x k with leading dimension lda, B is k x n with ldb, C is m x n
-/// with ldc. Cache-blocked i-k-j loop order; good enough to validate the
-/// tiled matrix-multiplication application functionally (performance on the
-/// host is irrelevant — timing comes from the cost model).
+/// with ldc. Runs on the kernel execution engine (kern::par): row bands in
+/// parallel, k-blocked with a register micro-kernel per j-panel. The
+/// decomposition is a pure function of (m, n, k), so results are
+/// bit-identical across thread counts; virtual time still comes from the
+/// cost model alone.
 void gemm_tile(const double* a, const double* b, double* c, std::size_t m, std::size_t n,
                std::size_t k, std::size_t lda, std::size_t ldb, std::size_t ldc);
 
 /// C += A * B^T on row-major tiles: A is m x k (lda), B is n x k (ldb), C is
 /// m x n (ldc). The tiled MM application stores B transposed so that a
 /// column band of B is a contiguous row band of B^T and can be moved by one
-/// DMA transfer.
+/// DMA transfer. Band-parallel with a 4-lane / 4-column dot-product kernel;
+/// the lane split and pair-tree combine are functions of k alone, so results
+/// are bit-identical across thread counts.
 void gemm_nt_acc(const double* a, const double* b, double* c, std::size_t m, std::size_t n,
                  std::size_t k, std::size_t lda, std::size_t ldb, std::size_t ldc);
 

@@ -22,7 +22,11 @@ struct HotspotParams {
 /// One simulation step over the 2-D tile [row_begin, row_end) x
 /// [col_begin, col_end) of the full grid. `t_in` and `power` are rows x
 /// cols; results go to `t_out` (same shape). Cells outside the tile are read
-/// (halo) but not written.
+/// (halo) but not written. Runs on the kernel execution engine: fixed
+/// kRowBand row bands in parallel, columns split by *global* position into
+/// clamped edge iterations and a branch-free interior loop — every cell
+/// computes the same expression on the same path for any tiling or thread
+/// count, so results are bit-identical.
 void hotspot_step(const double* t_in, const double* power, double* t_out, std::size_t rows,
                   std::size_t cols, std::size_t row_begin, std::size_t row_end,
                   std::size_t col_begin, std::size_t col_end, const HotspotParams& p);

@@ -2,28 +2,35 @@
 
 #include <limits>
 
+#include "kern/par.hpp"
+
 namespace ms::kern {
 
 void kmeans_assign(const float* points, const float* centroids, std::int32_t* membership,
                    std::size_t n, std::size_t dims, std::size_t k) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* p = points + i * dims;
-    float best = std::numeric_limits<float>::max();
-    std::int32_t best_c = 0;
-    for (std::size_t c = 0; c < k; ++c) {
-      const float* cc = centroids + c * dims;
-      float dist = 0.0f;
-      for (std::size_t d = 0; d < dims; ++d) {
-        const float diff = p[d] - cc[d];
-        dist += diff * diff;
+  // Per-point scans are independent and each point owns its membership slot,
+  // so fixed kChunk chunks parallelize with bit-identical results: the
+  // distance accumulation order per (point, centroid) never changes.
+  par::for_blocked(0, n, par::kChunk, [=](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* p = points + i * dims;
+      float best = std::numeric_limits<float>::max();
+      std::int32_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const float* cc = centroids + c * dims;
+        float dist = 0.0f;
+        for (std::size_t d = 0; d < dims; ++d) {
+          const float diff = p[d] - cc[d];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<std::int32_t>(c);
+        }
       }
-      if (dist < best) {
-        best = dist;
-        best_c = static_cast<std::int32_t>(c);
-      }
+      membership[i] = best_c;
     }
-    membership[i] = best_c;
-  }
+  });
 }
 
 void kmeans_accumulate(const float* points, const std::int32_t* membership, float* sums,

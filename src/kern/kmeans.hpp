@@ -12,6 +12,9 @@ namespace ms::kern {
 
 /// Assign each point to its nearest centroid (squared Euclidean distance).
 /// Writes `membership[i] in [0, k)`. Ties resolve to the lowest index.
+/// Chunk-parallel on the kernel execution engine (fixed kChunk point
+/// chunks); each point owns its membership slot and its distance sums keep
+/// a fixed order, so results are bit-identical across thread counts.
 void kmeans_assign(const float* points, const float* centroids, std::int32_t* membership,
                    std::size_t n, std::size_t dims, std::size_t k);
 

@@ -2,15 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "kern/par.hpp"
 
 namespace ms::kern {
 
 void nn_distances(const LatLng* records, float* dist, std::size_t n, LatLng target) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const float dlat = records[i].lat - target.lat;
-    const float dlng = records[i].lng - target.lng;
-    dist[i] = std::sqrt(dlat * dlat + dlng * dlng);
-  }
+  // Pure map: each record owns dist[i], so fixed chunks are bit-identical
+  // for any thread count.
+  par::for_blocked(0, n, par::kChunk, [=](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float dlat = records[i].lat - target.lat;
+      const float dlng = records[i].lng - target.lng;
+      dist[i] = std::sqrt(dlat * dlat + dlng * dlng);
+    }
+  });
 }
 
 void nn_merge_topk(const float* dist, std::size_t n, std::size_t base, Neighbor* best,
@@ -25,6 +32,40 @@ void nn_merge_topk(const float* dist, std::size_t n, std::size_t base, Neighbor*
       --pos;
     }
     best[pos] = Neighbor{dist[i], base + i};
+  }
+}
+
+void nn_merge_lists(Neighbor* dst, const Neighbor* src, std::size_t k) {
+  for (std::size_t i = 0; i < k; ++i) {
+    if (src[i].dist >= dst[k - 1].dist) break;  // src ascending: the rest skip too
+    std::size_t pos = k - 1;
+    while (pos > 0 && dst[pos - 1].dist > src[i].dist) {
+      dst[pos] = dst[pos - 1];
+      --pos;
+    }
+    dst[pos] = src[i];
+  }
+}
+
+void nn_topk(const float* dist, std::size_t n, std::size_t base, Neighbor* best, std::size_t k) {
+  if (n == 0 || k == 0) return;
+  const std::size_t blocks = par::block_count(n, par::kChunk);
+  if (blocks == 1) {
+    nn_merge_topk(dist, n, base, best, k);
+    return;
+  }
+  // Per-chunk partial lists, merged into `best` in chunk (= index) order.
+  // An element dropped from its chunk's list is preceded by k closer
+  // neighbours from its own chunk, so it cannot be in the global top-k: the
+  // merged result equals the sequential scan exactly.
+  std::vector<Neighbor> partial(
+      blocks * k, Neighbor{std::numeric_limits<float>::infinity(), 0});
+  par::for_blocked(0, n, par::kChunk, [&](std::size_t i0, std::size_t i1) {
+    const std::size_t b = i0 / par::kChunk;
+    nn_merge_topk(dist + i0, i1 - i0, base + i0, partial.data() + b * k, k);
+  });
+  for (std::size_t b = 0; b < blocks; ++b) {
+    nn_merge_lists(best, partial.data() + b * k, k);
   }
 }
 

@@ -27,6 +27,19 @@ struct Neighbor {
 void nn_merge_topk(const float* dist, std::size_t n, std::size_t base, Neighbor* best,
                    std::size_t k);
 
+/// Merge one ascending top-k list into another: `dst` absorbs the entries of
+/// `src` that beat its current worst. Precondition for exact equivalence with
+/// a sequential scan: every index in `src` is greater than every index in
+/// `dst` (merge partial lists in chunk order), so the dist-only tie-breaking
+/// keeps the lowest-index winner just like the scan does.
+void nn_merge_lists(Neighbor* dst, const Neighbor* src, std::size_t k);
+
+/// Blocked top-k on the kernel execution engine: fixed kChunk chunks build
+/// partial lists in parallel, merged into `best` in chunk order. Result is
+/// identical to nn_merge_topk(dist, n, base, best, k) — same list, any
+/// thread count.
+void nn_topk(const float* dist, std::size_t n, std::size_t base, Neighbor* best, std::size_t k);
+
 /// Oracle: exhaustive top-k by full sort.
 [[nodiscard]] std::vector<Neighbor> nn_reference(const LatLng* records, std::size_t n,
                                                  LatLng target, std::size_t k);

@@ -1,21 +1,27 @@
 #include "kern/saxpy_iter.hpp"
 
+#include "kern/par.hpp"
+
 namespace ms::kern {
 
 void saxpy_iter(const float* a, float* b, std::size_t n, float alpha, int iters) {
   if (iters <= 0) return;
-  for (std::size_t i = 0; i < n; ++i) {
-    b[i] = a[i] + alpha;
-  }
-  // The functional result of repeating B[i] = A[i] + alpha is idempotent, so
-  // subsequent iterations only matter for the virtual-time cost model; keep a
-  // token amount of real work so host-side tests can observe `iters` without
-  // making big simulations slow.
-  for (int it = 1; it < iters && static_cast<std::size_t>(it) < 2; ++it) {
-    for (std::size_t i = 0; i < n; ++i) {
+  // Pure map over fixed chunks: each element owns b[i], bit-identical for
+  // any thread count.
+  par::for_blocked(0, n, par::kChunk, [=](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
       b[i] = a[i] + alpha;
     }
-  }
+    // The functional result of repeating B[i] = A[i] + alpha is idempotent,
+    // so subsequent iterations only matter for the virtual-time cost model;
+    // keep a token amount of real work so host-side tests can observe
+    // `iters` without making big simulations slow.
+    for (int it = 1; it < iters && static_cast<std::size_t>(it) < 2; ++it) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        b[i] = a[i] + alpha;
+      }
+    }
+  });
 }
 
 }  // namespace ms::kern

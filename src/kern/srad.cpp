@@ -3,25 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kern/par.hpp"
+
 namespace ms::kern {
 
 void srad_extract(const float* image, float* j, std::size_t begin, std::size_t end) {
-  for (std::size_t i = begin; i < end; ++i) {
-    j[i] = std::exp(image[i] / 255.0f);
-  }
+  par::for_blocked(begin, end, par::kChunk, [=](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      j[i] = std::exp(image[i] / 255.0f);
+    }
+  });
 }
 
 void srad_statistics(const float* j, std::size_t begin, std::size_t end, double* sum,
                      double* sum2) {
-  double s = 0.0;
-  double s2 = 0.0;
-  for (std::size_t i = begin; i < end; ++i) {
-    const double v = j[i];
-    s += v;
-    s2 += v * v;
-  }
-  *sum = s;
-  *sum2 = s2;
+  // Deterministic blocked reduction: fixed kChunk blocks, each summed
+  // serially, partials merged by the engine's fixed tree. Bit-identical for
+  // any thread count; ranges under one chunk (every oracle test) reduce to
+  // the plain serial loop.
+  struct Sums {
+    double s = 0.0;
+    double s2 = 0.0;
+  };
+  const Sums total = par::blocked_reduce(
+      begin, end, par::kChunk, Sums{},
+      [=](std::size_t i0, std::size_t i1) {
+        Sums p;
+        for (std::size_t i = i0; i < i1; ++i) {
+          const double v = j[i];
+          p.s += v;
+          p.s2 += v * v;
+        }
+        return p;
+      },
+      [](const Sums& a, const Sums& b) { return Sums{a.s + b.s, a.s2 + b.s2}; });
+  *sum = total.s;
+  *sum2 = total.s2;
 }
 
 double srad_q0sqr(double sum, double sum2, std::size_t count) noexcept {
@@ -34,59 +51,114 @@ double srad_q0sqr(double sum, double sum2, std::size_t count) noexcept {
 void srad_coeff(const float* j, float* c, float* dn, float* ds, float* dw, float* de,
                 std::size_t rows, std::size_t cols, std::size_t row_begin, std::size_t row_end,
                 std::size_t col_begin, std::size_t col_end, double q0sqr) {
-  for (std::size_t r = row_begin; r < row_end; ++r) {
-    const std::size_t rn = r > 0 ? r - 1 : 0;
-    const std::size_t rs = r + 1 < rows ? r + 1 : rows - 1;
-    for (std::size_t col = col_begin; col < col_end; ++col) {
-      const std::size_t cw = col > 0 ? col - 1 : 0;
-      const std::size_t ce = col + 1 < cols ? col + 1 : cols - 1;
-      const std::size_t k = r * cols + col;
-      const float jc = j[k];
-      const float n = j[rn * cols + col] - jc;
-      const float s = j[rs * cols + col] - jc;
-      const float w = j[r * cols + cw] - jc;
-      const float e = j[r * cols + ce] - jc;
-      dn[k] = n;
-      ds[k] = s;
-      dw[k] = w;
-      de[k] = e;
+  // Band-parallel over rows (fixed kRowBand); each cell's expression is
+  // unchanged and self-contained, so any banding gives bit-identical tiles.
+  par::for_blocked(row_begin, row_end, par::kRowBand, [=](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const std::size_t rn = r > 0 ? r - 1 : 0;
+      const std::size_t rs = r + 1 < rows ? r + 1 : rows - 1;
+      for (std::size_t col = col_begin; col < col_end; ++col) {
+        const std::size_t cw = col > 0 ? col - 1 : 0;
+        const std::size_t ce = col + 1 < cols ? col + 1 : cols - 1;
+        const std::size_t k = r * cols + col;
+        const float jc = j[k];
+        const float n = j[rn * cols + col] - jc;
+        const float s = j[rs * cols + col] - jc;
+        const float w = j[r * cols + cw] - jc;
+        const float e = j[r * cols + ce] - jc;
+        dn[k] = n;
+        ds[k] = s;
+        dw[k] = w;
+        de[k] = e;
 
-      const double g2 = (static_cast<double>(n) * n + static_cast<double>(s) * s +
-                         static_cast<double>(w) * w + static_cast<double>(e) * e) /
-                        (static_cast<double>(jc) * jc);
-      const double l = (static_cast<double>(n) + s + w + e) / jc;
-      const double num = 0.5 * g2 - (1.0 / 16.0) * l * l;
-      const double den_l = 1.0 + 0.25 * l;
-      const double qsqr = num / (den_l * den_l);
-      const double den = (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr));
-      const double cv = 1.0 / (1.0 + den);
-      c[k] = static_cast<float>(std::clamp(cv, 0.0, 1.0));
+        const double g2 = (static_cast<double>(n) * n + static_cast<double>(s) * s +
+                           static_cast<double>(w) * w + static_cast<double>(e) * e) /
+                          (static_cast<double>(jc) * jc);
+        const double l = (static_cast<double>(n) + s + w + e) / jc;
+        const double num = 0.5 * g2 - (1.0 / 16.0) * l * l;
+        const double den_l = 1.0 + 0.25 * l;
+        const double qsqr = num / (den_l * den_l);
+        const double den = (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr));
+        const double cv = 1.0 / (1.0 + den);
+        c[k] = static_cast<float>(std::clamp(cv, 0.0, 1.0));
+      }
     }
-  }
+  });
 }
 
 void srad_update(float* j, const float* c, const float* dn, const float* ds, const float* dw,
                  const float* de, std::size_t rows, std::size_t cols, std::size_t row_begin,
                  std::size_t row_end, std::size_t col_begin, std::size_t col_end, double lambda) {
-  for (std::size_t r = row_begin; r < row_end; ++r) {
-    const std::size_t rs = r + 1 < rows ? r + 1 : rows - 1;
-    for (std::size_t col = col_begin; col < col_end; ++col) {
-      const std::size_t ce = col + 1 < cols ? col + 1 : cols - 1;
-      const std::size_t k = r * cols + col;
-      const float cc = c[k];
-      const float cs = c[rs * cols + col];
-      const float ce_v = c[r * cols + ce];
-      const double div = static_cast<double>(cs) * ds[k] + static_cast<double>(cc) * dn[k] +
-                         static_cast<double>(ce_v) * de[k] + static_cast<double>(cc) * dw[k];
-      j[k] = static_cast<float>(j[k] + 0.25 * lambda * div);
+  par::for_blocked(row_begin, row_end, par::kRowBand, [=](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const std::size_t rs = r + 1 < rows ? r + 1 : rows - 1;
+      for (std::size_t col = col_begin; col < col_end; ++col) {
+        const std::size_t ce = col + 1 < cols ? col + 1 : cols - 1;
+        const std::size_t k = r * cols + col;
+        const float cc = c[k];
+        const float cs = c[rs * cols + col];
+        const float ce_v = c[r * cols + ce];
+        const double div = static_cast<double>(cs) * ds[k] + static_cast<double>(cc) * dn[k] +
+                           static_cast<double>(ce_v) * de[k] + static_cast<double>(cc) * dw[k];
+        j[k] = static_cast<float>(j[k] + 0.25 * lambda * div);
+      }
     }
-  }
+  });
 }
 
 void srad_compress(const float* j, float* image, std::size_t begin, std::size_t end) {
-  for (std::size_t i = begin; i < end; ++i) {
-    image[i] = 255.0f * std::log(j[i]);
-  }
+  par::for_blocked(begin, end, par::kChunk, [=](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      image[i] = 255.0f * std::log(j[i]);
+    }
+  });
+}
+
+void srad_extract_2d(const float* image, float* j, std::size_t cols, std::size_t row_begin,
+                     std::size_t row_end, std::size_t col_begin, std::size_t col_end) {
+  par::for_blocked(row_begin, row_end, par::kRowBand, [=](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      for (std::size_t i = r * cols + col_begin; i < r * cols + col_end; ++i) {
+        j[i] = std::exp(image[i] / 255.0f);
+      }
+    }
+  });
+}
+
+void srad_statistics_2d(const float* j, std::size_t cols, std::size_t row_begin,
+                        std::size_t row_end, std::size_t col_begin, std::size_t col_end,
+                        double* sum, double* sum2) {
+  struct Sums {
+    double s = 0.0;
+    double s2 = 0.0;
+  };
+  const Sums total = par::blocked_reduce(
+      row_begin, row_end, par::kRowBand, Sums{},
+      [=](std::size_t r0, std::size_t r1) {
+        Sums p;
+        for (std::size_t r = r0; r < r1; ++r) {
+          for (std::size_t i = r * cols + col_begin; i < r * cols + col_end; ++i) {
+            const double v = j[i];
+            p.s += v;
+            p.s2 += v * v;
+          }
+        }
+        return p;
+      },
+      [](const Sums& a, const Sums& b) { return Sums{a.s + b.s, a.s2 + b.s2}; });
+  *sum = total.s;
+  *sum2 = total.s2;
+}
+
+void srad_compress_2d(const float* j, float* image, std::size_t cols, std::size_t row_begin,
+                      std::size_t row_end, std::size_t col_begin, std::size_t col_end) {
+  par::for_blocked(row_begin, row_end, par::kRowBand, [=](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      for (std::size_t i = r * cols + col_begin; i < r * cols + col_end; ++i) {
+        image[i] = 255.0f * std::log(j[i]);
+      }
+    }
+  });
 }
 
 }  // namespace ms::kern

@@ -18,7 +18,10 @@ namespace ms::kern {
 void srad_extract(const float* image, float* j, std::size_t begin, std::size_t end);
 
 /// Partial sums for the ROI statistics over the band [begin, end):
-/// returns sum and sum-of-squares via out parameters.
+/// returns sum and sum-of-squares via out parameters. A deterministic
+/// blocked reduction on the kernel execution engine — fixed kChunk blocks
+/// merged by a fixed tree — so the sums are bit-identical across thread
+/// counts (ranges under one chunk degenerate to the plain serial loop).
 void srad_statistics(const float* j, std::size_t begin, std::size_t end, double* sum,
                      double* sum2);
 
@@ -40,6 +43,21 @@ void srad_update(float* j, const float* c, const float* dn, const float* ds, con
 
 /// I[i] = 255 * log(J[i]) over [begin, end).
 void srad_compress(const float* j, float* image, std::size_t begin, std::size_t end);
+
+/// 2-D tile forms of extract / statistics / compress over
+/// [row_begin, row_end) x [col_begin, col_end) of a row-major image with
+/// `cols` columns. Band-parallel on the kernel execution engine (fixed
+/// kRowBand row bands); statistics sums each band serially in row order and
+/// merges band partials with the fixed tree, so all three are bit-identical
+/// across thread counts. These are what the SRAD application launches per
+/// tile — a tile is one call, not a loop of per-row calls.
+void srad_extract_2d(const float* image, float* j, std::size_t cols, std::size_t row_begin,
+                     std::size_t row_end, std::size_t col_begin, std::size_t col_end);
+void srad_statistics_2d(const float* j, std::size_t cols, std::size_t row_begin,
+                        std::size_t row_end, std::size_t col_begin, std::size_t col_end,
+                        double* sum, double* sum2);
+void srad_compress_2d(const float* j, float* image, std::size_t cols, std::size_t row_begin,
+                      std::size_t row_end, std::size_t col_begin, std::size_t col_end);
 
 [[nodiscard]] constexpr double srad_coeff_flops(std::size_t band_rows, std::size_t cols) noexcept {
   return 22.0 * static_cast<double>(band_rows) * static_cast<double>(cols);

@@ -11,7 +11,13 @@
 namespace ms::sim {
 
 namespace {
-thread_local bool t_inside_pool_worker = false;
+/// True while the current thread is draining a batch — set for pool workers
+/// for their whole life AND for any calling thread while it participates in
+/// its own run(). Nested run() calls from either must execute inline: a pool
+/// worker would deadlock the batch it is part of, and the calling thread
+/// already holds run_mu (app dispatch under a parallel sweep launching a
+/// parallel kernel is exactly this shape).
+thread_local bool t_in_pool_batch = false;
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -72,7 +78,7 @@ struct ThreadPool::Impl {
   }
 
   void worker_loop() {
-    t_inside_pool_worker = true;
+    t_in_pool_batch = true;
     std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Batch> batch;
@@ -100,7 +106,13 @@ struct ThreadPool::Impl {
       ++generation;
     }
     wake.notify_all();
-    batch->drain();  // the calling thread helps
+    // The calling thread helps drain. Mark it as batch-bound for the
+    // duration so a job that itself sweeps (nested parallel kernel inside a
+    // parallel-sweep job) runs the inner jobs inline instead of re-entering
+    // run() and self-deadlocking on run_mu.
+    t_in_pool_batch = true;
+    batch->drain();
+    t_in_pool_batch = false;
     std::unique_lock<std::mutex> lock(batch->mu);
     batch->complete.wait(
         lock, [&] { return batch->done.load(std::memory_order_acquire) == batch->jobs; });
@@ -127,9 +139,11 @@ unsigned ThreadPool::size() const noexcept {
 void ThreadPool::run(std::size_t jobs, const std::function<void(std::size_t)>& body,
                      std::size_t max_workers) {
   if (jobs == 0) return;
-  if (t_inside_pool_worker) {
-    // Nested sweep from inside a job: run inline, serially. Deterministic
-    // and deadlock-free; the outer sweep already owns the workers.
+  if (t_in_pool_batch) {
+    // Nested sweep from inside a job — whether the job landed on a pool
+    // worker or on the calling thread of the outer run(). Run inline,
+    // serially: deterministic and deadlock-free; the outer sweep already
+    // owns the workers (and, for the calling thread, run_mu).
     for (std::size_t i = 0; i < jobs; ++i) body(i);
     return;
   }

@@ -39,8 +39,11 @@ public:
   /// calling thread participates, so a 1-worker pool degrades gracefully.
   /// `max_workers` bounds how many threads work the batch (0 = no bound).
   /// The first exception thrown by a job is rethrown here (remaining jobs
-  /// still run to completion). Calls from inside a pool worker execute the
-  /// jobs inline on that worker (no deadlock on nested sweeps).
+  /// still run to completion). Reentrant by design: a nested run() from
+  /// inside a job — on a pool worker or on the calling thread that is
+  /// helping drain — executes the inner jobs inline on that thread (no
+  /// deadlock on nested sweeps; see the nested-parallel_map regression
+  /// tests).
   void run(std::size_t jobs, const std::function<void(std::size_t)>& body,
            std::size_t max_workers = 0);
 

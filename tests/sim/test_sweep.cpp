@@ -46,6 +46,32 @@ TEST(ThreadPool, NestedRunFromWorkerDoesNotDeadlock) {
   EXPECT_EQ(inner.load(), 16);
 }
 
+TEST(ThreadPool, NestedRunFromCallingThreadDoesNotDeadlock) {
+  // Both levels on the *shared* pool. The calling thread helps drain the
+  // outer batch, so outer jobs can land on it; a nested run() from such a
+  // job re-enters the same pool while the caller still holds its run mutex.
+  // Regression test for the self-deadlock this used to cause — nested runs
+  // must execute inline on the batch-bound thread instead.
+  std::atomic<int> inner{0};
+  parallel_for(3, [&](std::size_t) {
+    parallel_for(5, [&](std::size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 15);
+}
+
+TEST(ParallelMap, NestedMapsKeepOrderedResults) {
+  // A sweep job that itself runs a parallel kernel is the common nested
+  // shape; results of both levels must stay ordered by index.
+  const auto out = parallel_map<std::size_t>(6, [](std::size_t i) {
+    const auto sq = parallel_map<std::size_t>(4, [=](std::size_t j) { return i * 10 + j; });
+    std::size_t sum = 0;
+    for (const std::size_t v : sq) sum += v;
+    return sum;  // 4*10i + 0+1+2+3
+  });
+  ASSERT_EQ(out.size(), 6u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 40 * i + 6);
+}
+
 TEST(ParallelMap, ResultsAreOrderedByIndex) {
   const auto out = parallel_map<std::size_t>(100, [](std::size_t i) { return i * i; });
   ASSERT_EQ(out.size(), 100u);
