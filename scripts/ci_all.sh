@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The whole CI surface in one command, in severity order:
+#   1. tier-1: Release build + full ctest suite
+#   2. sanitizers: thread, address (leak check proves the hazard-abort path
+#      releases pooled actions), undefined (every UB report fatal)
+#   3. native kernel leg (-O3 -march=native numerics stay bit-stable)
+#   4. static analysis (clang-tidy, or the strict -Werror fallback)
+#
+#   scripts/ci_all.sh [build-dir-prefix]
+set -euo pipefail
+
+PREFIX="${1:-build-ci}"
+SOURCE_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+echo "==> tier-1 build + ctest"
+cmake -S "${SOURCE_DIR}" -B "${PREFIX}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${PREFIX}" -j
+ctest --test-dir "${PREFIX}" --output-on-failure -j "$(nproc)"
+
+for san in thread address undefined; do
+  echo "==> sanitize: ${san}"
+  "${SOURCE_DIR}/scripts/ci_sanitize.sh" "${san}" "${PREFIX}-${san}san"
+done
+
+echo "==> native kernels"
+"${SOURCE_DIR}/scripts/ci_native.sh" "${PREFIX}-native"
+
+echo "==> static analysis"
+"${SOURCE_DIR}/scripts/ci_tidy.sh" "${PREFIX}-tidy"
+
+echo "ci_all: OK"

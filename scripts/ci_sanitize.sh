@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Sanitizer CI leg: build the library + tests with MS_SANITIZE and run the
-# sim/rt test suites (the ones exercising the thread pool and the pooled
-# runtime hot path). Defaults to ThreadSanitizer, which is what the
-# multithreaded sweep engine needs; pass "address" for an ASan run.
+# suites exercising the thread pool, the pooled runtime hot path, and the
+# hazard analyzer. Defaults to ThreadSanitizer, which is what the
+# multithreaded sweep engine needs; pass "address" for an ASan run (leak
+# detection on — this is what proves hazard-abort paths release pooled
+# actions) or "undefined" for UBSan with every report fatal.
 #
-#   scripts/ci_sanitize.sh [thread|address] [build-dir]
+#   scripts/ci_sanitize.sh [thread|address|undefined] [build-dir]
 set -euo pipefail
 
 SANITIZER="${1:-thread}"
@@ -12,27 +14,32 @@ BUILD_DIR="${2:-build-${SANITIZER}san}"
 SOURCE_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
 case "${SANITIZER}" in
-  thread|address) ;;
+  thread|address|undefined) ;;
   *)
-    echo "usage: $0 [thread|address] [build-dir]" >&2
+    echo "usage: $0 [thread|address|undefined] [build-dir]" >&2
     exit 2
     ;;
 esac
 
+TARGETS=(test_sim test_rt test_kern test_model test_trace test_analyze test_integration)
+
 cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMS_SANITIZE="${SANITIZER}"
-cmake --build "${BUILD_DIR}" -j --target test_sim test_rt test_kern
+cmake --build "${BUILD_DIR}" -j --target "${TARGETS[@]}"
 
 # Fail on any sanitizer report even when the test itself would pass.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 export ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}"
 
-"${BUILD_DIR}/tests/test_sim"
-"${BUILD_DIR}/tests/test_rt"
-# The parallel kernel engine: blocked loops/reductions, the thread-count
-# determinism sweeps, and the nested-pool regression all run under the
-# sanitizer too.
-"${BUILD_DIR}/tests/test_kern"
+# test_sim/test_rt/test_kern: thread pool, pooled runtime, parallel kernel
+# engine. test_model/test_trace: analytic + timeline layers. test_analyze:
+# the hazard analyzer, including the abort path that must not leak pooled
+# actions (ASan's leak checker is the arbiter). test_integration: paper
+# claims end to end.
+for t in "${TARGETS[@]}"; do
+  "${BUILD_DIR}/tests/${t}"
+done
 
 echo "ci_sanitize(${SANITIZER}): OK"

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Static-analysis CI leg.
+#
+# Primary mode: clang-tidy over every translation unit in the repo's
+# compile_commands.json (the top-level CMakeLists exports it), driven by the
+# checked-in .clang-tidy profile with WarningsAsErrors='*'.
+#
+# Fallback mode: containers without clang-tidy (the baked toolchain is GCC
+# only) still get a meaningful gate — a from-scratch build with the full
+# warning set promoted to errors plus GCC's own static analysis surface
+# (-Wuseless-cast is about the strictest widely-clean signal GCC 12 offers on
+# this codebase). The fallback is weaker than clang-tidy and says so.
+#
+#   scripts/ci_tidy.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build-tidy}"
+SOURCE_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DMSTREAM_WERROR=ON
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json is exported by the configure step above.
+  mapfile -t SOURCES < <(cd "${SOURCE_DIR}" \
+    && git ls-files 'src/**/*.cpp' 'tools/*.cpp' 'examples/*.cpp')
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    (cd "${SOURCE_DIR}" && run-clang-tidy -p "${BUILD_DIR}" -quiet "${SOURCES[@]}")
+  else
+    (cd "${SOURCE_DIR}" && clang-tidy -p "${BUILD_DIR}" --quiet "${SOURCES[@]}")
+  fi
+  echo "ci_tidy: clang-tidy OK"
+else
+  echo "ci_tidy: clang-tidy not found; falling back to strict -Werror build" >&2
+  cmake --build "${BUILD_DIR}" -j
+  echo "ci_tidy: strict-warning build OK (install clang-tidy for the full check set)"
+fi

@@ -1,0 +1,384 @@
+#include "analyze/analyzer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace ms::analyze {
+namespace {
+
+/// Keep pathological graphs from producing unbounded reports: one missing
+/// edge in a tiled app can race hundreds of pairs.
+constexpr std::size_t kMaxHazards = 100;
+
+HazardAction describe(const ActionNode& n) {
+  HazardAction a;
+  a.id = n.id;
+  a.stream = n.stream;
+  a.kind = n.kind;
+  a.label = n.label;
+  return a;
+}
+
+std::string action_str(const HazardAction& a) {
+  std::string s = "action #" + std::to_string(a.id & 0xFFFFFFFFFFull) + " '" + a.label + "' (" +
+                  std::string(to_string(a.kind));
+  if (a.stream >= 0) {
+    s += ", stream " + std::to_string(a.stream);
+  } else {
+    s += ", host";
+  }
+  s += ")";
+  return s;
+}
+
+std::string range_str(const rt::MemRange& r) {
+  std::string s = "bytes [" + std::to_string(r.offset) + ", ";
+  if (r.rows <= 1) {
+    s += std::to_string(r.offset + r.len) + ")";
+  } else {
+    s += std::to_string(r.span_end()) + "), " + std::to_string(r.rows) + " rows of " +
+         std::to_string(r.len) + " every " + std::to_string(r.stride);
+  }
+  return s;
+}
+
+std::string space_str(int space) {
+  return space == kHostSpace ? std::string("host copy") : "device " + std::to_string(space) + " copy";
+}
+
+}  // namespace
+
+void IntervalSet::insert(std::size_t begin, std::size_t end) {
+  if (begin >= end) return;
+  // Absorb every run overlapping or touching [begin, end).
+  auto it = runs_.upper_bound(begin);
+  if (it != runs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      it = runs_.erase(prev);
+    }
+  }
+  while (it != runs_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = runs_.erase(it);
+  }
+  runs_.emplace(begin, end);
+}
+
+bool IntervalSet::covers(std::size_t begin, std::size_t end) const {
+  auto [gb, ge] = first_gap(begin, end);
+  return gb == ge;
+}
+
+std::pair<std::size_t, std::size_t> IntervalSet::first_gap(std::size_t begin,
+                                                           std::size_t end) const {
+  if (begin >= end) return {end, end};
+  auto it = runs_.upper_bound(begin);
+  if (it == runs_.begin()) return {begin, it == runs_.end() ? end : std::min(end, it->first)};
+  auto prev = std::prev(it);
+  if (prev->second >= end) return {end, end};
+  if (prev->second > begin) {
+    // Covered up to prev->second; gap starts there.
+    return {prev->second, it == runs_.end() ? end : std::min(end, it->first)};
+  }
+  return {begin, it == runs_.end() ? end : std::min(end, it->first)};
+}
+
+Analysis analyze(const GraphRecord& record, Coverage* carry) {
+  Analysis out;
+  const std::vector<ActionNode>& nodes = record.nodes;
+  const std::size_t n = nodes.size();
+  out.nodes_analyzed = n;
+
+  // --- resolve ordering edges ---------------------------------------------
+  // Bucket per stream, plus one host bucket for HostSync/Free nodes (the
+  // host is itself sequential). FIFO predecessor + resolved explicit deps.
+  const int host_bucket = record.stream_count;
+  const int buckets = record.stream_count + 1;
+  auto bucket_of = [&](const ActionNode& node) {
+    return node.stream >= 0 ? node.stream : host_bucket;
+  };
+
+  std::vector<std::uint32_t> pos(n, 0);       // 1-based position within bucket
+  std::vector<std::size_t> fifo_pred(n, SIZE_MAX);
+  {
+    std::vector<std::size_t> last(static_cast<std::size_t>(buckets), SIZE_MAX);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto b = static_cast<std::size_t>(bucket_of(nodes[i]));
+      fifo_pred[i] = last[b];
+      pos[i] = last[b] == SIZE_MAX ? 1 : pos[last[b]] + 1;
+      last[b] = i;
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> preds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (fifo_pred[i] != SIZE_MAX) preds[i].push_back(fifo_pred[i]);
+    for (const std::uint64_t dep : nodes[i].deps) {
+      auto it = record.id_to_index.find(dep);
+      if (it == record.id_to_index.end() || it->second == i) continue;
+      preds[i].push_back(it->second);
+    }
+  }
+
+  // --- topological order (Kahn); failure means a wait cycle ----------------
+  std::vector<std::uint32_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> succs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t p : preds[i]) {
+      succs[p].push_back(i);
+      ++indegree[i];
+    }
+  }
+  std::vector<std::size_t> topo;
+  topo.reserve(n);
+  {
+    std::deque<std::size_t> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indegree[i] == 0) ready.push_back(i);
+    }
+    while (!ready.empty()) {
+      const std::size_t i = ready.front();
+      ready.pop_front();
+      topo.push_back(i);
+      for (const std::size_t s : succs[i]) {
+        if (--indegree[s] == 0) ready.push_back(s);
+      }
+    }
+  }
+
+  const bool cyclic = topo.size() != n;
+  if (cyclic) {
+    // Walk predecessors inside the residual graph until a node repeats; the
+    // repeated suffix is a wait cycle.
+    std::size_t start = SIZE_MAX;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indegree[i] > 0) {
+        start = i;
+        break;
+      }
+    }
+    std::vector<std::size_t> path;
+    std::unordered_map<std::size_t, std::size_t> seen;  // node -> path index
+    std::size_t cur = start;
+    while (seen.find(cur) == seen.end()) {
+      seen.emplace(cur, path.size());
+      path.push_back(cur);
+      std::size_t next = SIZE_MAX;
+      for (const std::size_t p : preds[cur]) {
+        if (indegree[p] > 0) {
+          next = p;
+          break;
+        }
+      }
+      cur = next;  // residual nodes always keep a residual predecessor
+    }
+    Hazard h;
+    h.kind = HazardKind::Deadlock;
+    std::string msg = "deadlock: wait cycle ";
+    for (std::size_t i = seen[cur]; i < path.size(); ++i) {
+      h.cycle.push_back(describe(nodes[path[i]]));
+    }
+    std::reverse(h.cycle.begin(), h.cycle.end());  // waiter -> waited-on order
+    h.cycle.push_back(h.cycle.front());
+    for (std::size_t i = 0; i < h.cycle.size(); ++i) {
+      if (i > 0) msg += " -> ";
+      msg += action_str(h.cycle[i]);
+    }
+    h.first = h.cycle.front();
+    h.second = h.cycle[1];
+    h.message = std::move(msg);
+    out.hazards.push_back(std::move(h));
+  }
+
+  // --- vector clocks + race scan (sound only on acyclic graphs) ------------
+  if (!cyclic && n > 0) {
+    std::vector<std::uint32_t> vc(n * static_cast<std::size_t>(buckets), 0);
+    auto clock = [&](std::size_t i) { return vc.data() + i * static_cast<std::size_t>(buckets); };
+    for (const std::size_t i : topo) {
+      std::uint32_t* ci = clock(i);
+      for (const std::size_t p : preds[i]) {
+        const std::uint32_t* cp = clock(p);
+        for (int b = 0; b < buckets; ++b) {
+          ci[b] = std::max(ci[b], cp[static_cast<std::size_t>(b)]);
+        }
+      }
+      ci[bucket_of(nodes[i])] = pos[i];
+    }
+    // a happens-before b  <=>  b's clock has reached a's position.
+    auto ordered = [&](std::size_t a, std::size_t b) {
+      return clock(b)[bucket_of(nodes[a])] >= pos[a] ||
+             clock(a)[bucket_of(nodes[b])] >= pos[b];
+    };
+
+    struct Entry {
+      std::size_t node;
+      std::size_t access;
+    };
+    std::unordered_map<std::uint64_t, std::vector<Entry>> by_location;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t a = 0; a < nodes[i].accesses.size(); ++a) {
+        const Access& acc = nodes[i].accesses[a];
+        by_location[Coverage::key(acc.buffer.value, acc.space)].push_back({i, a});
+      }
+    }
+
+    std::unordered_set<std::uint64_t> reported;  // (lo_index << 32) | hi_index
+    for (const auto& [key, entries] : by_location) {
+      (void)key;
+      for (std::size_t x = 0; x < entries.size() && out.hazards.size() < kMaxHazards; ++x) {
+        const Access& ax = nodes[entries[x].node].accesses[entries[x].access];
+        for (std::size_t y = x + 1; y < entries.size(); ++y) {
+          const std::size_t ni = entries[x].node;
+          const std::size_t nj = entries[y].node;
+          if (ni == nj) continue;
+          if (nodes[ni].stream == nodes[nj].stream && nodes[ni].stream >= 0) continue;
+          const Access& ay = nodes[nj].accesses[entries[y].access];
+          if (!rt::access_writes(ax.mode) && !rt::access_writes(ay.mode)) continue;
+          if (!ax.range.overlaps(ay.range)) continue;
+          if (ordered(ni, nj)) continue;
+          const std::uint64_t pair_key =
+              (static_cast<std::uint64_t>(std::min(ni, nj)) << 32) | std::max(ni, nj);
+          if (!reported.insert(pair_key).second) continue;
+
+          // Present in enqueue order: `first` was enqueued before `second`.
+          const bool x_first = ni < nj;
+          const ActionNode& nf = nodes[x_first ? ni : nj];
+          const ActionNode& ns = nodes[x_first ? nj : ni];
+          const Access& af = x_first ? ax : ay;
+          const Access& as = x_first ? ay : ax;
+
+          Hazard h;
+          if (rt::access_writes(af.mode) && rt::access_writes(as.mode)) {
+            h.kind = HazardKind::RaceWAW;
+          } else if (rt::access_writes(af.mode)) {
+            h.kind = HazardKind::RaceRAW;
+          } else {
+            h.kind = HazardKind::RaceWAR;
+          }
+          h.buffer = af.buffer.value;
+          h.buffer_name = record.buffer_name(h.buffer);
+          h.space = af.space;
+          h.first = describe(nf);
+          h.second = describe(ns);
+          h.range_first = af.range;
+          h.range_second = as.range;
+          h.message = std::string(to_string(h.kind)) + " on " + space_str(h.space) +
+                      " of buffer '" + h.buffer_name + "': " + action_str(h.first) + " (" +
+                      (rt::access_writes(af.mode) ? "writes " : "reads ") +
+                      range_str(af.range) + ") is unordered with " + action_str(h.second) +
+                      " (" + (rt::access_writes(as.mode) ? "writes " : "reads ") +
+                      range_str(as.range) +
+                      "); missing edge: pass the completion event of " + action_str(h.first) +
+                      " into the enqueue of " + action_str(h.second);
+          out.hazards.push_back(std::move(h));
+          if (out.hazards.size() >= kMaxHazards) break;
+        }
+      }
+    }
+  }
+
+  // --- enqueue-order scans: use-before-write, use-after-free, double-free --
+  Coverage local;
+  Coverage& cov = carry != nullptr ? *carry : local;
+
+  struct Freed {
+    bool in_segment = false;
+    HazardAction by;
+  };
+  std::unordered_map<std::uint64_t, Freed> freed;
+  for (const auto& [id, info] : record.buffers) {
+    if (info.freed) freed.emplace(id, Freed{});  // freed before this segment
+  }
+
+  for (std::size_t i = 0; i < n && out.hazards.size() < kMaxHazards; ++i) {
+    const ActionNode& node = nodes[i];
+
+    if (node.kind == NodeKind::Free) {
+      auto [it, fresh] = freed.try_emplace(node.buffer);
+      if (!fresh) {
+        Hazard h;
+        h.kind = HazardKind::DoubleFree;
+        h.buffer = node.buffer;
+        h.buffer_name = record.buffer_name(node.buffer);
+        h.first = it->second.in_segment ? it->second.by : HazardAction{0, -1, NodeKind::Free,
+                                                                       "free (earlier segment)"};
+        h.second = describe(node);
+        h.message = "double-free of buffer '" + h.buffer_name + "': " + action_str(h.second) +
+                    " destroys a buffer already destroyed by " + action_str(h.first);
+        out.hazards.push_back(std::move(h));
+      } else {
+        it->second.in_segment = true;
+        it->second.by = describe(node);
+      }
+      continue;
+    }
+
+    for (const Access& acc : node.accesses) {
+      const auto fit = freed.find(acc.buffer.value);
+      if (fit != freed.end()) {
+        Hazard h;
+        h.kind = HazardKind::UseAfterFree;
+        h.buffer = acc.buffer.value;
+        h.buffer_name = record.buffer_name(h.buffer);
+        h.space = acc.space;
+        h.first = fit->second.in_segment
+                      ? fit->second.by
+                      : HazardAction{0, -1, NodeKind::Free, "free (earlier segment)"};
+        h.second = describe(node);
+        h.range_second = acc.range;
+        h.message = "use-after-free of buffer '" + h.buffer_name + "': " + action_str(h.second) +
+                    " touches " + range_str(acc.range) + " after " + action_str(h.first);
+        out.hazards.push_back(std::move(h));
+        break;  // one report per action is enough
+      }
+    }
+
+    // Read checks happen before this node's writes are folded in.
+    if (node.kind == NodeKind::D2H) {
+      for (const Access& acc : node.accesses) {
+        if (acc.space == kHostSpace || !rt::access_reads(acc.mode)) continue;
+        const auto bit = record.buffers.find(acc.buffer.value);
+        if (bit != record.buffers.end() && bit->second.assume_initialized) continue;
+        const IntervalSet& set = cov.written[Coverage::key(acc.buffer.value, acc.space)];
+        const auto [gb, ge] = set.first_gap(acc.range.span_begin(), acc.range.span_end());
+        if (gb == ge) continue;
+        Hazard h;
+        h.kind = HazardKind::UseBeforeWrite;
+        h.buffer = acc.buffer.value;
+        h.buffer_name = record.buffer_name(h.buffer);
+        h.space = acc.space;
+        h.second = describe(node);
+        h.range_second = acc.range;
+        h.message = "use-before-write on " + space_str(acc.space) + " of buffer '" +
+                    h.buffer_name + "': " + action_str(h.second) + " reads " +
+                    range_str(acc.range) + " but bytes [" + std::to_string(gb) + ", " +
+                    std::to_string(ge) + ") were never written by any h2d or kernel";
+        out.hazards.push_back(std::move(h));
+      }
+    }
+
+    for (const Access& acc : node.accesses) {
+      if (acc.space == kHostSpace || !rt::access_writes(acc.mode)) continue;
+      cov.written[Coverage::key(acc.buffer.value, acc.space)].insert(acc.range.span_begin(),
+                                                                    acc.range.span_end());
+    }
+  }
+
+  // Hash-map iteration order leaked into the race scan; sort for stable,
+  // diffable reports.
+  std::stable_sort(out.hazards.begin(), out.hazards.end(), [](const Hazard& a, const Hazard& b) {
+    if (a.second.id != b.second.id) return a.second.id < b.second.id;
+    if (a.first.id != b.first.id) return a.first.id < b.first.id;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+  return out;
+}
+
+}  // namespace ms::analyze

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "analyze/hazard.hpp"
+#include "analyze/record.hpp"
+
+namespace ms::analyze {
+
+/// Merged set of byte intervals, used to track which device bytes have ever
+/// been written (the use-before-first-write check). 2D writes are inserted as
+/// their bounding interval — a deliberate over-approximation: a D2H of a
+/// buffer no recorded action ever touched is always caught; a read of the
+/// stride gaps between written rows is not. Races are unaffected (they use
+/// exact overlap tests).
+class IntervalSet {
+public:
+  void insert(std::size_t begin, std::size_t end);
+  [[nodiscard]] bool covers(std::size_t begin, std::size_t end) const;
+  /// First sub-interval of [begin, end) not covered (begin==end when covered).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> first_gap(std::size_t begin,
+                                                              std::size_t end) const;
+
+private:
+  std::map<std::size_t, std::size_t> runs_;  // begin -> end, disjoint, merged
+};
+
+/// Cross-segment carry state: per (buffer, space) written coverage. Keyed by
+/// buffer id and space (kHostSpace or device index).
+struct Coverage {
+  std::unordered_map<std::uint64_t, IntervalSet> written;
+
+  [[nodiscard]] static std::uint64_t key(std::uint64_t buffer, int space) noexcept {
+    return (buffer << 9) | static_cast<std::uint64_t>(space + 1);
+  }
+};
+
+/// Run the happens-before analysis over one recorded segment.
+///
+/// Pipeline: resolve edges (same-stream FIFO + explicit deps) -> Kahn
+/// topological sort (failure = wait cycle = Deadlock hazard, reported with
+/// the cycle as a stream/action chain) -> vector clocks -> pairwise check of
+/// overlapping same-buffer same-space accesses with at least one write and no
+/// ordering (RAW/WAR/WAW) -> enqueue-order scans for use-before-first-write
+/// D2H reads, use-after-free, and double-free.
+///
+/// `carry`, when given, seeds written-coverage from earlier segments and is
+/// updated with this segment's writes (host writes of the host range count as
+/// host-space coverage, device writes per device).
+[[nodiscard]] Analysis analyze(const GraphRecord& record, Coverage* carry = nullptr);
+
+}  // namespace ms::analyze

@@ -1,0 +1,22 @@
+#include "analyze/capture.hpp"
+
+namespace ms::analyze {
+namespace {
+thread_local Capture* g_current = nullptr;
+}  // namespace
+
+Capture::Capture() : prev_(g_current) { g_current = this; }
+
+Capture::~Capture() { g_current = prev_; }
+
+Capture* Capture::current() noexcept { return g_current; }
+
+void Capture::add(const Analysis& analysis, const GraphRecord& record) {
+  merged_.nodes_analyzed += analysis.nodes_analyzed;
+  if (analysis.clean()) return;
+  merged_.hazards.insert(merged_.hazards.end(), analysis.hazards.begin(),
+                         analysis.hazards.end());
+  racy_ = record;  // copy: the caller resets its segment afterwards
+}
+
+}  // namespace ms::analyze

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/access.hpp"
+
+namespace ms::analyze {
+
+/// Address space tag: `kHostSpace` is the registered host range, any value
+/// >= 0 is that device's instantiation of the buffer.
+inline constexpr int kHostSpace = -1;
+
+enum class NodeKind : std::uint8_t { H2D, D2H, Kernel, Barrier, HostSync, Free };
+
+[[nodiscard]] std::string_view to_string(NodeKind k) noexcept;
+
+/// Everything the analyzer can complain about.
+enum class HazardKind : std::uint8_t {
+  RaceRAW,         ///< unordered write then read of overlapping bytes
+  RaceWAR,         ///< unordered read then write of overlapping bytes
+  RaceWAW,         ///< two unordered writes of overlapping bytes
+  UseBeforeWrite,  ///< D2H reads device bytes nothing ever wrote
+  UseAfterFree,    ///< action touches a buffer after destroy_buffer
+  DoubleFree,      ///< buffer destroyed twice
+  Deadlock         ///< wait cycle in the ordering edges
+};
+
+[[nodiscard]] std::string_view to_string(HazardKind k) noexcept;
+
+/// Compact handle on one action involved in a hazard.
+struct HazardAction {
+  std::uint64_t id = 0;
+  int stream = kHostSpace;  // -1 = host-side node
+  NodeKind kind = NodeKind::Kernel;
+  std::string label;
+};
+
+struct Hazard {
+  HazardKind kind = HazardKind::RaceRAW;
+  std::uint64_t buffer = 0;  ///< 0 for deadlocks
+  std::string buffer_name;
+  int space = kHostSpace;
+  HazardAction first;   ///< enqueue-earlier action (or the free / the read)
+  HazardAction second;  ///< enqueue-later action
+  rt::MemRange range_first;
+  rt::MemRange range_second;
+  /// For Deadlock: the wait cycle as a stream/action chain (first == last).
+  std::vector<HazardAction> cycle;
+  /// Human-readable one-paragraph report: buffer, byte ranges, both actions
+  /// with streams and labels, and the missing edge that would fix it.
+  std::string message;
+};
+
+struct Analysis {
+  std::vector<Hazard> hazards;
+  std::size_t nodes_analyzed = 0;
+  [[nodiscard]] bool clean() const noexcept { return hazards.empty(); }
+};
+
+}  // namespace ms::analyze

@@ -1,0 +1,145 @@
+#include "analyze/record.hpp"
+
+#include <algorithm>
+
+namespace ms::analyze {
+
+std::string_view to_string(NodeKind k) noexcept {
+  switch (k) {
+    case NodeKind::H2D: return "h2d";
+    case NodeKind::D2H: return "d2h";
+    case NodeKind::Kernel: return "kernel";
+    case NodeKind::Barrier: return "barrier";
+    case NodeKind::HostSync: return "host-sync";
+    case NodeKind::Free: return "free";
+  }
+  return "?";
+}
+
+std::string_view to_string(HazardKind k) noexcept {
+  switch (k) {
+    case HazardKind::RaceRAW: return "race-raw";
+    case HazardKind::RaceWAR: return "race-war";
+    case HazardKind::RaceWAW: return "race-waw";
+    case HazardKind::UseBeforeWrite: return "use-before-write";
+    case HazardKind::UseAfterFree: return "use-after-free";
+    case HazardKind::DoubleFree: return "double-free";
+    case HazardKind::Deadlock: return "deadlock";
+  }
+  return "?";
+}
+
+void GraphRecord::declare_buffer(rt::BufferId id, std::size_t bytes, std::string name) {
+  BufferInfo& info = buffers[id.value];
+  info.id = id.value;
+  info.bytes = bytes;
+  info.freed = false;
+  if (!name.empty()) info.name = std::move(name);
+}
+
+void GraphRecord::set_buffer_name(rt::BufferId id, std::string name) {
+  auto it = buffers.find(id.value);
+  if (it != buffers.end()) it->second.name = std::move(name);
+}
+
+void GraphRecord::assume_device_resident(rt::BufferId id) {
+  auto it = buffers.find(id.value);
+  if (it != buffers.end()) it->second.assume_initialized = true;
+}
+
+std::uint64_t GraphRecord::add_node(ActionNode n, std::vector<std::uint64_t> deps) {
+  n.id = id_base | ++seq_;
+  n.deps = std::move(deps);
+  if (current_join_ != 0 && n.id != current_join_) n.deps.push_back(current_join_);
+  stream_count = std::max(stream_count, n.stream + 1);
+  id_to_index.emplace(n.id, nodes.size());
+  nodes.push_back(std::move(n));
+  return nodes.back().id;
+}
+
+std::uint64_t GraphRecord::add_h2d(int stream, int device, rt::BufferId buf, std::size_t offset,
+                                   std::size_t bytes, std::vector<std::uint64_t> deps) {
+  ActionNode n;
+  n.kind = NodeKind::H2D;
+  n.stream = stream;
+  n.device = device;
+  n.label = "h2d";
+  const auto range = rt::MemRange::flat(offset, bytes);
+  n.accesses.push_back({buf, kHostSpace, rt::AccessMode::Read, range});
+  n.accesses.push_back({buf, device, rt::AccessMode::Write, range});
+  return add_node(std::move(n), std::move(deps));
+}
+
+std::uint64_t GraphRecord::add_d2h(int stream, int device, rt::BufferId buf, std::size_t offset,
+                                   std::size_t bytes, std::vector<std::uint64_t> deps) {
+  ActionNode n;
+  n.kind = NodeKind::D2H;
+  n.stream = stream;
+  n.device = device;
+  n.label = "d2h";
+  const auto range = rt::MemRange::flat(offset, bytes);
+  n.accesses.push_back({buf, device, rt::AccessMode::Read, range});
+  n.accesses.push_back({buf, kHostSpace, rt::AccessMode::Write, range});
+  return add_node(std::move(n), std::move(deps));
+}
+
+std::uint64_t GraphRecord::add_kernel(int stream, int device, std::string label,
+                                      const std::vector<rt::BufferAccess>& accesses,
+                                      std::vector<std::uint64_t> deps) {
+  ActionNode n;
+  n.kind = NodeKind::Kernel;
+  n.stream = stream;
+  n.device = device;
+  n.label = std::move(label);
+  n.accesses.reserve(accesses.size());
+  for (const rt::BufferAccess& a : accesses) {
+    n.accesses.push_back({a.buffer, device, a.mode, a.range});
+  }
+  return add_node(std::move(n), std::move(deps));
+}
+
+std::uint64_t GraphRecord::add_barrier(int stream, std::vector<std::uint64_t> deps) {
+  ActionNode n;
+  n.kind = NodeKind::Barrier;
+  n.stream = stream;
+  n.label = "barrier";
+  return add_node(std::move(n), std::move(deps));
+}
+
+std::uint64_t GraphRecord::add_host_sync(std::vector<std::uint64_t> joined, std::string label) {
+  ActionNode n;
+  n.kind = NodeKind::HostSync;
+  n.stream = -1;
+  n.label = std::move(label);
+  const std::uint64_t id = add_node(std::move(n), std::move(joined));
+  current_join_ = id;
+  return id;
+}
+
+std::uint64_t GraphRecord::add_free(rt::BufferId buf) {
+  ActionNode n;
+  n.kind = NodeKind::Free;
+  n.stream = -1;
+  n.label = "free";
+  n.buffer = buf.value;
+  return add_node(std::move(n), {});
+}
+
+void GraphRecord::reset_segment() {
+  nodes.clear();
+  id_to_index.clear();
+  current_join_ = 0;
+}
+
+const ActionNode* GraphRecord::find(std::uint64_t id) const {
+  auto it = id_to_index.find(id);
+  return it == id_to_index.end() ? nullptr : &nodes[it->second];
+}
+
+std::string GraphRecord::buffer_name(std::uint64_t id) const {
+  auto it = buffers.find(id);
+  if (it != buffers.end() && !it->second.name.empty()) return it->second.name;
+  return "buf#" + std::to_string(id);
+}
+
+}  // namespace ms::analyze

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analyze/hazard.hpp"
+#include "rt/access.hpp"
+#include "rt/buffer.hpp"
+
+namespace ms::analyze {
+
+/// One declared access with its address space resolved: kernels touch their
+/// stream's device copy, transfers touch one host and one device range.
+struct Access {
+  rt::BufferId buffer;
+  int space = kHostSpace;
+  rt::AccessMode mode = rt::AccessMode::Read;
+  rt::MemRange range;
+};
+
+/// One recorded action (a node of the happens-before graph).
+struct ActionNode {
+  std::uint64_t id = 0;  ///< unique, monotone in enqueue order
+  NodeKind kind = NodeKind::Kernel;
+  int stream = -1;  ///< -1 for host-side nodes (HostSync, Free)
+  int device = -1;
+  std::string label;
+  std::uint64_t buffer = 0;  ///< Free nodes: the destroyed buffer
+  std::vector<std::uint64_t> deps;  ///< explicit ordering edges (event waits)
+  std::vector<Access> accesses;
+};
+
+struct BufferInfo {
+  std::uint64_t id = 0;
+  std::string name;  ///< "buf#N" when the app never named it
+  std::size_t bytes = 0;
+  bool freed = false;
+  /// Treat every device copy as fully written from the start (hBench-style
+  /// pure-transfer studies read device bytes no recorded action produced).
+  bool assume_initialized = false;
+};
+
+/// An analyzable slice of the runtime's action DAG: the nodes enqueued since
+/// the last global barrier, the buffer table, and the host-join chain.
+/// Ordering edges are (a) implicit same-stream FIFO — nodes on one stream are
+/// ordered by enqueue position — and (b) the explicit `deps` lists. Test
+/// fixtures hand-build records with the same API the runtime recorder uses.
+class GraphRecord {
+public:
+  // --- builder -------------------------------------------------------------
+
+  void declare_buffer(rt::BufferId id, std::size_t bytes, std::string name = {});
+  void set_buffer_name(rt::BufferId id, std::string name);
+  void assume_device_resident(rt::BufferId id);
+
+  std::uint64_t add_h2d(int stream, int device, rt::BufferId buf, std::size_t offset,
+                        std::size_t bytes, std::vector<std::uint64_t> deps = {});
+  std::uint64_t add_d2h(int stream, int device, rt::BufferId buf, std::size_t offset,
+                        std::size_t bytes, std::vector<std::uint64_t> deps = {});
+  std::uint64_t add_kernel(int stream, int device, std::string label,
+                           const std::vector<rt::BufferAccess>& accesses,
+                           std::vector<std::uint64_t> deps = {});
+  std::uint64_t add_barrier(int stream, std::vector<std::uint64_t> deps = {});
+  /// Host-side join: the host blocked until `joined` completed, so every node
+  /// added afterwards happens-after them (Stream::synchronize, Context::wait).
+  std::uint64_t add_host_sync(std::vector<std::uint64_t> joined, std::string label = "wait");
+  std::uint64_t add_free(rt::BufferId buf);
+
+  /// Drop the segment's nodes after a global barrier; the buffer table, the
+  /// id counter, and the stream count survive. Post-barrier nodes need no
+  /// edges to pre-barrier ones — the barrier already orders them.
+  void reset_segment();
+
+  // --- introspection -------------------------------------------------------
+
+  [[nodiscard]] const ActionNode* find(std::uint64_t id) const;
+  [[nodiscard]] std::string buffer_name(std::uint64_t id) const;
+  [[nodiscard]] bool empty() const noexcept { return nodes.empty(); }
+
+  std::vector<ActionNode> nodes;
+  std::unordered_map<std::uint64_t, BufferInfo> buffers;
+  std::unordered_map<std::uint64_t, std::size_t> id_to_index;
+  int stream_count = 0;
+
+  /// OR-ed into every assigned id. The runtime recorder sets a per-recorder
+  /// serial here so ids never collide across contexts; fixtures leave 0.
+  std::uint64_t id_base = 0;
+
+private:
+  std::uint64_t add_node(ActionNode n, std::vector<std::uint64_t> deps);
+
+  std::uint64_t seq_ = 0;
+  std::uint64_t current_join_ = 0;
+};
+
+}  // namespace ms::analyze

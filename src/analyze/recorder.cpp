@@ -1,0 +1,99 @@
+#include "analyze/recorder.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+#include "analyze/report.hpp"
+
+namespace ms::analyze {
+namespace {
+/// Per-recorder serial OR-ed into node ids so events of one context can
+/// never be misread as nodes of another (recorders keep the low 40 bits for
+/// their own monotone sequence).
+std::atomic<std::uint64_t> g_next_serial{1};
+}  // namespace
+
+Recorder::Recorder() : capture_(Capture::current()) {
+  graph_.id_base = g_next_serial.fetch_add(1, std::memory_order_relaxed) << 40;
+}
+
+std::uint64_t Recorder::on_transfer(bool h2d, int stream, int device, rt::BufferId buf,
+                                    std::size_t offset, std::size_t bytes,
+                                    std::vector<std::uint64_t> deps) {
+  return h2d ? graph_.add_h2d(stream, device, buf, offset, bytes, std::move(deps))
+             : graph_.add_d2h(stream, device, buf, offset, bytes, std::move(deps));
+}
+
+std::uint64_t Recorder::on_kernel(int stream, int device, std::string label,
+                                  const std::vector<rt::BufferAccess>& accesses,
+                                  std::vector<std::uint64_t> deps) {
+  return graph_.add_kernel(stream, device, std::move(label), accesses, std::move(deps));
+}
+
+std::uint64_t Recorder::on_barrier(int stream, std::vector<std::uint64_t> deps) {
+  return graph_.add_barrier(stream, std::move(deps));
+}
+
+void Recorder::on_buffer(rt::BufferId id, std::size_t bytes) { graph_.declare_buffer(id, bytes); }
+
+void Recorder::on_buffer_name(rt::BufferId id, std::string name) {
+  graph_.set_buffer_name(id, std::move(name));
+}
+
+void Recorder::on_assume_resident(rt::BufferId id) { graph_.assume_device_resident(id); }
+
+void Recorder::on_free(rt::BufferId id) { graph_.add_free(id); }
+
+void Recorder::on_host_wait(std::uint64_t joined) {
+  std::vector<std::uint64_t> deps;
+  if (joined != 0) deps.push_back(joined);
+  graph_.add_host_sync(std::move(deps));
+}
+
+void Recorder::flush(bool may_throw) {
+  if (graph_.empty()) return;
+  Analysis analysis = analyze(graph_, &coverage_);
+
+  // The destroys of this segment take effect for the next one.
+  for (const ActionNode& n : graph_.nodes) {
+    if (n.kind != NodeKind::Free) continue;
+    auto it = graph_.buffers.find(n.buffer);
+    if (it != graph_.buffers.end()) it->second.freed = true;
+  }
+
+  if (capture_ != nullptr) {
+    capture_->add(analysis, graph_);
+    graph_.reset_segment();
+    return;
+  }
+
+  accumulated_.nodes_analyzed += analysis.nodes_analyzed;
+  if (!analysis.clean()) {
+    accumulated_.hazards.insert(accumulated_.hazards.end(), analysis.hazards.begin(),
+                                analysis.hazards.end());
+    if (may_throw) {
+      std::string what = text_report(analysis);
+      graph_.reset_segment();
+      throw HazardError(std::move(what), std::move(analysis));
+    }
+  }
+  graph_.reset_segment();
+}
+
+void Recorder::finalize() noexcept {
+  try {
+    const std::size_t before = accumulated_.hazards.size();
+    flush(/*may_throw=*/false);
+    if (capture_ == nullptr && accumulated_.hazards.size() > before) {
+      Analysis tail;
+      tail.nodes_analyzed = accumulated_.nodes_analyzed;
+      tail.hazards.assign(accumulated_.hazards.begin() + static_cast<std::ptrdiff_t>(before),
+                          accumulated_.hazards.end());
+      std::fputs(text_report(tail).c_str(), stderr);
+    }
+  } catch (...) {  // NOLINT(bugprone-empty-catch) — a dtor-path report must not throw
+  }
+}
+
+}  // namespace ms::analyze

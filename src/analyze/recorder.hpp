@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/capture.hpp"
+#include "analyze/record.hpp"
+
+namespace ms::analyze {
+
+/// The runtime-facing recorder: one per analyzing rt::Context. Stream/Context
+/// hooks feed it enqueued actions and host sync points; at every global
+/// barrier it analyzes the completed segment, then drops it (keeping the
+/// cheap always-on mode's memory proportional to one barrier interval, not
+/// the whole run). Hazards either go to the thread's installed Capture
+/// (collection mode) or are thrown as HazardError (abort mode).
+class Recorder {
+public:
+  Recorder();
+
+  [[nodiscard]] GraphRecord& graph() noexcept { return graph_; }
+
+  // --- enqueue hooks (return the assigned node id) -------------------------
+  std::uint64_t on_transfer(bool h2d, int stream, int device, rt::BufferId buf,
+                            std::size_t offset, std::size_t bytes,
+                            std::vector<std::uint64_t> deps);
+  std::uint64_t on_kernel(int stream, int device, std::string label,
+                          const std::vector<rt::BufferAccess>& accesses,
+                          std::vector<std::uint64_t> deps);
+  std::uint64_t on_barrier(int stream, std::vector<std::uint64_t> deps);
+
+  // --- host-side hooks -----------------------------------------------------
+  void on_buffer(rt::BufferId id, std::size_t bytes);
+  void on_buffer_name(rt::BufferId id, std::string name);
+  void on_assume_resident(rt::BufferId id);
+  void on_free(rt::BufferId id);
+  /// Host blocked until `joined` completed (0 = unknown/none): later enqueues
+  /// happen-after it.
+  void on_host_wait(std::uint64_t joined);
+
+  /// Global barrier: analyze the segment. In abort mode (no Capture was
+  /// installed when the Recorder was built) throws HazardError on hazards;
+  /// in collection mode reports into the Capture. Either way the segment is
+  /// reset afterwards.
+  void flush(bool may_throw);
+
+  /// Final flush from ~Context: never throws; abort-mode hazards go to
+  /// stderr so they are not silently lost.
+  void finalize() noexcept;
+
+  [[nodiscard]] const Analysis& accumulated() const noexcept { return accumulated_; }
+
+private:
+  GraphRecord graph_;
+  Coverage coverage_;
+  Analysis accumulated_;
+  Capture* capture_ = nullptr;
+};
+
+}  // namespace ms::analyze

@@ -1,0 +1,164 @@
+#include "analyze/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace ms::analyze {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_action(const HazardAction& a) {
+  std::string s = "{\"id\": " + std::to_string(a.id & 0xFFFFFFFFFFull) +
+                  ", \"stream\": " + std::to_string(a.stream) + ", \"kind\": \"" +
+                  std::string(to_string(a.kind)) + "\", \"label\": \"" + json_escape(a.label) +
+                  "\"}";
+  return s;
+}
+
+std::string json_range(const rt::MemRange& r) {
+  return "{\"offset\": " + std::to_string(r.offset) + ", \"len\": " + std::to_string(r.len) +
+         ", \"rows\": " + std::to_string(r.rows) + ", \"stride\": " + std::to_string(r.stride) +
+         "}";
+}
+
+}  // namespace
+
+std::string text_report(const Analysis& analysis) {
+  if (analysis.clean()) {
+    return "analyze: clean (" + std::to_string(analysis.nodes_analyzed) + " actions, 0 hazards)\n";
+  }
+  std::string out = "analyze: " + std::to_string(analysis.hazards.size()) + " hazard(s) in " +
+                    std::to_string(analysis.nodes_analyzed) + " actions\n";
+  std::size_t i = 1;
+  for (const Hazard& h : analysis.hazards) {
+    out += "  [" + std::to_string(i++) + "] " + h.message + "\n";
+  }
+  return out;
+}
+
+std::string json_report(const Analysis& analysis) {
+  std::string out = "{\n  \"clean\": ";
+  out += analysis.clean() ? "true" : "false";
+  out += ",\n  \"nodes\": " + std::to_string(analysis.nodes_analyzed);
+  out += ",\n  \"hazards\": [";
+  bool first = true;
+  for (const Hazard& h : analysis.hazards) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"kind\": \"" + std::string(to_string(h.kind)) + "\"";
+    if (h.kind != HazardKind::Deadlock) {
+      out += ", \"buffer\": " + std::to_string(h.buffer) + ", \"buffer_name\": \"" +
+             json_escape(h.buffer_name) + "\", \"space\": " +
+             (h.space == kHostSpace ? std::string("\"host\"") : std::to_string(h.space));
+    }
+    if (h.first.id != 0 || h.kind == HazardKind::Deadlock) {
+      out += ", \"first\": " + json_action(h.first);
+    }
+    out += ", \"second\": " + json_action(h.second);
+    if (!h.range_first.empty()) out += ", \"range_first\": " + json_range(h.range_first);
+    if (!h.range_second.empty()) out += ", \"range_second\": " + json_range(h.range_second);
+    if (!h.cycle.empty()) {
+      out += ", \"cycle\": [";
+      for (std::size_t i = 0; i < h.cycle.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += json_action(h.cycle[i]);
+      }
+      out += "]";
+    }
+    out += ", \"message\": \"" + json_escape(h.message) + "\"}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string dot_racy_subgraph(const Analysis& analysis, const GraphRecord& record) {
+  std::set<std::uint64_t> involved;
+  for (const Hazard& h : analysis.hazards) {
+    if (h.first.id != 0) involved.insert(h.first.id);
+    if (h.second.id != 0) involved.insert(h.second.id);
+    for (const HazardAction& a : h.cycle) {
+      if (a.id != 0) involved.insert(a.id);
+    }
+  }
+
+  std::string out = "digraph hazards {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for (const std::uint64_t id : involved) {
+    const ActionNode* n = record.find(id);
+    std::string label;
+    int stream = -2;
+    if (n != nullptr) {
+      label = n->label;
+      stream = n->stream;
+    }
+    out += "  n" + std::to_string(id & 0xFFFFFFFFFFull) + " [label=\"#" +
+           std::to_string(id & 0xFFFFFFFFFFull) + " " + label +
+           (stream >= 0 ? "\\nstream " + std::to_string(stream) : std::string("\\nhost")) +
+           "\"];\n";
+  }
+
+  // Ordering edges among the involved nodes: explicit deps plus the
+  // same-stream FIFO chain restricted to the subgraph.
+  std::map<int, std::vector<std::uint64_t>> per_stream;
+  for (const std::uint64_t id : involved) {
+    const ActionNode* n = record.find(id);
+    if (n == nullptr) continue;
+    per_stream[n->stream].push_back(id);
+    for (const std::uint64_t dep : n->deps) {
+      if (involved.count(dep) != 0) {
+        out += "  n" + std::to_string(dep & 0xFFFFFFFFFFull) + " -> n" +
+               std::to_string(id & 0xFFFFFFFFFFull) + ";\n";
+      }
+    }
+  }
+  for (auto& [stream, ids] : per_stream) {
+    if (stream < 0) continue;
+    std::sort(ids.begin(), ids.end());
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      out += "  n" + std::to_string(ids[i - 1] & 0xFFFFFFFFFFull) + " -> n" +
+             std::to_string(ids[i] & 0xFFFFFFFFFFull) + " [style=dotted, label=\"fifo\"];\n";
+    }
+  }
+
+  for (const Hazard& h : analysis.hazards) {
+    if (h.kind == HazardKind::Deadlock) {
+      for (std::size_t i = 1; i < h.cycle.size(); ++i) {
+        out += "  n" + std::to_string(h.cycle[i - 1].id & 0xFFFFFFFFFFull) + " -> n" +
+               std::to_string(h.cycle[i].id & 0xFFFFFFFFFFull) +
+               " [color=red, label=\"waits\"];\n";
+      }
+      continue;
+    }
+    if (h.first.id == 0 || h.second.id == 0) continue;
+    out += "  n" + std::to_string(h.first.id & 0xFFFFFFFFFFull) + " -> n" +
+           std::to_string(h.second.id & 0xFFFFFFFFFFull) +
+           " [style=dashed, color=red, label=\"" + std::string(to_string(h.kind)) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ms::analyze

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/record.hpp"
+
+namespace ms::analyze {
+
+/// Human-readable multi-line report (one paragraph per hazard).
+[[nodiscard]] std::string text_report(const Analysis& analysis);
+
+/// Machine-readable report: {"clean": bool, "nodes": N, "hazards": [...]}.
+[[nodiscard]] std::string json_report(const Analysis& analysis);
+
+/// Graphviz dot of the racy subgraph: every action involved in a hazard,
+/// the ordering edges among them, and a dashed red edge per missing edge.
+[[nodiscard]] std::string dot_racy_subgraph(const Analysis& analysis, const GraphRecord& record);
+
+}  // namespace ms::analyze

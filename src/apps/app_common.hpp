@@ -7,11 +7,41 @@
 #include <vector>
 
 #include "rt/context.hpp"
+#include "rt/tile_plan.hpp"
 #include "sim/sim_config.hpp"
 #include "trace/stats.hpp"
 #include "trace/timeline.hpp"
 
 namespace ms::apps {
+
+/// Byte range of a 2D tile on a row-major rows x cols plane.
+[[nodiscard]] inline rt::MemRange tile_range(const rt::Tile2D& tile, std::size_t cols,
+                                             std::size_t elem_size) noexcept {
+  return rt::MemRange::tile(tile.row_begin, tile.row_end, tile.col_begin, tile.col_end, cols,
+                            elem_size);
+}
+
+/// Declare the 5-point-stencil read set of `tile` for the hazard analyzer:
+/// the tile's row span extended one row north and south, plus one column
+/// west and east. Deliberately cross-shaped — the hotspot/srad kernels clamp
+/// at the plane edge and never read diagonal corners, and declaring the full
+/// square halo would report races against diagonal neighbours that the
+/// pipelines (correctly) do not order.
+inline void declare_cross_reads(rt::KernelLaunch& launch, rt::BufferId buf,
+                                const rt::Tile2D& tile, std::size_t rows, std::size_t cols,
+                                std::size_t elem_size) {
+  const std::size_t rb = tile.row_begin > 0 ? tile.row_begin - 1 : 0;
+  const std::size_t re = tile.row_end < rows ? tile.row_end + 1 : rows;
+  launch.reads(buf, rt::MemRange::tile(rb, re, tile.col_begin, tile.col_end, cols, elem_size));
+  if (tile.col_begin > 0) {
+    launch.reads(buf, rt::MemRange::tile(tile.row_begin, tile.row_end, tile.col_begin - 1,
+                                         tile.col_begin, cols, elem_size));
+  }
+  if (tile.col_end < cols) {
+    launch.reads(buf, rt::MemRange::tile(tile.row_begin, tile.row_end, tile.col_end,
+                                         tile.col_end + 1, cols, elem_size));
+  }
+}
 
 /// Knobs shared by every ported application.
 struct CommonConfig {

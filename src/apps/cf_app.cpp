@@ -71,6 +71,7 @@ AppResult CfApp::run(const sim::SimConfig& cfg, const CfConfig& cc) {
   } else {
     bmat = ctx.create_virtual_buffer(slots * tile_bytes);
   }
+  ctx.name_buffer(bmat, "packed-lower");
   const std::vector<double> packed_seed = packed;
 
   // Dedicated transfer stream per card: the initial tile uploads and the
@@ -134,6 +135,7 @@ AppResult CfApp::run(const sim::SimConfig& cfg, const CfConfig& cc) {
       const int dev_kk = owner_device(kk);
 
       rt::KernelLaunch potrf{"potrf", task_work(kern::potrf_flops(tb)), {}};
+      potrf.reads_writes(bmat, kk * tile_bytes, tile_bytes);
       if (functional) {
         potrf.fn = [tile_ptr, dev_kk, kk, tb] {
           if (!kern::potrf_tile(tile_ptr(dev_kk, kk), tb, tb)) {
@@ -150,6 +152,8 @@ AppResult CfApp::run(const sim::SimConfig& cfg, const CfConfig& cc) {
         const std::size_t ik = lower_tile_slot(i, k);
         const int dev = owner_device(ik);
         rt::KernelLaunch trsm{"trsm", task_work(kern::trsm_flops(tb, tb)), {}};
+        trsm.reads(bmat, kk * tile_bytes, tile_bytes);
+        trsm.reads_writes(bmat, ik * tile_bytes, tile_bytes);
         if (functional) {
           trsm.fn = [tile_ptr, dev, kk, ik, tb] {
             kern::trsm_tile(tile_ptr(dev, kk), tile_ptr(dev, ik), tb, tb, tb, tb);
@@ -169,6 +173,8 @@ AppResult CfApp::run(const sim::SimConfig& cfg, const CfConfig& cc) {
           rt::Event ev;
           if (i == j) {
             rt::KernelLaunch syrk{"syrk", task_work(kern::syrk_flops(tb, tb)), {}};
+            syrk.reads(bmat, jk * tile_bytes, tile_bytes);
+            syrk.reads_writes(bmat, ij * tile_bytes, tile_bytes);
             if (functional) {
               syrk.fn = [tile_ptr, dev, ij, jk, tb] {
                 kern::syrk_tile(tile_ptr(dev, jk), tile_ptr(dev, ij), tb, tb, tb, tb);
@@ -178,6 +184,9 @@ AppResult CfApp::run(const sim::SimConfig& cfg, const CfConfig& cc) {
                 std::move(syrk), {coherence.ensure_on(jk, dev), coherence.ensure_on(ij, dev)});
           } else {
             rt::KernelLaunch gemm{"gemm-nt", task_work(kern::gemm_flops(tb, tb, tb)), {}};
+            gemm.reads(bmat, ik * tile_bytes, tile_bytes);
+            gemm.reads(bmat, jk * tile_bytes, tile_bytes);
+            gemm.reads_writes(bmat, ij * tile_bytes, tile_bytes);
             if (functional) {
               gemm.fn = [tile_ptr, dev, ij, ik, jk, tb] {
                 kern::gemm_nt_tile(tile_ptr(dev, ik), tile_ptr(dev, jk), tile_ptr(dev, ij), tb,
@@ -193,11 +202,14 @@ AppResult CfApp::run(const sim::SimConfig& cfg, const CfConfig& cc) {
       }
     }
 
-    // Factor tiles back to the host from whichever card last wrote them.
+    // Factor tiles back to the host from whichever card last wrote them,
+    // ordered against the coherence layer's own host-range round trips.
     for (std::size_t s = 0; s < slots; ++s) {
       const int dev = coherence.last_writer(s);
-      ctx.stream(dev, static_cast<int>(s) % partitions)
-          .enqueue_d2h(bmat, s * tile_bytes, tile_bytes, {coherence.last_event(s)});
+      const rt::Event ev =
+          ctx.stream(dev, static_cast<int>(s) % partitions)
+              .enqueue_d2h(bmat, s * tile_bytes, tile_bytes, coherence.readback_deps(s));
+      coherence.read_back(s, ev);
     }
   });
 

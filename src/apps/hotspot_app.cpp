@@ -39,6 +39,9 @@ AppResult HotspotApp::run(const sim::SimConfig& cfg, const HotspotConfig& hc) {
     btemp[1] = ctx.create_virtual_buffer(grid_bytes);
     bpower = ctx.create_virtual_buffer(grid_bytes);
   }
+  ctx.name_buffer(btemp[0], "temp[0]");
+  ctx.name_buffer(btemp[1], "temp[1]");
+  ctx.name_buffer(bpower, "power");
 
   const auto tiles = rt::grid_tiles(hc.rows, hc.cols, trows, tcols);
   const std::size_t tiles_per_row =
@@ -95,6 +98,9 @@ AppResult HotspotApp::run(const sim::SimConfig& cfg, const HotspotConfig& hc) {
         rt::KernelLaunch launch;
         launch.label = "hotspot-step";
         launch.work = work;
+        declare_cross_reads(launch, btemp[in], tile, hc.rows, hc.cols, sizeof(double));
+        launch.reads(bpower, tile_range(tile, hc.cols, sizeof(double)));
+        launch.writes(btemp[out], tile_range(tile, hc.cols, sizeof(double)));
         if (hc.common.functional) {
           const rt::BufferId bin = btemp[in];
           const rt::BufferId bout = btemp[out];

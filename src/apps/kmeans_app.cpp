@@ -52,6 +52,11 @@ AppResult KmeansApp::run(const sim::SimConfig& cfg, const KmeansConfig& kc) {
     bcounts = ctx.create_virtual_buffer(t_count * k * sizeof(std::int32_t));
     bmemb = ctx.create_virtual_buffer(n * sizeof(std::int32_t));
   }
+  ctx.name_buffer(bpts, "points");
+  ctx.name_buffer(bcent, "centroids");
+  ctx.name_buffer(bsums, "partial-sums");
+  ctx.name_buffer(bcounts, "partial-counts");
+  ctx.name_buffer(bmemb, "membership");
 
   const auto ranges = rt::split_even(n, t_count);
   std::vector<float> seed_centroids = centroids;  // reset between protocol runs
@@ -89,6 +94,11 @@ AppResult KmeansApp::run(const sim::SimConfig& cfg, const KmeansConfig& kc) {
       rt::KernelLaunch launch;
       launch.label = "kmeans-assign";
       launch.work = work;
+      launch.reads(bpts, r.begin * dims * sizeof(float), r.size() * dims * sizeof(float));
+      launch.reads(bcent, 0, k * dims * sizeof(float));
+      launch.writes(bsums, t * k * dims * sizeof(float), k * dims * sizeof(float));
+      launch.writes(bcounts, t * k * sizeof(std::int32_t), k * sizeof(std::int32_t));
+      launch.writes(bmemb, r.begin * sizeof(std::int32_t), r.size() * sizeof(std::int32_t));
       if (kc.common.functional) {
         launch.fn = [&ctx, bpts, bcent, bsums, bcounts, bmemb, r, t, dims, k] {
           const float* pts = ctx.device_ptr<float>(bpts, 0, r.begin * dims);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "kern/kmeans.hpp"
@@ -64,6 +65,17 @@ AppResult KmeansAsyncApp::run(const sim::SimConfig& cfg, const KmeansConfig& kc)
       bcounts[p] = ctx.create_virtual_buffer(t_count * k * sizeof(std::int32_t));
     }
   }
+  ctx.name_buffer(bpts, "points");
+  for (int p = 0; p < 2; ++p) {
+    // Built piecewise: GCC 12's -Wrestrict false-positives on the
+    // char* + std::string&& operator+ chain (PR105329).
+    std::string tag = "[";
+    tag += std::to_string(p);
+    tag += ']';
+    ctx.name_buffer(bcent[p], std::string("centroids") += tag);
+    ctx.name_buffer(bsums[p], std::string("partial-sums") += tag);
+    ctx.name_buffer(bcounts[p], std::string("partial-counts") += tag);
+  }
 
   const auto ranges = rt::split_even(n, t_count);
   const std::vector<float> seed = cent_host[0];
@@ -114,6 +126,10 @@ AppResult KmeansAsyncApp::run(const sim::SimConfig& cfg, const KmeansConfig& kc)
         rt::KernelLaunch launch;
         launch.label = "kmeans-async-assign";
         launch.work = work;
+        launch.reads(bpts, r.begin * dims * sizeof(float), r.size() * dims * sizeof(float));
+        launch.reads(bcent[par], 0, cent_elems * sizeof(float));
+        launch.writes(bsums[par], t * cent_elems * sizeof(float), cent_elems * sizeof(float));
+        launch.writes(bcounts[par], t * k * sizeof(std::int32_t), k * sizeof(std::int32_t));
         if (kc.common.functional) {
           const rt::BufferId bc = bcent[par];
           const rt::BufferId bs = bsums[par];

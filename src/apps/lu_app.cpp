@@ -71,6 +71,7 @@ AppResult LuApp::run(const sim::SimConfig& cfg, const LuConfig& lc) {
   } else {
     bmat = ctx.create_virtual_buffer(slots * tile_bytes);
   }
+  ctx.name_buffer(bmat, "packed-tiles");
   const std::vector<double> packed_seed = packed;
 
   std::vector<rt::Stream*> io;
@@ -123,6 +124,7 @@ AppResult LuApp::run(const sim::SimConfig& cfg, const LuConfig& lc) {
       const int dev_kk = owner_device(kk);
 
       rt::KernelLaunch getrf{"getrf", task_work(kern::getrf_flops(tb)), {}};
+      getrf.reads_writes(bmat, kk * tile_bytes, tile_bytes);
       if (functional) {
         getrf.fn = [tile_ptr, dev_kk, kk, tb] {
           if (!kern::getrf_tile(tile_ptr(dev_kk, kk), tb, tb)) {
@@ -139,6 +141,8 @@ AppResult LuApp::run(const sim::SimConfig& cfg, const LuConfig& lc) {
         const std::size_t kj = slot_of(k, j);
         const int dev = owner_device(kj);
         rt::KernelLaunch trsm{"trsm-l", task_work(kern::lu_trsm_flops(tb, tb)), {}};
+        trsm.reads(bmat, kk * tile_bytes, tile_bytes);
+        trsm.reads_writes(bmat, kj * tile_bytes, tile_bytes);
         if (functional) {
           trsm.fn = [tile_ptr, dev, kk, kj, tb] {
             kern::trsm_lower_left(tile_ptr(dev, kk), tile_ptr(dev, kj), tb, tb, tb, tb);
@@ -153,6 +157,8 @@ AppResult LuApp::run(const sim::SimConfig& cfg, const LuConfig& lc) {
         const std::size_t ik = slot_of(i, k);
         const int dev = owner_device(ik);
         rt::KernelLaunch trsm{"trsm-u", task_work(kern::lu_trsm_flops(tb, tb)), {}};
+        trsm.reads(bmat, kk * tile_bytes, tile_bytes);
+        trsm.reads_writes(bmat, ik * tile_bytes, tile_bytes);
         if (functional) {
           trsm.fn = [tile_ptr, dev, kk, ik, tb] {
             kern::trsm_upper_right(tile_ptr(dev, kk), tile_ptr(dev, ik), tb, tb, tb, tb);
@@ -170,6 +176,9 @@ AppResult LuApp::run(const sim::SimConfig& cfg, const LuConfig& lc) {
           const std::size_t kj = slot_of(k, j);
           const int dev = owner_device(ij);
           rt::KernelLaunch gemm{"gemm-nn", task_work(kern::gemm_flops(tb, tb, tb)), {}};
+          gemm.reads(bmat, ik * tile_bytes, tile_bytes);
+          gemm.reads(bmat, kj * tile_bytes, tile_bytes);
+          gemm.reads_writes(bmat, ij * tile_bytes, tile_bytes);
           if (functional) {
             gemm.fn = [tile_ptr, dev, ij, ik, kj, tb] {
               kern::gemm_nn_sub(tile_ptr(dev, ik), tile_ptr(dev, kj), tile_ptr(dev, ij), tb, tb,
@@ -186,8 +195,10 @@ AppResult LuApp::run(const sim::SimConfig& cfg, const LuConfig& lc) {
 
     for (std::size_t s = 0; s < slots; ++s) {
       const int dev = coherence.last_writer(s);
-      ctx.stream(dev, static_cast<int>(s) % partitions)
-          .enqueue_d2h(bmat, s * tile_bytes, tile_bytes, {coherence.last_event(s)});
+      const rt::Event ev =
+          ctx.stream(dev, static_cast<int>(s) % partitions)
+              .enqueue_d2h(bmat, s * tile_bytes, tile_bytes, coherence.readback_deps(s));
+      coherence.read_back(s, ev);
     }
   });
 

@@ -47,6 +47,9 @@ AppResult MmApp::run(const sim::SimConfig& cfg, const MmConfig& mc) {
     bbt = ctx.create_virtual_buffer(n2 * sizeof(double));
     bc = ctx.create_virtual_buffer(n2 * sizeof(double));
   }
+  ctx.name_buffer(ba, "A");
+  ctx.name_buffer(bbt, "B^T");
+  ctx.name_buffer(bc, "C");
 
   const std::size_t band_bytes = tb * d * sizeof(double);
   const std::size_t tile_bytes = tb * tb * sizeof(double);
@@ -77,6 +80,9 @@ AppResult MmApp::run(const sim::SimConfig& cfg, const MmConfig& mc) {
       rt::KernelLaunch launch;
       launch.label = "gemm";
       launch.work = work;
+      launch.reads(ba, static_cast<std::size_t>(i) * band_bytes, band_bytes);
+      launch.reads(bbt, static_cast<std::size_t>(j) * band_bytes, band_bytes);
+      launch.writes(bc, c_off, tile_bytes);
       if (mc.common.functional) {
         const std::size_t ii = static_cast<std::size_t>(i);
         const std::size_t jj = static_cast<std::size_t>(j);

@@ -37,6 +37,8 @@ NnApp::Output NnApp::run_with_output(const sim::SimConfig& cfg, const NnConfig& 
     brec = ctx.create_virtual_buffer(nc.records * sizeof(kern::LatLng));
     bdist = ctx.create_virtual_buffer(nc.records * sizeof(float));
   }
+  ctx.name_buffer(brec, "records");
+  ctx.name_buffer(bdist, "dist");
 
   std::vector<kern::Neighbor> best;
   const auto ranges = rt::split_even(nc.records, static_cast<std::size_t>(tiles));
@@ -57,6 +59,8 @@ NnApp::Output NnApp::run_with_output(const sim::SimConfig& cfg, const NnConfig& 
       rt::KernelLaunch launch;
       launch.label = "nn-dist";
       launch.work = work;
+      launch.reads(brec, r.begin * sizeof(kern::LatLng), r.size() * sizeof(kern::LatLng));
+      launch.writes(bdist, r.begin * sizeof(float), r.size() * sizeof(float));
       if (nc.common.functional) {
         const kern::LatLng target = nc.target;
         launch.fn = [&ctx, brec, bdist, r, target] {

@@ -67,6 +67,15 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
     bpart = ctx.create_virtual_buffer(tiles.size() * 2 * sizeof(double));
   }
 
+  ctx.name_buffer(bimg, "image");
+  ctx.name_buffer(bj, "J");
+  ctx.name_buffer(bc, "coeff");
+  ctx.name_buffer(bdn, "dN");
+  ctx.name_buffer(bds, "dS");
+  ctx.name_buffer(bdw, "dW");
+  ctx.name_buffer(bde, "dE");
+  ctx.name_buffer(bpart, "partials");
+
   const std::vector<float> image_seed = image;
   const std::size_t rows = sc.rows;
   const std::size_t cols = sc.cols;
@@ -94,7 +103,9 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
       sim::KernelWork work;
       work.kind = sim::KernelKind::Streaming;
       work.elems = static_cast<double>(tile.elems());
-      rt::KernelLaunch launch{"srad-extract", work, {}};
+      rt::KernelLaunch launch{"srad-extract", work, {}, {}};
+      launch.reads(bimg, tile_range(tile, cols, sizeof(float)));
+      launch.writes(bj, tile_range(tile, cols, sizeof(float)));
       if (sc.common.functional) {
         launch.fn = [&ctx, bimg, bj, tile, cols] {
           const float* img = ctx.device_ptr<float>(bimg, 0);
@@ -116,7 +127,9 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
         work.kind = sim::KernelKind::Reduction;
         work.elems = static_cast<double>(tile.elems());
         work.flops = 2.0 * static_cast<double>(tile.elems());
-        rt::KernelLaunch launch{"srad-stats", work, {}};
+        rt::KernelLaunch launch{"srad-stats", work, {}, {}};
+        launch.reads(bj, tile_range(tile, cols, sizeof(float)));
+        launch.writes(bpart, t * 2 * sizeof(double), 2 * sizeof(double));
         if (sc.common.functional) {
           launch.fn = [&ctx, bj, bpart, tile, cols, t] {
             const float* j = ctx.device_ptr<float>(bj, 0);
@@ -157,7 +170,13 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
         work.flops = kern::srad_coeff_flops(tile.rows(), tile.cols());
         // The per-launch scratch: the four derivative planes for this tile.
         work.temp_alloc_bytes = 4.0 * static_cast<double>(tile.elems() * sizeof(float));
-        rt::KernelLaunch launch{"srad-coeff", work, {}};
+        rt::KernelLaunch launch{"srad-coeff", work, {}, {}};
+        declare_cross_reads(launch, bj, tile, rows, cols, sizeof(float));
+        launch.writes(bc, tile_range(tile, cols, sizeof(float)));
+        launch.writes(bdn, tile_range(tile, cols, sizeof(float)));
+        launch.writes(bds, tile_range(tile, cols, sizeof(float)));
+        launch.writes(bdw, tile_range(tile, cols, sizeof(float)));
+        launch.writes(bde, tile_range(tile, cols, sizeof(float)));
         if (sc.common.functional) {
           launch.fn = [&ctx, bj, bc, bdn, bds, bdw, bde, tile, rows, cols, q0sqr] {
             kern::srad_coeff(ctx.device_ptr<float>(bj, 0), ctx.device_ptr<float>(bc, 0),
@@ -189,7 +208,21 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
         work.kind = sim::KernelKind::Stencil;
         work.elems = kern::srad_elems(tile.rows(), tile.cols());
         work.flops = kern::srad_update_flops(tile.rows(), tile.cols());
-        rt::KernelLaunch launch{"srad-update", work, {}};
+        rt::KernelLaunch launch{"srad-update", work, {}, {}};
+        launch.reads(bc, tile_range(tile, cols, sizeof(float)));
+        if (tile.row_end < rows) {
+          launch.reads(bc, rt::MemRange::tile(tile.row_end, tile.row_end + 1, tile.col_begin,
+                                              tile.col_end, cols, sizeof(float)));
+        }
+        if (tile.col_end < cols) {
+          launch.reads(bc, rt::MemRange::tile(tile.row_begin, tile.row_end, tile.col_end,
+                                              tile.col_end + 1, cols, sizeof(float)));
+        }
+        launch.reads(bdn, tile_range(tile, cols, sizeof(float)));
+        launch.reads(bds, tile_range(tile, cols, sizeof(float)));
+        launch.reads(bdw, tile_range(tile, cols, sizeof(float)));
+        launch.reads(bde, tile_range(tile, cols, sizeof(float)));
+        launch.reads_writes(bj, tile_range(tile, cols, sizeof(float)));
         if (sc.common.functional) {
           const double lambda = sc.lambda;
           launch.fn = [&ctx, bj, bc, bdn, bds, bdw, bde, tile, rows, cols, lambda] {
@@ -212,7 +245,9 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
       sim::KernelWork work;
       work.kind = sim::KernelKind::Streaming;
       work.elems = static_cast<double>(tile.elems());
-      rt::KernelLaunch launch{"srad-compress", work, {}};
+      rt::KernelLaunch launch{"srad-compress", work, {}, {}};
+      launch.reads(bj, tile_range(tile, cols, sizeof(float)));
+      launch.writes(bimg, tile_range(tile, cols, sizeof(float)));
       if (sc.common.functional) {
         launch.fn = [&ctx, bimg, bj, tile, cols] {
           const float* j = ctx.device_ptr<float>(bj, 0);

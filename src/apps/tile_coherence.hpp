@@ -36,16 +36,49 @@ public:
       throw rt::Error("TileCoherence: tile read before any write/upload");
     }
     // Round trip through host memory on the transfer streams: D2H from the
-    // owning card, then H2D onto the requesting card.
+    // owning card, then H2D onto the requesting card. The D2H rewrites the
+    // slot's host bytes, so it must also wait for the previous round trip
+    // through that range (WAW) and for every H2D still reading it (WAR) —
+    // sibling replications live on *different* transfer streams, and the
+    // source event alone does not order them.
     auto& src = st.per_device(st.last_writer);
     const std::size_t off = slot * tile_bytes_;
+    std::vector<rt::Event> d2h_deps;
+    d2h_deps.reserve(2 + st.host_readers.size());
+    d2h_deps.push_back(src.ev);
+    if (st.host_write.valid()) d2h_deps.push_back(st.host_write);
+    d2h_deps.insert(d2h_deps.end(), st.host_readers.begin(), st.host_readers.end());
     rt::Event d2h = io_[static_cast<std::size_t>(st.last_writer)]->enqueue_d2h(
-        buf_, off, tile_bytes_, {src.ev});
+        buf_, off, tile_bytes_, d2h_deps);
+    st.host_write = d2h;
+    st.host_readers.clear();
     rt::Event h2d =
         io_[static_cast<std::size_t>(dev)]->enqueue_h2d(buf_, off, tile_bytes_, {d2h});
+    st.host_readers.push_back(h2d);
     entry.valid = true;
     entry.ev = h2d;
     return h2d;
+  }
+
+  /// Everything a final host readback (D2H) of `slot` must wait on: the
+  /// producing write plus the coherence layer's own traffic through the
+  /// slot's host byte range.
+  [[nodiscard]] std::vector<rt::Event> readback_deps(std::size_t slot) {
+    State& st = tiles_.at(slot);
+    std::vector<rt::Event> deps;
+    deps.reserve(2 + st.host_readers.size());
+    deps.push_back(st.per_device(st.last_writer).ev);
+    if (st.host_write.valid()) deps.push_back(st.host_write);
+    deps.insert(deps.end(), st.host_readers.begin(), st.host_readers.end());
+    return deps;
+  }
+
+  /// Record a host readback issued with readback_deps() so any later round
+  /// trip through the slot orders after it.
+  void read_back(std::size_t slot, rt::Event ev) {
+    State& st = tiles_.at(slot);
+    st.host_write = std::move(ev);
+    st.host_readers.clear();
   }
 
   /// Record that `dev` produced a new version of `slot` guarded by `ev`.
@@ -74,6 +107,8 @@ private:
   struct State {
     std::vector<Copy> copies;
     int last_writer = -1;
+    rt::Event host_write;                 ///< last D2H through the slot's host range
+    std::vector<rt::Event> host_readers;  ///< H2Ds re-reading it since then
     Copy& per_device(int dev) {
       if (static_cast<std::size_t>(dev) >= copies.size()) {
         copies.resize(static_cast<std::size_t>(dev) + 1);

@@ -35,10 +35,13 @@ double run(const sim::SimConfig& cfg, const OffloadShape& shape, int partitions,
     w.flops /= static_cast<double>(t);
     w.elems /= static_cast<double>(t);
     w.temp_alloc_bytes /= static_cast<double>(t);
-    s.enqueue_kernel({"task", w, {}});
-
     const std::size_t d_lo = d2h * i / t;
     const std::size_t d_hi = d2h * (i + 1) / t;
+    rt::KernelLaunch launch{"task", w, {}, {}};
+    if (h_hi > h_lo) launch.reads(bin, h_lo, h_hi - h_lo);
+    if (d_hi > d_lo) launch.writes(bout, d_lo, d_hi - d_lo);
+    s.enqueue_kernel(std::move(launch));
+
     if (d_hi > d_lo) s.enqueue_d2h(bout, d_lo, d_hi - d_lo);
   }
   ctx.synchronize();

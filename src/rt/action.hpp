@@ -5,7 +5,9 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "rt/access.hpp"
 #include "rt/buffer.hpp"
 #include "rt/event.hpp"
 #include "sim/cost_model.hpp"
@@ -24,6 +26,40 @@ struct KernelLaunch {
   std::string label;
   sim::KernelWork work;
   std::function<void()> fn;
+  /// Declared per-argument byte ranges this launch touches on its stream's
+  /// device. Optional — empty means "touches nothing" to the hazard analyzer
+  /// (fine for timing-only studies, required for `ms::analyze` coverage).
+  std::vector<BufferAccess> accesses;
+
+  KernelLaunch() = default;
+  KernelLaunch(std::string label_, sim::KernelWork work_, std::function<void()> fn_ = {},
+               std::vector<BufferAccess> accesses_ = {})
+      : label(std::move(label_)),
+        work(work_),
+        fn(std::move(fn_)),
+        accesses(std::move(accesses_)) {}
+
+  KernelLaunch& reads(BufferId b, MemRange r) {
+    accesses.push_back({b, AccessMode::Read, r});
+    return *this;
+  }
+  KernelLaunch& reads(BufferId b, std::size_t offset, std::size_t len) {
+    return reads(b, MemRange::flat(offset, len));
+  }
+  KernelLaunch& writes(BufferId b, MemRange r) {
+    accesses.push_back({b, AccessMode::Write, r});
+    return *this;
+  }
+  KernelLaunch& writes(BufferId b, std::size_t offset, std::size_t len) {
+    return writes(b, MemRange::flat(offset, len));
+  }
+  KernelLaunch& reads_writes(BufferId b, MemRange r) {
+    accesses.push_back({b, AccessMode::ReadWrite, r});
+    return *this;
+  }
+  KernelLaunch& reads_writes(BufferId b, std::size_t offset, std::size_t len) {
+    return reads_writes(b, MemRange::flat(offset, len));
+  }
 };
 
 namespace detail {

@@ -1,16 +1,32 @@
 #include "rt/context.hpp"
 
+#include <cstdlib>
 #include <string>
 
+#include "analyze/recorder.hpp"
 #include "rt/errors.hpp"
 
 namespace ms::rt {
 
-Context::Context(const sim::SimConfig& cfg) : platform_(std::make_unique<sim::Platform>(cfg)) {
+namespace {
+bool env_analyze() {
+  const char* v = std::getenv("MS_ANALYZE");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+}  // namespace
+
+Context::Context(const sim::SimConfig& cfg, const ContextConfig& ctx_cfg)
+    : platform_(std::make_unique<sim::Platform>(cfg)) {
+  if (ctx_cfg.analyze || env_analyze() || analyze::Capture::current() != nullptr) {
+    recorder_ = std::make_unique<analyze::Recorder>();
+  }
   setup(1);
 }
 
 Context::~Context() {
+  // Report whatever the last segment accumulated; dtors must not throw, so
+  // abort-mode hazards go to stderr and capture mode collects as usual.
+  if (recorder_) recorder_->finalize();
   // Actions still in flight (a Context dropped without synchronize()) are
   // placement-constructed in pool nodes, so run their destructors before the
   // store releases the chunks. In-order queues hold every live action.
@@ -30,6 +46,9 @@ void Context::setup(int partitions_per_device) {
   if (partitions_per_device < 1) {
     throw Error("Context::setup: need at least one partition");
   }
+  // All streams idle = every recorded action completed before anything that
+  // will be enqueued on the new layout: a segment boundary.
+  if (recorder_) recorder_->flush(/*may_throw=*/true);
 
   const int devices = platform_->device_count();
   for (int d = 0; d < devices; ++d) {
@@ -89,6 +108,7 @@ BufferId Context::create_buffer(void* host, std::size_t bytes) {
 
   const BufferId id{next_buffer_++};
   buffers_.emplace(id.value, std::move(rec));
+  if (recorder_) recorder_->on_buffer(id, bytes);
 
   // Creation is a synchronous host call: charge base + per-MiB cost once.
   const auto& oh = platform_->config().overhead;
@@ -107,11 +127,24 @@ BufferId Context::create_virtual_buffer(std::size_t bytes) {
 
   const BufferId id{next_buffer_++};
   buffers_.emplace(id.value, std::move(rec));
+  if (recorder_) recorder_->on_buffer(id, bytes);
 
   const auto& oh = platform_->config().overhead;
   const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
   host_cursor_ += oh.alloc_base + oh.alloc_per_mib * mib;
   return id;
+}
+
+void Context::name_buffer(BufferId id, std::string_view name) {
+  if (!recorder_) return;
+  (void)buffer_rec(id);  // validate the handle
+  recorder_->on_buffer_name(id, std::string(name));
+}
+
+void Context::assume_device_resident(BufferId id) {
+  if (!recorder_) return;
+  (void)buffer_rec(id);  // validate the handle
+  recorder_->on_assume_resident(id);
 }
 
 void Context::destroy_buffer(BufferId id) {
@@ -126,6 +159,7 @@ void Context::destroy_buffer(BufferId id) {
     }
   }
   buffers_.erase(it);
+  if (recorder_) recorder_->on_free(id);
   host_cursor_ += platform_->config().overhead.alloc_base;
 }
 
@@ -153,6 +187,9 @@ void Context::synchronize() {
   const bool cross = device_count() > 1;
   host_cursor_ = sim::max(host_cursor_, platform_->now()) +
                  platform_->cost().sync_overhead(stream_count(), cross);
+  // Everything enqueued so far completed before anything enqueued next: a
+  // segment boundary. Abort mode throws HazardError here.
+  if (recorder_) recorder_->flush(/*may_throw=*/true);
 }
 
 void Context::wait(const Event& ev) {
@@ -165,6 +202,7 @@ void Context::wait(const Event& ev) {
   }
   host_cursor_ = sim::max(host_cursor_, sim::max(engine.now(), ev.time())) +
                  platform_->cost().sync_overhead(1, false);
+  if (recorder_) recorder_->on_host_wait(ev.state_->analyze_id);
 }
 
 detail::Action* Context::acquire_action() {

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -13,7 +14,21 @@
 #include "sim/platform.hpp"
 #include "trace/timeline.hpp"
 
+namespace ms::analyze {
+class Recorder;
+}  // namespace ms::analyze
+
 namespace ms::rt {
+
+/// Per-Context feature toggles (beyond the simulated platform's SimConfig).
+struct ContextConfig {
+  /// Record the action graph and run the happens-before hazard analysis at
+  /// every synchronization point, throwing analyze::HazardError on the first
+  /// hazardous segment. Also enabled by MS_ANALYZE=1 in the environment, or
+  /// implicitly (in collection mode) while an analyze::Capture is installed
+  /// on the constructing thread.
+  bool analyze = false;
+};
 
 /// The streaming runtime: the public entry point of the library.
 ///
@@ -31,7 +46,7 @@ namespace ms::rt {
 ///   auto elapsed = ctx.host_time() - t0;         // virtual milliseconds
 class Context {
 public:
-  explicit Context(const sim::SimConfig& cfg);
+  explicit Context(const sim::SimConfig& cfg, const ContextConfig& ctx_cfg = {});
   ~Context();
 
   Context(const Context&) = delete;
@@ -83,6 +98,15 @@ public:
 
   /// Release a buffer everywhere. All streams must be idle.
   void destroy_buffer(BufferId id);
+
+  /// Attach a human-readable name to a buffer for hazard reports ("J plane",
+  /// "centroids"). No-op when the context is not analyzing.
+  void name_buffer(BufferId id, std::string_view name);
+
+  /// Tell the hazard analyzer every device copy of this buffer counts as
+  /// initialized — for transfer-only studies (hBench Fig. 5) whose D2H reads
+  /// are not produced by any recorded kernel. No-op when not analyzing.
+  void assume_device_resident(BufferId id);
 
   [[nodiscard]] std::size_t buffer_size(BufferId id) const;
 
@@ -139,6 +163,9 @@ public:
   void set_tracing(bool on) noexcept { tracing_ = on; }
   [[nodiscard]] bool tracing() const noexcept { return tracing_; }
 
+  /// True when this context records its action graph for hazard analysis.
+  [[nodiscard]] bool analyzing() const noexcept { return recorder_ != nullptr; }
+
   [[nodiscard]] sim::Platform& platform() noexcept { return *platform_; }
   [[nodiscard]] const sim::Platform& platform() const noexcept { return *platform_; }
   [[nodiscard]] const sim::CostModel& cost() const noexcept { return platform_->cost(); }
@@ -189,6 +216,9 @@ private:
   std::uint64_t next_buffer_ = 1;
   ActionPool::Store action_store_;
   std::shared_ptr<detail::StatePool::Store> state_pool_ = detail::StatePool::make_store();
+  /// Present only when analyzing (ContextConfig::analyze / MS_ANALYZE=1 /
+  /// installed analyze::Capture); the hot path pays one branch when absent.
+  std::unique_ptr<analyze::Recorder> recorder_;
 };
 
 }  // namespace ms::rt

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -21,6 +22,10 @@ struct ActionState {
 
   bool done = false;
   sim::SimTime end = sim::SimTime::zero();
+  /// Node id assigned by the hazard analyzer's recorder (0 = not recorded).
+  /// Lets a dependency Event be mapped back to the recorded action so the
+  /// analyzer sees the same edge the scheduler wires.
+  std::uint64_t analyze_id = 0;
   std::vector<Waiter> waiters;
 
   void complete(sim::SimTime t) {

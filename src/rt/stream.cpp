@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "analyze/recorder.hpp"
 #include "rt/context.hpp"
 #include "rt/errors.hpp"
 #include "trace/timeline.hpp"
@@ -81,7 +82,7 @@ Event Stream::enqueue_kernel(KernelLaunch launch, const std::vector<Event>& deps
   if (launch.fn) a->fn = std::move(launch.fn);
 
   a->duration = ctx_->cost().kernel_duration(launch.work, dev_->partition(partition_));
-  return enqueue_common(a, deps);
+  return enqueue_common(a, deps, &launch);
 }
 
 Event Stream::enqueue_barrier(const std::vector<Event>& deps) {
@@ -91,7 +92,9 @@ Event Stream::enqueue_barrier(const std::vector<Event>& deps) {
   return enqueue_common(a, deps);
 }
 
-Event Stream::enqueue_common(Action* a, const std::vector<Event>& deps) {
+Event Stream::enqueue_common(Action* a, const std::vector<Event>& deps,
+                             const KernelLaunch* launch) {
+  if (ctx_->recorder_) record_enqueue(a, deps, launch);
   a->ready_floor = ctx_->host_issue();
 
   // Wire cross-stream dependencies. Completed deps only raise the ready
@@ -119,6 +122,39 @@ Event Stream::enqueue_common(Action* a, const std::vector<Event>& deps) {
   last_ = ev;
   maybe_arm(a);
   return ev;
+}
+
+// Off the scheduling path entirely: builds the analyzer's view of this
+// enqueue (node + event edges) and stamps the action's state with the node
+// id so later enqueues can name it as a dependency.
+void Stream::record_enqueue(Action* a, const std::vector<Event>& deps,
+                            const KernelLaunch* launch) {
+  analyze::Recorder& rec = *ctx_->recorder_;
+  std::vector<std::uint64_t> dep_ids;
+  dep_ids.reserve(deps.size());
+  for (const Event& e : deps) {
+    if (e.valid() && e.state_->analyze_id != 0) dep_ids.push_back(e.state_->analyze_id);
+  }
+  std::uint64_t id = 0;
+  switch (a->kind) {
+    case ActionKind::H2D:
+    case ActionKind::D2H:
+      id = rec.on_transfer(a->kind == ActionKind::H2D, index_, device_, a->buffer, a->offset,
+                           a->bytes, std::move(dep_ids));
+      break;
+    case ActionKind::Kernel: {
+      static const std::vector<BufferAccess> kNoAccesses;
+      id = rec.on_kernel(index_, device_,
+                         launch != nullptr && !launch->label.empty() ? launch->label : "kernel",
+                         launch != nullptr ? launch->accesses : kNoAccesses,
+                         std::move(dep_ids));
+      break;
+    }
+    case ActionKind::Barrier:
+      id = rec.on_barrier(index_, std::move(dep_ids));
+      break;
+  }
+  a->state->analyze_id = id;
 }
 
 void Stream::maybe_arm(Action* a) {
@@ -209,10 +245,13 @@ void Stream::start_transfer_chunked(detail::Action* a, sim::Direction dir, std::
   };
   auto plan = std::make_shared<ChunkPlan>(ChunkPlan{first.start, a->bytes - first_len});
 
-  // Continuation invoked at each chunk's completion. Scheduled via a small
-  // shared handle so the (deliberately self-referential) functor stays put.
+  // Continuation invoked at each chunk's completion. The scheduled events
+  // hold the only strong references; the functor keeps a weak handle to
+  // itself so the plan/functor pair is freed after the last chunk fires
+  // (a captured strong handle would be a shared_ptr cycle).
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, a, dir, chunk, plan, step] {
+  const std::weak_ptr<std::function<void()>> weak_step = step;
+  *step = [this, a, dir, chunk, plan, weak_step] {
     auto& link = dev_->link();
     const sim::SimTime t = engine_->now();
     if (plan->remaining == 0) {
@@ -234,7 +273,7 @@ void Stream::start_transfer_chunked(detail::Action* a, sim::Direction dir, std::
     const std::size_t len = std::min(chunk, plan->remaining);
     plan->remaining -= len;
     const auto grant = link.reserve_chunk(dir, t, len, /*first_chunk=*/false);
-    engine_->schedule_at(grant.end, [step] { (*step)(); });
+    engine_->schedule_at(grant.end, [next = weak_step.lock()] { (*next)(); });
   };
   engine_->schedule_at(first.end, [step] { (*step)(); });
 }
@@ -269,6 +308,11 @@ void Stream::synchronize() {
   }
   const sim::SimTime sync = ctx_->cost().sync_overhead(1, false);
   ctx_->host_cursor_ = sim::max(ctx_->host_cursor_, engine.now()) + sync;
+  // Later enqueues (any stream) happen-after everything this stream had
+  // queued; its most recent action's completion subsumes the whole FIFO.
+  if (ctx_->recorder_) {
+    ctx_->recorder_->on_host_wait(last_.valid() ? last_.state_->analyze_id : 0);
+  }
 }
 
 }  // namespace ms::rt

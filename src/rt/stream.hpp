@@ -66,7 +66,10 @@ private:
 
   Event enqueue_transfer(ActionKind kind, BufferId buf, std::size_t offset, std::size_t bytes,
                          const std::vector<Event>& deps);
-  Event enqueue_common(detail::Action* a, const std::vector<Event>& deps);
+  Event enqueue_common(detail::Action* a, const std::vector<Event>& deps,
+                       const KernelLaunch* launch = nullptr);
+  void record_enqueue(detail::Action* a, const std::vector<Event>& deps,
+                      const KernelLaunch* launch);
   void maybe_arm(detail::Action* a);
   void start(detail::Action* a);
   void start_transfer_chunked(detail::Action* a, sim::Direction dir, std::size_t chunk,

@@ -3,7 +3,45 @@
 #include <limits>
 #include <stdexcept>
 
+#include "analyze/capture.hpp"
+#include "rt/errors.hpp"
+
 namespace ms::rt {
+namespace {
+
+/// Evaluate one candidate under a fresh Capture; hazardous evaluations
+/// return infinity so the ordered reduction skips them unchanged.
+double validated_eval(const std::function<double(Tuner::Candidate)>& metric, Tuner::Candidate c,
+                      bool* hazardous) {
+  analyze::Capture capture;
+  const double v = metric(c);
+  *hazardous = !capture.clean();
+  return *hazardous ? std::numeric_limits<double>::infinity() : v;
+}
+
+Tuner::Result validated_reduce(const std::vector<Tuner::Candidate>& candidates,
+                               const std::vector<double>& values,
+                               const std::vector<char>& hazardous) {
+  Tuner::Result r;
+  r.best_metric = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ++r.evaluated;
+    if (hazardous[i] != 0) {
+      ++r.hazardous;
+      continue;
+    }
+    if (values[i] < r.best_metric) {
+      r.best_metric = values[i];
+      r.best = candidates[i];
+    }
+  }
+  if (r.hazardous == candidates.size()) {
+    throw Error("Tuner::search_validated: every candidate configuration reported hazards");
+  }
+  return r;
+}
+
+}  // namespace
 
 std::vector<int> Tuner::partition_candidates(const sim::CoprocessorSpec& spec,
                                              const TunerOptions& opt) {
@@ -98,6 +136,48 @@ Tuner::Result Tuner::search(const std::vector<Candidate>& candidates,
     }
   }
   return r;
+}
+
+Tuner::Result Tuner::search_validated(const std::vector<Candidate>& candidates,
+                                      const std::function<double(Candidate)>& metric) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("Tuner::search_validated: empty candidate list");
+  }
+  if (!metric) {
+    throw std::invalid_argument("Tuner::search_validated: empty metric");
+  }
+  std::vector<double> values(candidates.size());
+  std::vector<char> hazardous(candidates.size(), 0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    bool bad = false;
+    values[i] = validated_eval(metric, candidates[i], &bad);
+    hazardous[i] = bad ? 1 : 0;
+  }
+  return validated_reduce(candidates, values, hazardous);
+}
+
+Tuner::Result Tuner::search_validated(const std::vector<Candidate>& candidates,
+                                      const std::function<double(Candidate)>& metric,
+                                      const sim::SweepOptions& sweep) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("Tuner::search_validated: empty candidate list");
+  }
+  if (!metric) {
+    throw std::invalid_argument("Tuner::search_validated: empty metric");
+  }
+  // Each evaluation installs its own Capture on whichever pool worker runs
+  // it — the thread-local scoping gives per-candidate attribution for free.
+  std::vector<char> hazardous(candidates.size(), 0);
+  const auto values = sim::parallel_map<double>(
+      candidates.size(),
+      [&](std::size_t i) {
+        bool bad = false;
+        const double v = validated_eval(metric, candidates[i], &bad);
+        hazardous[i] = bad ? 1 : 0;
+        return v;
+      },
+      sweep);
+  return validated_reduce(candidates, values, hazardous);
 }
 
 }  // namespace ms::rt

@@ -37,6 +37,9 @@ public:
     Candidate best{};
     double best_metric = 0.0;
     std::size_t evaluated = 0;
+    /// Candidates whose pipelines the hazard analyzer rejected (only
+    /// search_validated() fills this; they never become `best`).
+    std::size_t hazardous = 0;
   };
 
   /// H1: the pruned partition-count candidates for `spec` — all divisors of
@@ -70,6 +73,20 @@ public:
   [[nodiscard]] static Result search(const std::vector<Candidate>& candidates,
                                      const std::function<double(Candidate)>& metric,
                                      const sim::SweepOptions& sweep);
+
+  /// Like search(), but every candidate evaluation runs under an installed
+  /// analyze::Capture: the Contexts the metric builds record their action
+  /// graphs, and a candidate whose pipeline contains any hazard (race,
+  /// use-before-write, deadlock, ...) is excluded from the ranking and
+  /// counted in Result::hazardous instead — a generated configuration's
+  /// virtual time is only trusted once it is proven hazard-free. Throws
+  /// rt::Error when every candidate is hazardous. The parallel overload
+  /// keeps the serial ranking (per-worker Captures, ordered reduction).
+  [[nodiscard]] static Result search_validated(const std::vector<Candidate>& candidates,
+                                               const std::function<double(Candidate)>& metric);
+  [[nodiscard]] static Result search_validated(const std::vector<Candidate>& candidates,
+                                               const std::function<double(Candidate)>& metric,
+                                               const sim::SweepOptions& sweep);
 };
 
 }  // namespace ms::rt

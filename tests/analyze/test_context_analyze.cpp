@@ -1,0 +1,253 @@
+// The runtime-facing side of the analyzer: an rt::Context with analysis
+// enabled (ContextConfig::analyze, MS_ANALYZE=1, or an installed Capture)
+// records every enqueue and reports hazards at synchronization points.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+
+#include "analyze/capture.hpp"
+#include "rt/context.hpp"
+#include "rt/tuner.hpp"
+#include "sim/chunk_depot.hpp"
+#include "sim/sim_config.hpp"
+
+namespace {
+
+using ms::analyze::Capture;
+using ms::analyze::HazardError;
+using ms::analyze::HazardKind;
+using ms::rt::BufferId;
+using ms::rt::ContextConfig;
+using ms::rt::MemRange;
+
+ms::sim::SimConfig small_cfg() { return ms::sim::SimConfig::phi_31sp(); }
+
+/// Two streams, overlapping device writes, no ordering edge.
+void enqueue_racy(ms::rt::Context& ctx, BufferId buf) {
+  ctx.stream(0).enqueue_h2d(buf, 0, 4096);
+  ctx.stream(1).enqueue_h2d(buf, 0, 4096);
+}
+
+TEST(ContextAnalyze, AbortModeThrowsAtSynchronize) {
+  ms::rt::Context ctx(small_cfg(), ContextConfig{.analyze = true});
+  ctx.setup(2);
+  const BufferId buf = ctx.create_virtual_buffer(4096);
+  ctx.name_buffer(buf, "racy");
+  enqueue_racy(ctx, buf);
+  try {
+    ctx.synchronize();
+    FAIL() << "expected HazardError";
+  } catch (const HazardError& e) {
+    ASSERT_FALSE(e.analysis().clean());
+    EXPECT_EQ(e.analysis().hazards[0].kind, HazardKind::RaceWAW);
+    EXPECT_NE(std::string(e.what()).find("racy"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("missing edge"), std::string::npos);
+  }
+}
+
+TEST(ContextAnalyze, AbortedContextStaysUsable) {
+  // After the throw the recorder's segment is reset: the context can keep
+  // enqueueing clean work, and teardown releases every pooled action.
+  ms::rt::Context ctx(small_cfg(), ContextConfig{.analyze = true});
+  ctx.setup(2);
+  const BufferId buf = ctx.create_virtual_buffer(4096);
+  enqueue_racy(ctx, buf);
+  EXPECT_THROW(ctx.synchronize(), HazardError);
+  const auto ev = ctx.stream(0).enqueue_h2d(buf, 0, 4096);
+  ctx.stream(1).enqueue_d2h(buf, 0, 4096, {ev});
+  EXPECT_NO_THROW(ctx.synchronize());
+}
+
+TEST(ContextAnalyze, AbortPathReleasesPooledActionsToDepot) {
+  // Hazard-aborted contexts must hand their pooled Action/state chunks back
+  // to the ChunkDepot like clean ones do: after destroying an aborted
+  // context, the depot holds parked chunks a fresh context can reuse.
+  ms::sim::detail::ChunkDepot::trim();
+  {
+    ms::rt::Context ctx(small_cfg(), ContextConfig{.analyze = true});
+    ctx.setup(2);
+    const BufferId buf = ctx.create_virtual_buffer(4096);
+    enqueue_racy(ctx, buf);
+    EXPECT_THROW(ctx.synchronize(), HazardError);
+  }
+  EXPECT_GT(ms::sim::detail::ChunkDepot::parked_bytes(), 0u);
+  {
+    // A fresh context runs fine on the recycled chunks.
+    ms::rt::Context ctx(small_cfg());
+    ctx.setup(2);
+    const BufferId buf = ctx.create_virtual_buffer(4096);
+    const auto ev = ctx.stream(0).enqueue_h2d(buf, 0, 4096);
+    ctx.stream(1).enqueue_d2h(buf, 0, 4096, {ev});
+    ctx.synchronize();
+  }
+  ms::sim::detail::ChunkDepot::trim();
+  EXPECT_EQ(ms::sim::detail::ChunkDepot::parked_bytes(), 0u);
+}
+
+TEST(ContextAnalyze, EnvVarEnablesAnalysis) {
+  ASSERT_EQ(setenv("MS_ANALYZE", "1", 1), 0);
+  try {
+    ms::rt::Context ctx(small_cfg());
+    ctx.setup(2);
+    const BufferId buf = ctx.create_virtual_buffer(4096);
+    enqueue_racy(ctx, buf);
+    EXPECT_THROW(ctx.synchronize(), HazardError);
+  } catch (...) {
+    unsetenv("MS_ANALYZE");
+    throw;
+  }
+  unsetenv("MS_ANALYZE");
+}
+
+TEST(ContextAnalyze, OffByDefault) {
+  ms::rt::Context ctx(small_cfg());
+  ctx.setup(2);
+  EXPECT_FALSE(ctx.analyzing());
+  const BufferId buf = ctx.create_virtual_buffer(4096);
+  enqueue_racy(ctx, buf);
+  EXPECT_NO_THROW(ctx.synchronize());
+}
+
+TEST(ContextAnalyze, CaptureCollectsInsteadOfThrowing) {
+  Capture capture;
+  {
+    ms::rt::Context ctx(small_cfg());  // analyzing because a Capture is live
+    EXPECT_TRUE(ctx.analyzing());
+    ctx.setup(2);
+    const BufferId buf = ctx.create_virtual_buffer(4096);
+    enqueue_racy(ctx, buf);
+    EXPECT_NO_THROW(ctx.synchronize());
+  }
+  EXPECT_FALSE(capture.clean());
+  EXPECT_EQ(capture.result().hazards[0].kind, HazardKind::RaceWAW);
+  EXPECT_FALSE(capture.racy_record().empty());
+}
+
+TEST(ContextAnalyze, KernelAccessRangesDriveRaces) {
+  ms::rt::Context ctx(small_cfg(), ContextConfig{.analyze = true});
+  ctx.setup(2);
+  const BufferId buf = ctx.create_virtual_buffer(8192);
+  const auto up = ctx.stream(0).enqueue_h2d(buf, 0, 8192);
+
+  // Disjoint halves on two streams: clean.
+  ms::rt::KernelLaunch lo{"lo", {}, {}, {}};
+  lo.reads_writes(buf, 0, 4096);
+  ms::rt::KernelLaunch hi{"hi", {}, {}, {}};
+  hi.reads_writes(buf, 4096, 4096);
+  ctx.stream(0).enqueue_kernel(std::move(lo), {up});
+  ctx.stream(1).enqueue_kernel(std::move(hi), {up});
+  EXPECT_NO_THROW(ctx.synchronize());
+
+  // One byte of overlap: race.
+  ms::rt::KernelLaunch lo2{"lo2", {}, {}, {}};
+  lo2.reads_writes(buf, 0, 4097);
+  ms::rt::KernelLaunch hi2{"hi2", {}, {}, {}};
+  hi2.reads_writes(buf, 4096, 4096);
+  ctx.stream(0).enqueue_kernel(std::move(lo2));
+  ctx.stream(1).enqueue_kernel(std::move(hi2));
+  EXPECT_THROW(ctx.synchronize(), HazardError);
+}
+
+TEST(ContextAnalyze, D2hOfUntouchedBufferIsUseBeforeWrite) {
+  ms::rt::Context ctx(small_cfg(), ContextConfig{.analyze = true});
+  const BufferId buf = ctx.create_virtual_buffer(1024);
+  ctx.stream(0).enqueue_d2h(buf, 0, 1024);
+  try {
+    ctx.synchronize();
+    FAIL() << "expected HazardError";
+  } catch (const HazardError& e) {
+    ASSERT_EQ(e.analysis().hazards.size(), 1u);
+    EXPECT_EQ(e.analysis().hazards[0].kind, HazardKind::UseBeforeWrite);
+  }
+}
+
+TEST(ContextAnalyze, AssumeDeviceResidentSuppressesIt) {
+  ms::rt::Context ctx(small_cfg(), ContextConfig{.analyze = true});
+  const BufferId buf = ctx.create_virtual_buffer(1024);
+  ctx.assume_device_resident(buf);
+  ctx.stream(0).enqueue_d2h(buf, 0, 1024);
+  EXPECT_NO_THROW(ctx.synchronize());
+}
+
+TEST(ContextAnalyze, StreamSynchronizeIsAnOrderingEdge) {
+  // Host blocks on stream 0, then enqueues the overlapping write on stream 1:
+  // the host join orders them, so the analyzer must stay quiet.
+  ms::rt::Context ctx(small_cfg(), ContextConfig{.analyze = true});
+  ctx.setup(2);
+  const BufferId buf = ctx.create_virtual_buffer(2048);
+  ctx.stream(0).enqueue_h2d(buf, 0, 2048);
+  ctx.stream(0).synchronize();
+  ctx.stream(1).enqueue_h2d(buf, 0, 2048);
+  EXPECT_NO_THROW(ctx.synchronize());
+}
+
+TEST(ContextAnalyze, ContextWaitIsAnOrderingEdge) {
+  ms::rt::Context ctx(small_cfg(), ContextConfig{.analyze = true});
+  ctx.setup(2);
+  const BufferId buf = ctx.create_virtual_buffer(2048);
+  const auto ev = ctx.stream(0).enqueue_h2d(buf, 0, 2048);
+  ctx.wait(ev);
+  ctx.stream(1).enqueue_h2d(buf, 0, 2048);
+  EXPECT_NO_THROW(ctx.synchronize());
+}
+
+TEST(ContextAnalyze, SetupIsASegmentBoundary) {
+  // Re-partitioning requires idle streams, so it is a global barrier: work
+  // before and after needs no edges between them.
+  ms::rt::Context ctx(small_cfg(), ContextConfig{.analyze = true});
+  ctx.setup(2);
+  const BufferId buf = ctx.create_virtual_buffer(2048);
+  ctx.stream(0).enqueue_h2d(buf, 0, 2048);
+  ctx.synchronize();
+  ctx.setup(4);
+  ctx.stream(3).enqueue_h2d(buf, 0, 2048);
+  EXPECT_NO_THROW(ctx.synchronize());
+}
+
+TEST(TunerValidated, SkipsHazardousCandidates) {
+  const auto cfg = small_cfg();
+  // Candidate tiles==1 runs a racy pipeline, the rest a clean one. The racy
+  // candidate must be excluded (and counted) even if it is fastest.
+  std::vector<ms::rt::Tuner::Candidate> space{{1, 1}, {1, 2}, {1, 4}};
+  const auto metric = [&](ms::rt::Tuner::Candidate c) {
+    ms::rt::Context ctx(cfg);
+    ctx.setup(2);
+    const BufferId buf = ctx.create_virtual_buffer(4096);
+    if (c.tiles == 1) {
+      enqueue_racy(ctx, buf);
+    } else {
+      const auto ev = ctx.stream(0).enqueue_h2d(buf, 0, 4096);
+      ctx.stream(1).enqueue_h2d(buf, 0, 4096, {ev});
+    }
+    ctx.synchronize();
+    return static_cast<double>(c.tiles);  // racy candidate would win on time
+  };
+
+  const auto serial = ms::rt::Tuner::search_validated(space, metric);
+  EXPECT_EQ(serial.evaluated, 3u);
+  EXPECT_EQ(serial.hazardous, 1u);
+  EXPECT_EQ(serial.best.tiles, 2);
+
+  const auto sweep = ms::rt::Tuner::search_validated(space, metric, ms::sim::SweepOptions{});
+  EXPECT_EQ(sweep.hazardous, serial.hazardous);
+  EXPECT_EQ(sweep.best.tiles, serial.best.tiles);
+  EXPECT_EQ(sweep.best_metric, serial.best_metric);
+}
+
+TEST(TunerValidated, ThrowsWhenEveryCandidateIsHazardous) {
+  const auto cfg = small_cfg();
+  std::vector<ms::rt::Tuner::Candidate> space{{1, 1}, {1, 2}};
+  const auto metric = [&](ms::rt::Tuner::Candidate) {
+    ms::rt::Context ctx(cfg);
+    ctx.setup(2);
+    const BufferId buf = ctx.create_virtual_buffer(4096);
+    enqueue_racy(ctx, buf);
+    ctx.synchronize();
+    return 1.0;
+  };
+  EXPECT_THROW((void)ms::rt::Tuner::search_validated(space, metric), ms::rt::Error);
+}
+
+}  // namespace

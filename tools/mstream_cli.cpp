@@ -8,6 +8,8 @@
 //   mstream_cli app cf      --dim 9600 --tiles 144 --device 31sp-x2 --trace out.json
 //   mstream_cli hbench fig7 --partitions 8
 //   mstream_cli tune --h2d-mib 32 --d2h-mib 32 --gflop 5
+//   mstream_cli analyze app srad --dim 2000 --tiles 16 --json hazards.json
+//   mstream_cli analyze hbench fig6 --dot racy.dot
 //   mstream_cli devices
 //
 // Flags:
@@ -19,6 +21,8 @@
 //   --baseline                          run the non-streamed port instead
 //   --functional                        real data + kernels (slower, verifiable)
 //   --trace FILE                        write the Chrome trace JSON
+//   --json FILE                         (analyze) write the JSON hazard report
+//   --dot FILE                          (analyze) write Graphviz dot of the racy subgraph
 
 #include <cmath>
 #include <cstdio>
@@ -28,10 +32,14 @@
 #include <map>
 #include <string>
 
+#include "analyze/capture.hpp"
+#include "analyze/report.hpp"
 #include "apps/cf_app.hpp"
 #include "apps/hbench.hpp"
 #include "apps/hotspot_app.hpp"
 #include "apps/kmeans_app.hpp"
+#include "apps/kmeans_async_app.hpp"
+#include "apps/lu_app.hpp"
 #include "apps/mm_app.hpp"
 #include "apps/nn_app.hpp"
 #include "apps/srad_app.hpp"
@@ -50,6 +58,8 @@ struct Cli {
   bool baseline = false;
   bool functional = false;
   std::string trace_path;
+  std::string json_path;
+  std::string dot_path;
   double h2d_mib = 16.0;
   double d2h_mib = 16.0;
   double gflop = 0.0;
@@ -58,8 +68,9 @@ struct Cli {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mstream_cli app {mm|cf|kmeans|hotspot|nn|srad} [flags]\n"
+               "usage: mstream_cli app {mm|cf|lu|kmeans|kmeans-async|hotspot|nn|srad} [flags]\n"
                "       mstream_cli hbench {fig5|fig6|fig7} [flags]\n"
+               "       mstream_cli analyze {app|hbench} <name> [flags] [--json FILE] [--dot FILE]\n"
                "       mstream_cli tune [--h2d-mib N --d2h-mib N --gflop N | --gelem N]\n"
                "       mstream_cli devices\n"
                "flags: --device {31sp|31sp-x2|7120p} --partitions N --tiles N\n"
@@ -89,6 +100,14 @@ bool parse_flags(int argc, char** argv, int first, Cli* cli) {
       const char* v = next("--trace");
       if (v == nullptr) return false;
       cli->trace_path = v;
+    } else if (flag == "--json") {
+      const char* v = next("--json");
+      if (v == nullptr) return false;
+      cli->json_path = v;
+    } else if (flag == "--dot") {
+      const char* v = next("--dot");
+      if (v == nullptr) return false;
+      cli->dot_path = v;
     } else if (flag == "--partitions") {
       const char* v = next("--partitions");
       if (v == nullptr) return false;
@@ -194,6 +213,12 @@ int run_app(const std::string& name, const Cli& cli) {
     cc.dim = cli.dim ? cli.dim : 9600;
     cc.tile = cc.dim / static_cast<std::size_t>(square_edge(cli.tiles));
     report(ms::apps::CfApp::run(cfg, cc), cli);
+  } else if (name == "lu") {
+    ms::apps::LuConfig lc;
+    lc.common = common;
+    lc.dim = cli.dim ? cli.dim : 9600;
+    lc.tile = lc.dim / static_cast<std::size_t>(square_edge(cli.tiles));
+    report(ms::apps::LuApp::run(cfg, lc), cli);
   } else if (name == "kmeans") {
     ms::apps::KmeansConfig kc;
     kc.common = common;
@@ -201,6 +226,13 @@ int run_app(const std::string& name, const Cli& cli) {
     kc.tiles = cli.tiles;
     kc.iterations = cli.iters ? cli.iters : 100;
     report(ms::apps::KmeansApp::run(cfg, kc), cli);
+  } else if (name == "kmeans-async") {
+    ms::apps::KmeansConfig kc;
+    kc.common = common;
+    kc.points = cli.points ? cli.points : 1120000;
+    kc.tiles = cli.tiles;
+    kc.iterations = cli.iters ? cli.iters : 100;
+    report(ms::apps::KmeansAsyncApp::run(cfg, kc), cli);
   } else if (name == "hotspot") {
     ms::apps::HotspotConfig hc;
     hc.common = common;
@@ -254,6 +286,45 @@ int run_hbench(const std::string& mode, const Cli& cli) {
   return 0;
 }
 
+// Run any app/hbench config under a hazard Capture: the runtime records the
+// virtual-concurrency action graph and collects happens-before violations
+// instead of aborting. Prints the text report; exit 1 when hazards exist.
+int run_analyze(const std::string& sub, const std::string& name, const Cli& cli) {
+  ms::analyze::Capture capture;
+  int rc;
+  if (sub == "app") {
+    rc = run_app(name, cli);
+  } else if (sub == "hbench") {
+    rc = run_hbench(name, cli);
+  } else {
+    std::fprintf(stderr, "analyze: expected 'app' or 'hbench', got '%s'\n", sub.c_str());
+    return 2;
+  }
+  if (rc != 0) return rc;
+
+  const ms::analyze::Analysis& analysis = capture.result();
+  std::printf("%s", ms::analyze::text_report(analysis).c_str());
+  if (!cli.json_path.empty()) {
+    std::ofstream f(cli.json_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 2;
+    }
+    f << ms::analyze::json_report(analysis);
+    std::printf("json report -> %s\n", cli.json_path.c_str());
+  }
+  if (!cli.dot_path.empty()) {
+    std::ofstream f(cli.dot_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", cli.dot_path.c_str());
+      return 2;
+    }
+    f << ms::analyze::dot_racy_subgraph(analysis, capture.racy_record());
+    std::printf("racy subgraph -> %s\n", cli.dot_path.c_str());
+  }
+  return capture.clean() ? 0 : 1;
+}
+
 int run_tune(const Cli& cli) {
   ms::sim::SimConfig cfg;
   if (!pick_config(cli, &cfg)) return 2;
@@ -305,12 +376,16 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
 
   Cli cli;
-  const int flag_start = cmd == "tune" ? 2 : 3;
+  int flag_start = 3;
+  if (cmd == "tune") flag_start = 2;
+  if (cmd == "analyze") flag_start = 4;  // analyze {app|hbench} <name> [flags]
+  if (flag_start > argc) return usage();
   if (!parse_flags(argc, argv, flag_start, &cli)) return usage();
 
   try {
     if (cmd == "app") return run_app(argv[2], cli);
     if (cmd == "hbench") return run_hbench(argv[2], cli);
+    if (cmd == "analyze") return run_analyze(argv[2], argv[3], cli);
     if (cmd == "tune") return run_tune(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
