@@ -8,6 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+
 namespace ms::bench {
 
 namespace {
@@ -41,6 +44,28 @@ JsonSink& json_sink() {
   return sink;
 }
 
+/// Same static-destructor pattern for --metrics: the telemetry snapshot is
+/// taken once, after every table (and every worker flush) is done.
+struct MetricsSink {
+  std::string path;
+
+  ~MetricsSink() {
+    if (path.empty()) return;
+    std::ofstream f(path);
+    if (!f) {
+      std::cerr << "warning: cannot write metrics to " << path << "\n";
+      return;
+    }
+    const bool prom = path.ends_with(".prom") || path.ends_with(".txt");
+    telemetry::write_snapshot(f, prom);
+  }
+};
+
+MetricsSink& metrics_sink() {
+  static MetricsSink sink;
+  return sink;
+}
+
 }  // namespace
 
 Options parse(int argc, char** argv) {
@@ -52,8 +77,13 @@ Options parse(int argc, char** argv) {
       opt.csv_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       opt.json_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      opt.metrics_file = argv[++i];
+      telemetry::set_enabled(true);
+      metrics_sink().path = opt.metrics_file;
     } else {
-      std::cerr << "usage: " << argv[0] << " [--quick] [--csv DIR] [--json FILE]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--quick] [--csv DIR] [--json FILE] [--metrics FILE]\n";
     }
   }
   return opt;

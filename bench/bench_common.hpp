@@ -7,14 +7,18 @@
 namespace ms::bench {
 
 /// Shared command-line handling for the figure-reproduction binaries.
-///   --quick      shrink sweeps (CI smoke run; shapes still visible)
-///   --csv DIR    also write each table as DIR/<name>.csv (DIR is created)
-///   --json FILE  write every emitted table into one machine-readable JSON
-///                file keyed by table name (perf-trajectory tracking)
+///   --quick         shrink sweeps (CI smoke run; shapes still visible)
+///   --csv DIR       also write each table as DIR/<name>.csv (DIR is created)
+///   --json FILE     write every emitted table into one machine-readable JSON
+///                   file keyed by table name (perf-trajectory tracking)
+///   --metrics FILE  enable host telemetry for the whole run and write the
+///                   registry snapshot at exit (JSON, or Prometheus text for
+///                   *.prom/*.txt paths)
 struct Options {
   bool quick = false;
   std::string csv_dir;
   std::string json_file;
+  std::string metrics_file;
 };
 
 Options parse(int argc, char** argv);

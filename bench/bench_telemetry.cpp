@@ -1,0 +1,155 @@
+// Microbenchmarks of the telemetry layer itself, plus the A/B measurement
+// the subsystem is accountable to: BM_RuntimePipeline (bench_simcore's
+// end-to-end host-cost benchmark) with metrics recording off vs on. The
+// instrumented hot paths must cost one relaxed load when recording is off
+// and stay within a few percent when it is on.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/context.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace {
+
+void BM_CounterAddOff(benchmark::State& state) {
+  ms::telemetry::set_enabled(false);
+  ms::telemetry::Counter c;
+  for (auto _ : state) {
+    c.add(1);
+  }
+  benchmark::DoNotOptimize(c.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAddOff);
+
+void BM_CounterAddOn(benchmark::State& state) {
+  ms::telemetry::set_enabled(true);
+  ms::telemetry::Counter c;
+  for (auto _ : state) {
+    c.add(1);
+  }
+  ms::telemetry::set_enabled(false);
+  benchmark::DoNotOptimize(c.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAddOn);
+
+void BM_CounterAddContended(benchmark::State& state) {
+  // Sharded counter under true multi-thread contention (the pool-worker
+  // pattern). google-benchmark runs the same closure on every thread.
+  static ms::telemetry::Counter c;
+  if (state.thread_index() == 0) ms::telemetry::set_enabled(true);
+  for (auto _ : state) {
+    c.add(1);
+  }
+  if (state.thread_index() == 0) ms::telemetry::set_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAddContended)->Threads(4);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  ms::telemetry::set_enabled(true);
+  ms::telemetry::Histogram h;
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    h.observe(x);
+    x = (x * 2862933555777941757ull + 3037000493ull) >> 32;  // vary the bucket
+  }
+  ms::telemetry::set_enabled(false);
+  benchmark::DoNotOptimize(h.snapshot().sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_ScopedSpanOff(benchmark::State& state) {
+  ms::telemetry::set_enabled(false);
+  for (auto _ : state) {
+    const ms::telemetry::ScopedSpan s("bench.span.off");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopedSpanOff);
+
+void BM_ScopedSpanOn(benchmark::State& state) {
+  ms::telemetry::set_enabled(true);
+  for (auto _ : state) {
+    const ms::telemetry::ScopedSpan s("bench.span.on");
+    benchmark::ClobberMemory();
+  }
+  ms::telemetry::set_enabled(false);
+  ms::telemetry::clear_spans();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopedSpanOn);
+
+/// Body copied from bench_simcore's BM_RuntimePipeline so the off/on pair
+/// measures exactly the workload the <=2% overhead budget is defined on.
+void runtime_pipeline(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ms::rt::Context ctx(ms::sim::SimConfig::phi_31sp());
+    ctx.set_tracing(false);
+    ctx.setup(4);
+    const auto buf = ctx.create_virtual_buffer(static_cast<std::size_t>(tasks) << 10);
+    for (int t = 0; t < tasks; ++t) {
+      auto& s = ctx.stream(t % 4);
+      const std::size_t off = static_cast<std::size_t>(t) << 10;
+      s.enqueue_h2d(buf, off, 1 << 10);
+      ms::sim::KernelWork w;
+      w.kind = ms::sim::KernelKind::Streaming;
+      w.elems = 1e5;
+      s.enqueue_kernel({"k", w, {}});
+      s.enqueue_d2h(buf, off, 1 << 10);
+    }
+    ctx.synchronize();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+
+void BM_PipelineMetricsOff(benchmark::State& state) {
+  ms::telemetry::set_enabled(false);
+  runtime_pipeline(state);
+}
+BENCHMARK(BM_PipelineMetricsOff)->Arg(64)->Arg(1024);
+
+void BM_PipelineMetricsOn(benchmark::State& state) {
+  ms::telemetry::set_enabled(true);
+  runtime_pipeline(state);
+  ms::telemetry::set_enabled(false);
+  ms::telemetry::clear_spans();
+}
+BENCHMARK(BM_PipelineMetricsOn)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+// Custom main so `--json FILE` works like the figure benches (see
+// bench_simcore.cpp).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (std::string_view(args[i]) == "--json") {
+      out_flag = std::string("--benchmark_out=") + args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+      break;
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # The whole CI surface in one command, in severity order:
 #   1. tier-1: Release build + full ctest suite
-#   2. sanitizers: thread, address (leak check proves the hazard-abort path
+#   2. MS_TELEMETRY=OFF: the stub build must compile and pass everything
+#      (proves instrumented call sites do not depend on live telemetry)
+#   3. sanitizers: thread, address (leak check proves the hazard-abort path
 #      releases pooled actions), undefined (every UB report fatal)
-#   3. native kernel leg (-O3 -march=native numerics stay bit-stable)
-#   4. static analysis (clang-tidy, or the strict -Werror fallback)
+#   4. native kernel leg (-O3 -march=native numerics stay bit-stable)
+#   5. static analysis (clang-tidy, or the strict -Werror fallback)
 #
 #   scripts/ci_all.sh [build-dir-prefix]
 set -euo pipefail
@@ -16,6 +18,11 @@ echo "==> tier-1 build + ctest"
 cmake -S "${SOURCE_DIR}" -B "${PREFIX}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${PREFIX}" -j
 ctest --test-dir "${PREFIX}" --output-on-failure -j "$(nproc)"
+
+echo "==> telemetry compiled out (MS_TELEMETRY=OFF)"
+cmake -S "${SOURCE_DIR}" -B "${PREFIX}-notel" -DCMAKE_BUILD_TYPE=Release -DMS_TELEMETRY=OFF
+cmake --build "${PREFIX}-notel" -j
+ctest --test-dir "${PREFIX}-notel" --output-on-failure -j "$(nproc)"
 
 for san in thread address undefined; do
   echo "==> sanitize: ${san}"

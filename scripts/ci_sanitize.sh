@@ -21,7 +21,7 @@ case "${SANITIZER}" in
     ;;
 esac
 
-TARGETS=(test_sim test_rt test_kern test_model test_trace test_analyze test_integration)
+TARGETS=(test_sim test_rt test_kern test_model test_trace test_telemetry test_analyze test_integration)
 
 cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -34,10 +34,11 @@ export ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}"
 
 # test_sim/test_rt/test_kern: thread pool, pooled runtime, parallel kernel
-# engine. test_model/test_trace: analytic + timeline layers. test_analyze:
-# the hazard analyzer, including the abort path that must not leak pooled
-# actions (ASan's leak checker is the arbiter). test_integration: paper
-# claims end to end.
+# engine. test_model/test_trace: analytic + timeline layers. test_telemetry:
+# the concurrent metric primitives and span rings under the race detector.
+# test_analyze: the hazard analyzer, including the abort path that must not
+# leak pooled actions (ASan's leak checker is the arbiter).
+# test_integration: paper claims end to end.
 for t in "${TARGETS[@]}"; do
   "${BUILD_DIR}/tests/${t}"
 done

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Record the kernel microbenchmark suite to BENCH_KERNELS.json at the repo
-# root (google-benchmark's JSON format, machine-diffable across commits).
+# Record the microbenchmark suites (google-benchmark's JSON format,
+# machine-diffable across commits) at the repo root:
+#   bench_kernels   -> BENCH_KERNELS.json
+#   bench_telemetry -> BENCH_TELEMETRY.json (metrics-off vs -on A/B)
 #
-#   scripts/record_bench.sh [build-dir] [output.json]
+#   scripts/record_bench.sh [build-dir] [kernels-output.json] [telemetry-output.json]
 #
 # Pass a build configured with -DMS_NATIVE=ON to record the full-ISA numbers.
 set -euo pipefail
@@ -10,10 +12,11 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 SOURCE_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 OUT="${2:-${SOURCE_DIR}/BENCH_KERNELS.json}"
+TEL_OUT="${3:-${SOURCE_DIR}/BENCH_TELEMETRY.json}"
 
-if [[ ! -x "${BUILD_DIR}/bench/bench_kernels" ]]; then
+if [[ ! -x "${BUILD_DIR}/bench/bench_kernels" || ! -x "${BUILD_DIR}/bench/bench_telemetry" ]]; then
   cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "${BUILD_DIR}" -j --target bench_kernels
+  cmake --build "${BUILD_DIR}" -j --target bench_kernels bench_telemetry
 fi
 
 "${BUILD_DIR}/bench/bench_kernels" \
@@ -22,3 +25,10 @@ fi
   --benchmark_out="${OUT}"
 
 echo "record_bench: wrote ${OUT}"
+
+"${BUILD_DIR}/bench/bench_telemetry" \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="${TEL_OUT}"
+
+echo "record_bench: wrote ${TEL_OUT}"

@@ -7,8 +7,36 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/span.hpp"
+
 namespace ms::analyze {
 namespace {
+
+telemetry::Counter& tel_segments() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_analyze_segments_total", "Hazard-analysis segments processed");
+  return c;
+}
+telemetry::Counter& tel_nodes() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_analyze_nodes_total", "Action nodes fed to the hazard analyzer");
+  return c;
+}
+telemetry::Counter& tel_edges() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_analyze_edges_total", "Ordering edges (FIFO + explicit deps) resolved per analysis");
+  return c;
+}
+telemetry::Counter& tel_overlap_tests() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_analyze_overlap_tests_total", "Candidate access pairs examined by the race scan");
+  return c;
+}
+telemetry::Counter& tel_hazards() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_analyze_hazards_total", "Hazards reported across all analyses");
+  return c;
+}
 
 /// Keep pathological graphs from producing unbounded reports: one missing
 /// edge in a tiled app can race hundreds of pairs.
@@ -91,6 +119,10 @@ std::pair<std::size_t, std::size_t> IntervalSet::first_gap(std::size_t begin,
 }
 
 Analysis analyze(const GraphRecord& record, Coverage* carry) {
+  const telemetry::ScopedSpan tel_span("analyze.segment");
+  std::uint64_t tel_edge_count = 0;
+  std::uint64_t tel_pair_tests = 0;
+
   Analysis out;
   const std::vector<ActionNode>& nodes = record.nodes;
   const std::size_t n = nodes.size();
@@ -134,6 +166,7 @@ Analysis analyze(const GraphRecord& record, Coverage* carry) {
     for (const std::size_t p : preds[i]) {
       succs[p].push_back(i);
       ++indegree[i];
+      ++tel_edge_count;
     }
   }
   std::vector<std::size_t> topo;
@@ -235,6 +268,7 @@ Analysis analyze(const GraphRecord& record, Coverage* carry) {
       for (std::size_t x = 0; x < entries.size() && out.hazards.size() < kMaxHazards; ++x) {
         const Access& ax = nodes[entries[x].node].accesses[entries[x].access];
         for (std::size_t y = x + 1; y < entries.size(); ++y) {
+          ++tel_pair_tests;
           const std::size_t ni = entries[x].node;
           const std::size_t nj = entries[y].node;
           if (ni == nj) continue;
@@ -378,6 +412,12 @@ Analysis analyze(const GraphRecord& record, Coverage* carry) {
     if (a.first.id != b.first.id) return a.first.id < b.first.id;
     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
   });
+
+  tel_segments().add(1);
+  tel_nodes().add(n);
+  tel_edges().add(tel_edge_count);
+  tel_overlap_tests().add(tel_pair_tests);
+  tel_hazards().add(out.hazards.size());
   return out;
 }
 

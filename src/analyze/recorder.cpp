@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "analyze/report.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ms::analyze {
 namespace {
@@ -12,6 +13,13 @@ namespace {
 /// never be misread as nodes of another (recorders keep the low 40 bits for
 /// their own monotone sequence).
 std::atomic<std::uint64_t> g_next_serial{1};
+
+telemetry::Counter& tel_recorded() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_analyze_actions_recorded_total",
+      "Transfers, kernels, and barriers captured into action graphs");
+  return c;
+}
 }  // namespace
 
 Recorder::Recorder() : capture_(Capture::current()) {
@@ -21,6 +29,7 @@ Recorder::Recorder() : capture_(Capture::current()) {
 std::uint64_t Recorder::on_transfer(bool h2d, int stream, int device, rt::BufferId buf,
                                     std::size_t offset, std::size_t bytes,
                                     std::vector<std::uint64_t> deps) {
+  tel_recorded().add(1);
   return h2d ? graph_.add_h2d(stream, device, buf, offset, bytes, std::move(deps))
              : graph_.add_d2h(stream, device, buf, offset, bytes, std::move(deps));
 }
@@ -28,10 +37,12 @@ std::uint64_t Recorder::on_transfer(bool h2d, int stream, int device, rt::Buffer
 std::uint64_t Recorder::on_kernel(int stream, int device, std::string label,
                                   const std::vector<rt::BufferAccess>& accesses,
                                   std::vector<std::uint64_t> deps) {
+  tel_recorded().add(1);
   return graph_.add_kernel(stream, device, std::move(label), accesses, std::move(deps));
 }
 
 std::uint64_t Recorder::on_barrier(int stream, std::vector<std::uint64_t> deps) {
+  tel_recorded().add(1);
   return graph_.add_barrier(stream, std::move(deps));
 }
 

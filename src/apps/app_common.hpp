@@ -9,6 +9,7 @@
 #include "rt/context.hpp"
 #include "rt/tile_plan.hpp"
 #include "sim/sim_config.hpp"
+#include "telemetry/span.hpp"
 #include "trace/stats.hpp"
 #include "trace/timeline.hpp"
 
@@ -81,6 +82,7 @@ double measure_ms(rt::Context& ctx, int iterations, F&& once) {
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(iterations));
   for (int i = 0; i < iterations; ++i) {
+    const telemetry::ScopedSpan tel_span("app.iteration");
     const sim::SimTime t0 = ctx.host_time();
     once(i);
     ctx.synchronize();

@@ -8,8 +8,17 @@
 
 #include "model/workload_sim.hpp"
 #include "sim/sweep.hpp"
+#include "telemetry/span.hpp"
 
 namespace ms::model {
+
+namespace {
+telemetry::Counter& tel_train_samples() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_model_knn_samples_total", "Labeled samples produced by KnnTuner::train");
+  return c;
+}
+}  // namespace
 
 KnnTuner::KnnTuner(int k) : k_(k) {
   if (k < 1) {
@@ -96,6 +105,7 @@ KnnTuner KnnTuner::train(const sim::SimConfig& cfg, int samples, std::uint32_t s
   if (samples < 1) {
     throw std::invalid_argument("KnnTuner::train: need at least one sample");
   }
+  const telemetry::ScopedSpan span("model.knn.train");
   KnnTuner tuner(k);
   rt::TunerOptions opt;
   opt.max_multiplier = 6;
@@ -121,6 +131,7 @@ KnnTuner KnnTuner::train(const sim::SimConfig& cfg, int samples, std::uint32_t s
   for (const Labeled& l : labeled) {
     tuner.add_sample(l.shape, l.best);
   }
+  tel_train_samples().add(static_cast<std::uint64_t>(samples));
   return tuner;
 }
 

@@ -5,6 +5,7 @@
 
 #include "analyze/recorder.hpp"
 #include "rt/errors.hpp"
+#include "telemetry/span.hpp"
 
 namespace ms::rt {
 
@@ -12,6 +13,27 @@ namespace {
 bool env_analyze() {
   const char* v = std::getenv("MS_ANALYZE");
   return v != nullptr && *v != '\0' && *v != '0';
+}
+
+telemetry::Counter& tel_enqueues() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_rt_enqueues_total", "Host enqueue calls issued across all contexts");
+  return c;
+}
+telemetry::Counter& tel_actions() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_rt_actions_total", "Actions acquired from the context pools");
+  return c;
+}
+telemetry::Counter& tel_syncs() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_rt_syncs_total", "Context::synchronize calls");
+  return c;
+}
+telemetry::Histogram& tel_sync_ns() {
+  static telemetry::Histogram& h = telemetry::registry().histogram(
+      "ms_rt_sync_wall_ns", "Wall-clock nanoseconds spent inside Context::synchronize");
+  return h;
 }
 }  // namespace
 
@@ -24,6 +46,7 @@ Context::Context(const sim::SimConfig& cfg, const ContextConfig& ctx_cfg)
 }
 
 Context::~Context() {
+  flush_telemetry();
   // Report whatever the last segment accumulated; dtors must not throw, so
   // abort-mode hazards go to stderr and capture mode collects as usual.
   if (recorder_) recorder_->finalize();
@@ -178,6 +201,9 @@ std::byte* Context::device_data(BufferId id, int device) {
 }
 
 void Context::synchronize() {
+  const telemetry::ScopedSpan span("rt.synchronize");
+  const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
+  ++tel_.syncs;
   platform_->engine().run_until_idle();
   for (const auto& s : streams_) {
     if (!s->idle()) {
@@ -190,6 +216,8 @@ void Context::synchronize() {
   // Everything enqueued so far completed before anything enqueued next: a
   // segment boundary. Abort mode throws HazardError here.
   if (recorder_) recorder_->flush(/*may_throw=*/true);
+  if (t0 != 0) tel_sync_ns().observe(telemetry::now_ns() - t0);
+  flush_telemetry();
 }
 
 void Context::wait(const Event& ev) {
@@ -206,6 +234,7 @@ void Context::wait(const Event& ev) {
 }
 
 detail::Action* Context::acquire_action() {
+  ++tel_.actions;
   auto* a = new (ActionPool::allocate(action_store_)) detail::Action;
   // Control block + state live in one pool node; the pool store is kept
   // alive by the allocator copy inside the control block, so states held
@@ -224,12 +253,25 @@ void Context::release_action(detail::Action* a) {
 }
 
 sim::SimTime Context::host_issue() {
+  ++tel_.enqueues;
   const sim::SimTime cost =
       issue_override_ ? issue_cost_ : platform_->cost().enqueue_overhead();
   const auto grant =
       platform_->host_thread().reserve(sim::max(host_cursor_, sim::SimTime::zero()), cost);
   host_cursor_ = grant.end;
   return grant.end;
+}
+
+void Context::flush_telemetry() noexcept {
+  if (tel_.enqueues == 0 && tel_.actions == 0 && tel_.syncs == 0) return;
+  if (telemetry::enabled()) {
+    tel_enqueues().add(tel_.enqueues);
+    tel_actions().add(tel_.actions);
+    tel_syncs().add(tel_.syncs);
+  }
+  // Drop unpublished tallies either way: a run that enables metrics halfway
+  // through should not retroactively credit the disabled portion.
+  tel_ = {};
 }
 
 void Context::require_all_idle(const char* who) const {

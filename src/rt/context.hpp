@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -204,6 +205,16 @@ private:
   void require_all_idle(const char* who) const;
   [[nodiscard]] const BufferRec& buffer_rec(BufferId id) const;
 
+  /// Host-activity tallies kept as plain members (the enqueue path must not
+  /// touch shared atomics) and published to the telemetry registry in one
+  /// batch per synchronize() — see flush_telemetry().
+  struct TelTally {
+    std::uint64_t enqueues = 0;
+    std::uint64_t actions = 0;
+    std::uint64_t syncs = 0;
+  };
+  void flush_telemetry() noexcept;
+
   std::unique_ptr<sim::Platform> platform_;
   trace::Timeline timeline_;
   bool tracing_ = true;
@@ -215,6 +226,7 @@ private:
   std::unordered_map<std::uint64_t, BufferRec> buffers_;
   std::uint64_t next_buffer_ = 1;
   ActionPool::Store action_store_;
+  TelTally tel_;
   std::shared_ptr<detail::StatePool::Store> state_pool_ = detail::StatePool::make_store();
   /// Present only when analyzing (ContextConfig::analyze / MS_ANALYZE=1 /
   /// installed analyze::Capture); the hot path pays one branch when absent.

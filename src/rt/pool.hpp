@@ -6,8 +6,17 @@
 #include <vector>
 
 #include "sim/chunk_depot.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ms::rt::detail {
+
+/// Process-wide count of pool chunk growths (one heap/depot acquisition per
+/// chunk). Inline so every NodePool instantiation shares the same counter.
+inline telemetry::Counter& pool_chunks_grown() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_rt_pool_chunks_grown_total", "Chunks acquired by node pools (256 nodes each)");
+  return c;
+}
 
 /// Fixed-size node pool: one chunk allocation buys kChunkNodes nodes, and
 /// freed nodes recycle through an *intrusive* free list threaded through the
@@ -67,6 +76,7 @@ public:
 
 private:
   static void grow(Store& st) {
+    pool_chunks_grown().add(1);
     auto chunk = sim::detail::ChunkDepot::acquire(kChunkBytes);
     std::byte* base = chunk.get();
     for (std::size_t i = 0; i < kChunkNodes; ++i) {

@@ -5,9 +5,38 @@
 
 #include "analyze/capture.hpp"
 #include "rt/errors.hpp"
+#include "telemetry/span.hpp"
 
 namespace ms::rt {
 namespace {
+
+telemetry::Counter& tel_searches() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_tuner_searches_total", "Tuner search invocations (all variants)");
+  return c;
+}
+telemetry::Counter& tel_candidates() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_tuner_candidates_total", "Candidate configurations submitted to tuner searches");
+  return c;
+}
+telemetry::Counter& tel_hazardous() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_tuner_hazardous_total", "Candidates rejected by hazard validation");
+  return c;
+}
+telemetry::Gauge& tel_done() {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "ms_tuner_candidates_done", "Candidates evaluated so far in the current search (live progress)");
+  return g;
+}
+
+/// Common entry bookkeeping for every search variant.
+void tel_search_begin(std::size_t candidates) {
+  tel_searches().add(1);
+  tel_candidates().add(candidates);
+  tel_done().set(0);
+}
 
 /// Evaluate one candidate under a fresh Capture; hazardous evaluations
 /// return infinity so the ordered reduction skips them unchanged.
@@ -35,6 +64,7 @@ Tuner::Result validated_reduce(const std::vector<Tuner::Candidate>& candidates,
       r.best = candidates[i];
     }
   }
+  tel_hazardous().add(static_cast<std::uint64_t>(r.hazardous));
   if (r.hazardous == candidates.size()) {
     throw Error("Tuner::search_validated: every candidate configuration reported hazards");
   }
@@ -100,10 +130,13 @@ Tuner::Result Tuner::search(const std::vector<Candidate>& candidates,
   if (!metric) {
     throw std::invalid_argument("Tuner::search: empty metric");
   }
+  const telemetry::ScopedSpan span("rt.tuner.search");
+  tel_search_begin(candidates.size());
   Result r;
   r.best_metric = std::numeric_limits<double>::max();
   for (const Candidate& c : candidates) {
     const double v = metric(c);
+    tel_done().add(1);
     ++r.evaluated;
     if (v < r.best_metric) {
       r.best_metric = v;
@@ -122,8 +155,16 @@ Tuner::Result Tuner::search(const std::vector<Candidate>& candidates,
   if (!metric) {
     throw std::invalid_argument("Tuner::search: empty metric");
   }
+  const telemetry::ScopedSpan span("rt.tuner.search");
+  tel_search_begin(candidates.size());
   const auto values = sim::parallel_map<double>(
-      candidates.size(), [&](std::size_t i) { return metric(candidates[i]); }, sweep);
+      candidates.size(),
+      [&](std::size_t i) {
+        const double v = metric(candidates[i]);
+        tel_done().add(1);
+        return v;
+      },
+      sweep);
 
   // Ordered reduction: same winner and tie-breaks as the serial loop.
   Result r;
@@ -146,12 +187,15 @@ Tuner::Result Tuner::search_validated(const std::vector<Candidate>& candidates,
   if (!metric) {
     throw std::invalid_argument("Tuner::search_validated: empty metric");
   }
+  const telemetry::ScopedSpan span("rt.tuner.search");
+  tel_search_begin(candidates.size());
   std::vector<double> values(candidates.size());
   std::vector<char> hazardous(candidates.size(), 0);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     bool bad = false;
     values[i] = validated_eval(metric, candidates[i], &bad);
     hazardous[i] = bad ? 1 : 0;
+    tel_done().add(1);
   }
   return validated_reduce(candidates, values, hazardous);
 }
@@ -165,6 +209,8 @@ Tuner::Result Tuner::search_validated(const std::vector<Candidate>& candidates,
   if (!metric) {
     throw std::invalid_argument("Tuner::search_validated: empty metric");
   }
+  const telemetry::ScopedSpan span("rt.tuner.search");
+  tel_search_begin(candidates.size());
   // Each evaluation installs its own Capture on whichever pool worker runs
   // it — the thread-local scoping gives per-candidate attribution for free.
   std::vector<char> hazardous(candidates.size(), 0);
@@ -174,6 +220,7 @@ Tuner::Result Tuner::search_validated(const std::vector<Candidate>& candidates,
         bool bad = false;
         const double v = validated_eval(metric, candidates[i], &bad);
         hazardous[i] = bad ? 1 : 0;
+        tel_done().add(1);
         return v;
       },
       sweep);

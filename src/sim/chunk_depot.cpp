@@ -3,9 +3,37 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace ms::sim::detail {
 
 namespace {
+
+telemetry::Counter& tel_hits() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_sim_depot_hits_total", "ChunkDepot acquisitions served from parked chunks");
+  return c;
+}
+telemetry::Counter& tel_misses() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_sim_depot_misses_total", "ChunkDepot acquisitions that fell through to the heap");
+  return c;
+}
+telemetry::Counter& tel_recycled() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_sim_depot_recycled_total", "Chunks parked for reuse on release");
+  return c;
+}
+telemetry::Counter& tel_dropped() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_sim_depot_dropped_total", "Chunks freed on release because the depot was full");
+  return c;
+}
+telemetry::MaxGauge& tel_parked_hw() {
+  static telemetry::MaxGauge& g = telemetry::registry().max_gauge(
+      "ms_sim_depot_parked_bytes_hw", "Most bytes any thread's depot has held parked");
+  return g;
+}
 
 /// One bin per distinct chunk size. A handful of sizes exist process-wide
 /// (one per pool type), so linear search beats any map.
@@ -39,14 +67,19 @@ std::unique_ptr<std::byte[]> ChunkDepot::acquire(std::size_t bytes) {
     auto chunk = std::move(bin->chunks.back());
     bin->chunks.pop_back();
     d.parked -= bytes;
+    tel_hits().add(1);
     return chunk;
   }
+  tel_misses().add(1);
   return std::make_unique<std::byte[]>(bytes);
 }
 
 void ChunkDepot::release(std::unique_ptr<std::byte[]> chunk, std::size_t bytes) noexcept {
   Depot& d = depot();
-  if (chunk == nullptr || d.parked + bytes > kMaxParkedBytes) return;  // drop: frees
+  if (chunk == nullptr || d.parked + bytes > kMaxParkedBytes) {
+    if (chunk != nullptr) tel_dropped().add(1);
+    return;  // drop: frees
+  }
   Bin* bin = d.find(bytes);
   if (bin == nullptr) {
     d.bins.push_back(Bin{bytes, {}});
@@ -54,6 +87,8 @@ void ChunkDepot::release(std::unique_ptr<std::byte[]> chunk, std::size_t bytes) 
   }
   bin->chunks.push_back(std::move(chunk));
   d.parked += bytes;
+  tel_recycled().add(1);
+  tel_parked_hw().observe(static_cast<std::int64_t>(d.parked));
 }
 
 std::size_t ChunkDepot::parked_bytes() noexcept { return depot().parked; }

@@ -4,7 +4,67 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/span.hpp"
+
 namespace ms::sim {
+
+namespace {
+// Registered once per process; relaxed sharded writes from every engine.
+// Per-event costs are charged as drain-level deltas (one add per drain, not
+// per event) so the event hot loop itself carries no atomics.
+telemetry::Counter& tel_events() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_sim_events_fired_total", "Discrete events fired by every sim::Engine");
+  return c;
+}
+telemetry::MaxGauge& tel_depth() {
+  static telemetry::MaxGauge& g = telemetry::registry().max_gauge(
+      "ms_sim_event_queue_depth_hw", "Deepest pending-event queue seen by any engine");
+  return g;
+}
+telemetry::Histogram& tel_drain_ns() {
+  static telemetry::Histogram& h = telemetry::registry().histogram(
+      "ms_sim_drain_wall_ns", "Wall-clock nanoseconds per engine drain (run_until_idle/until)");
+  return h;
+}
+telemetry::Histogram& tel_dispatch_ns() {
+  static telemetry::Histogram& h = telemetry::registry().histogram(
+      "ms_sim_dispatch_wall_ns", "Mean wall-clock nanoseconds per event within a drain");
+  return h;
+}
+
+/// RAII drain probe: stamps events-fired and wall-clock at scope entry and
+/// publishes the deltas on exit. All-or-nothing on telemetry::enabled(), so
+/// a disabled run never reads the clock.
+class DrainProbe {
+public:
+  DrainProbe(const Engine& e, std::uint64_t fired) noexcept
+      : engine_(e),
+        armed_(telemetry::enabled()),
+        fired0_(fired),
+        t0_(armed_ ? telemetry::now_ns() : 0) {}
+  ~DrainProbe() {
+    if (!armed_) return;
+    const std::uint64_t events = engine_.events_fired() - fired0_;
+    const std::uint64_t wall = telemetry::now_ns() - t0_;
+    tel_events().add(events);
+    tel_depth().observe(static_cast<std::int64_t>(engine_.depth_high_water()));
+    if (events > 0) {
+      tel_drain_ns().observe(wall);
+      tel_dispatch_ns().observe(wall / events);
+    }
+  }
+  DrainProbe(const DrainProbe&) = delete;
+  DrainProbe& operator=(const DrainProbe&) = delete;
+
+private:
+  const Engine& engine_;
+  bool armed_;
+  std::uint64_t fired0_;
+  std::uint64_t t0_;
+};
+
+}  // namespace
 
 Engine::Slot* Engine::acquire_empty_slot() {
   if (free_slots_.empty()) {
@@ -69,6 +129,7 @@ void Engine::fire_next() {
 }
 
 SimTime Engine::run_until_idle() {
+  const DrainProbe probe(*this, fired_);
   while (!heap_.empty()) {
     fire_next();
   }
@@ -76,6 +137,7 @@ SimTime Engine::run_until_idle() {
 }
 
 SimTime Engine::run_until(SimTime deadline) {
+  const DrainProbe probe(*this, fired_);
   while (!heap_.empty() && heap_[earliest_index()].when <= deadline) {
     fire_next();
   }
@@ -106,6 +168,7 @@ void Engine::reset() {
   now_ = SimTime::zero();
   next_seq_ = 0;
   fired_ = 0;
+  depth_hw_ = 0;
   dispatching_ = false;
   heapified_ = false;
 }

@@ -73,6 +73,12 @@ public:
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
   [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
 
+  /// Deepest the pending queue has ever been (since construction/reset).
+  /// Tracked unconditionally — one compare per schedule — and published to
+  /// the telemetry registry by the drain loops, so it is visible even for
+  /// engines that never reach a synchronize().
+  [[nodiscard]] std::size_t depth_high_water() const noexcept { return depth_hw_; }
+
   /// True while an event callback is executing. Clients use this to detect
   /// "virtual time is advancing" contexts where work that is ready *now* may
   /// be dispatched inline instead of through a same-timestamp event (the
@@ -120,6 +126,7 @@ private:
 
   void push_item(Item it) {
     heap_.push_back(it);
+    if (heap_.size() > depth_hw_) depth_hw_ = heap_.size();
     if (heapified_) {
       std::push_heap(heap_.begin(), heap_.end(), Later{});
     } else if (heap_.size() > kHeapThreshold) {
@@ -149,6 +156,7 @@ private:
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
+  std::size_t depth_hw_ = 0;
   bool dispatching_ = false;
 };
 

@@ -2,11 +2,15 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "telemetry/span.hpp"
 
 namespace ms::sim {
 
@@ -18,6 +22,37 @@ namespace {
 /// already holds run_mu (app dispatch under a parallel sweep launching a
 /// parallel kernel is exactly this shape).
 thread_local bool t_in_pool_batch = false;
+
+telemetry::Counter& tel_batches() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_pool_batches_total", "Batches submitted to a ThreadPool::run");
+  return c;
+}
+telemetry::Counter& tel_jobs() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_pool_jobs_total", "Sweep jobs executed (pooled, nested-inline, and serial paths)");
+  return c;
+}
+telemetry::Gauge& tel_workers() {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "ms_pool_workers", "Worker threads owned by the most recent ThreadPool");
+  return g;
+}
+telemetry::Histogram& tel_job_ns() {
+  static telemetry::Histogram& h = telemetry::registry().histogram(
+      "ms_pool_job_wall_ns", "Wall-clock nanoseconds per pooled job body");
+  return h;
+}
+telemetry::Histogram& tel_queue_wait_ns() {
+  static telemetry::Histogram& h = telemetry::registry().histogram(
+      "ms_pool_queue_wait_ns", "Submit-to-first-claim wall latency per draining thread");
+  return h;
+}
+telemetry::Counter& tel_caller_busy() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_pool_worker_busy_ns_caller", "Wall nanoseconds the submitting thread spent in job bodies");
+  return c;
+}
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -28,6 +63,7 @@ struct ThreadPool::Impl {
     const std::function<void(std::size_t)>* body = nullptr;
     std::size_t jobs = 0;
     std::size_t max_workers = 0;  ///< 0 = unlimited
+    std::uint64_t submit_ns = 0;  ///< wall stamp at submit; 0 = telemetry off
     std::atomic<std::size_t> entrants{0};
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
@@ -35,24 +71,49 @@ struct ThreadPool::Impl {
     std::condition_variable complete;
     std::exception_ptr error;
 
-    void drain() {
+    /// `busy` is the draining thread's busy-time counter (per worker, or the
+    /// caller's). Timing is all-or-nothing on the submit stamp so a batch
+    /// submitted with telemetry off never reads the clock.
+    void drain(telemetry::Counter& busy) {
       if (max_workers != 0 &&
           entrants.fetch_add(1, std::memory_order_relaxed) >= max_workers) {
         return;
       }
+      const bool timed = submit_ns != 0;
+      std::uint64_t busy_ns = 0;
+      std::uint64_t executed = 0;
+      bool first_claim = true;
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= jobs) return;
+        if (i >= jobs) break;
+        std::uint64_t t0 = 0;
+        if (timed) {
+          t0 = telemetry::now_ns();
+          if (first_claim) {
+            tel_queue_wait_ns().observe(t0 - submit_ns);
+            first_claim = false;
+          }
+        }
         try {
           (*body)(i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(mu);
           if (!error) error = std::current_exception();
         }
+        if (timed) {
+          const std::uint64_t dt = telemetry::now_ns() - t0;
+          tel_job_ns().observe(dt);
+          busy_ns += dt;
+        }
+        ++executed;
         if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == jobs) {
           std::lock_guard<std::mutex> lock(mu);
           complete.notify_all();
         }
+      }
+      if (executed > 0) {
+        tel_jobs().add(executed);
+        if (timed) busy.add(busy_ns);
       }
     }
   };
@@ -64,8 +125,9 @@ struct ThreadPool::Impl {
     }
     workers.reserve(threads);
     for (unsigned i = 0; i < threads; ++i) {
-      workers.emplace_back([this] { worker_loop(); });
+      workers.emplace_back([this, i] { worker_loop(i); });
     }
+    tel_workers().set(static_cast<std::int64_t>(threads));
   }
 
   ~Impl() {
@@ -77,8 +139,13 @@ struct ThreadPool::Impl {
     for (auto& w : workers) w.join();
   }
 
-  void worker_loop() {
+  void worker_loop(unsigned idx) {
     t_in_pool_batch = true;
+    // Per-worker busy counter: registered once per index, shared by every
+    // pool that ever runs a worker with this index (the registry dedupes).
+    telemetry::Counter& busy = telemetry::registry().counter(
+        "ms_pool_worker_busy_ns_w" + std::to_string(idx),
+        "Wall nanoseconds this pool worker spent in job bodies");
     std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Batch> batch;
@@ -89,17 +156,20 @@ struct ThreadPool::Impl {
         seen = generation;
         batch = current;
       }
-      if (batch) batch->drain();
+      if (batch) batch->drain(busy);
     }
   }
 
   void run(std::size_t jobs, const std::function<void(std::size_t)>& body,
            std::size_t max_workers) {
     std::lock_guard<std::mutex> run_lock(run_mu);  // one batch at a time
+    const telemetry::ScopedSpan span("sim.pool.batch");
+    tel_batches().add(1);
     auto batch = std::make_shared<Batch>();
     batch->body = &body;
     batch->jobs = jobs;
     batch->max_workers = max_workers;
+    if (telemetry::enabled()) batch->submit_ns = telemetry::now_ns();
     {
       std::lock_guard<std::mutex> lock(mu);
       current = batch;
@@ -111,7 +181,7 @@ struct ThreadPool::Impl {
     // parallel-sweep job) runs the inner jobs inline instead of re-entering
     // run() and self-deadlocking on run_mu.
     t_in_pool_batch = true;
-    batch->drain();
+    batch->drain(tel_caller_busy());
     t_in_pool_batch = false;
     std::unique_lock<std::mutex> lock(batch->mu);
     batch->complete.wait(
@@ -145,6 +215,7 @@ void ThreadPool::run(std::size_t jobs, const std::function<void(std::size_t)>& b
     // serially: deterministic and deadlock-free; the outer sweep already
     // owns the workers (and, for the calling thread, run_mu).
     for (std::size_t i = 0; i < jobs; ++i) body(i);
+    tel_jobs().add(jobs);
     return;
   }
   impl_->run(jobs, body, max_workers);
@@ -160,6 +231,7 @@ void parallel_for(std::size_t jobs, const std::function<void(std::size_t)>& body
   if (jobs == 0) return;
   if (opt.threads == 1 || jobs == 1) {
     for (std::size_t i = 0; i < jobs; ++i) body(i);
+    tel_jobs().add(jobs);
     return;
   }
   ThreadPool::shared().run(jobs, body,

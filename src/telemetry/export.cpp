@@ -1,0 +1,133 @@
+#include "telemetry/export.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace ms::telemetry {
+
+namespace {
+
+/// Prometheus metric names and help strings are library-generated, but keep
+/// the escaping anyway — a dynamic registration (per-worker counters) could
+/// in principle carry anything.
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '"': os << "\\\""; break;
+      default: os << c;
+    }
+  }
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const Registry::Snapshot& snap) {
+  for (const MetricSnapshot& m : snap.metrics) {
+    os << "# HELP " << m.name << ' ';
+    write_escaped(os, m.help);
+    os << '\n';
+    switch (m.kind) {
+      case MetricKind::Counter:
+        os << "# TYPE " << m.name << " counter\n";
+        os << m.name << ' ' << m.counter << '\n';
+        break;
+      case MetricKind::Gauge:
+      case MetricKind::MaxGauge:
+        os << "# TYPE " << m.name << " gauge\n";
+        os << m.name << ' ' << m.gauge << '\n';
+        break;
+      case MetricKind::Histogram: {
+        os << "# TYPE " << m.name << " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+          if (m.histogram.buckets[b] == 0) continue;  // sparse: most buckets are empty
+          cum += m.histogram.buckets[b];
+          os << m.name << "_bucket{le=\"" << HistogramSnapshot::bucket_upper(b) << "\"} " << cum
+             << '\n';
+        }
+        os << m.name << "_bucket{le=\"+Inf\"} " << m.histogram.count() << '\n';
+        os << m.name << "_sum " << m.histogram.sum << '\n';
+        os << m.name << "_count " << m.histogram.count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void write_json(std::ostream& os, const Registry::Snapshot& snap) {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const MetricSnapshot& m : snap.metrics) {
+    if (m.kind != MetricKind::Counter) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "\n    ";
+    write_json_string(os, m.name);
+    os << ": " << m.counter;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const MetricSnapshot& m : snap.metrics) {
+    if (m.kind != MetricKind::Gauge && m.kind != MetricKind::MaxGauge) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "\n    ";
+    write_json_string(os, m.name);
+    os << ": " << m.gauge;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const MetricSnapshot& m : snap.metrics) {
+    if (m.kind != MetricKind::Histogram) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "\n    ";
+    write_json_string(os, m.name);
+    os << ": {\"count\": " << m.histogram.count() << ", \"sum\": " << m.histogram.sum
+       << ", \"p50\": " << m.histogram.quantile(0.50) << ", \"p95\": " << m.histogram.quantile(0.95)
+       << ", \"p99\": " << m.histogram.quantile(0.99) << ", \"buckets\": [";
+    bool bfirst = true;
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      if (m.histogram.buckets[b] == 0) continue;
+      if (!bfirst) os << ", ";
+      bfirst = false;
+      os << '[' << HistogramSnapshot::bucket_upper(b) << ", " << m.histogram.buckets[b] << ']';
+    }
+    os << "]}";
+  }
+  os << "\n  }\n}\n";
+}
+
+void write_snapshot(std::ostream& os, bool prometheus) {
+  const auto snap = registry().snapshot();
+  if (prometheus) {
+    write_prometheus(os, snap);
+  } else {
+    write_json(os, snap);
+  }
+}
+
+}  // namespace ms::telemetry

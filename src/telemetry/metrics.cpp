@@ -1,0 +1,204 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ms::telemetry {
+
+std::uint64_t HistogramSnapshot::quantile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the quantile observation (1-based, ceil) within the sorted
+  // sample; the reported value is the containing bucket's upper bound.
+  const double exact = p * static_cast<double>(n);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return bucket_upper(b);
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+  sum += other.sum;
+}
+
+const char* to_string(MetricKind k) noexcept {
+  switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::MaxGauge: return "max_gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+#if MS_TELEMETRY_ENABLED
+
+namespace detail {
+
+bool init_from_env() noexcept {
+  const char* v = std::getenv("MS_METRICS");
+  const bool on = v != nullptr && *v != '\0' && *v != '0';
+  int expected = -1;
+  g_state.compare_exchange_strong(expected, on ? 1 : 0, std::memory_order_relaxed);
+  return g_state.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+struct Registry::Entry {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::Counter;
+  // Exactly one is set, matching `kind`; unique_ptr keeps addresses stable
+  // as the registry grows (call sites hold references for the process life).
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<MaxGauge> max_gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<Entry>> entries;
+  std::unordered_map<std::string, std::size_t> index;
+};
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Registry::Impl& Registry::impl() const {
+  // Intentionally immortal (never destroyed): exporters may run from static
+  // destructors ordered after this TU's (e.g. a --metrics sink registered
+  // before the first metric), and registered references stay valid for the
+  // whole process. Still reachable through this pointer, so not a leak.
+  static Impl* i = new Impl;
+  return *i;
+}
+
+Registry::Entry& Registry::find_or_create(std::string_view name, std::string_view help,
+                                          MetricKind kind) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  if (auto it = im.index.find(std::string(name)); it != im.index.end()) {
+    Entry& e = *im.entries[it->second];
+    if (e.kind != kind) {
+      throw std::logic_error("telemetry: metric '" + std::string(name) + "' registered as " +
+                             to_string(e.kind) + ", requested as " + to_string(kind));
+    }
+    return e;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->kind = kind;
+  switch (kind) {
+    case MetricKind::Counter: entry->counter = std::make_unique<Counter>(); break;
+    case MetricKind::Gauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::MaxGauge: entry->max_gauge = std::make_unique<MaxGauge>(); break;
+    case MetricKind::Histogram: entry->histogram = std::make_unique<Histogram>(); break;
+  }
+  im.entries.push_back(std::move(entry));
+  im.index.emplace(im.entries.back()->name, im.entries.size() - 1);
+  return *im.entries.back();
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  return *find_or_create(name, help, MetricKind::Counter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  return *find_or_create(name, help, MetricKind::Gauge).gauge;
+}
+
+MaxGauge& Registry::max_gauge(std::string_view name, std::string_view help) {
+  return *find_or_create(name, help, MetricKind::MaxGauge).max_gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help) {
+  return *find_or_create(name, help, MetricKind::Histogram).histogram;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Impl& im = impl();
+  Snapshot out;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    out.metrics.reserve(im.entries.size());
+    for (const auto& e : im.entries) {
+      MetricSnapshot m;
+      m.name = e->name;
+      m.help = e->help;
+      m.kind = e->kind;
+      switch (e->kind) {
+        case MetricKind::Counter: m.counter = e->counter->value(); break;
+        case MetricKind::Gauge: m.gauge = e->gauge->value(); break;
+        case MetricKind::MaxGauge: m.gauge = e->max_gauge->value(); break;
+        case MetricKind::Histogram: m.histogram = e->histogram->snapshot(); break;
+      }
+      out.metrics.push_back(std::move(m));
+    }
+  }
+  std::sort(out.metrics.begin(), out.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::reset_all() noexcept {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (const auto& e : im.entries) {
+    switch (e->kind) {
+      case MetricKind::Counter: e->counter->reset(); break;
+      case MetricKind::Gauge: e->gauge->reset(); break;
+      case MetricKind::MaxGauge: e->max_gauge->reset(); break;
+      case MetricKind::Histogram: e->histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.entries.size();
+}
+
+#else  // stub build
+
+namespace {
+// One shared instance of each stub type; every registration returns it.
+Counter g_stub_counter;
+Gauge g_stub_gauge;
+MaxGauge g_stub_max_gauge;
+Histogram g_stub_histogram;
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+Counter& Registry::counter(std::string_view, std::string_view) { return g_stub_counter; }
+Gauge& Registry::gauge(std::string_view, std::string_view) { return g_stub_gauge; }
+MaxGauge& Registry::max_gauge(std::string_view, std::string_view) { return g_stub_max_gauge; }
+Histogram& Registry::histogram(std::string_view, std::string_view) { return g_stub_histogram; }
+
+#endif  // MS_TELEMETRY_ENABLED
+
+}  // namespace ms::telemetry

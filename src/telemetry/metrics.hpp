@@ -1,0 +1,330 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Compile-time switch: CMake's MS_TELEMETRY=OFF builds every class in this
+// header as an inline no-op stub, so call sites compile unchanged and the
+// optimizer deletes them — the "zero cost when disabled" guarantee is a
+// build configuration, not a promise about branch prediction.
+#ifndef MS_TELEMETRY_ENABLED
+#define MS_TELEMETRY_ENABLED 1
+#endif
+
+namespace ms::telemetry {
+
+/// True when the telemetry subsystem is compiled in (MS_TELEMETRY=ON).
+/// Tests use this to skip assertions that need live metrics.
+inline constexpr bool kCompiledIn = MS_TELEMETRY_ENABLED != 0;
+
+// ---------------------------------------------------------------------------
+// Histogram snapshot — pure data, shared by the live and stub builds (merge
+// and quantile logic is plain arithmetic and is useful to tests either way).
+// ---------------------------------------------------------------------------
+
+/// Log-bucketed histogram contents. Bucket b holds observations x with
+/// bit_width(x) == b, i.e. bucket 0 is {0} and bucket b >= 1 covers
+/// [2^(b-1), 2^b). 65 buckets span the whole uint64 range, so `observe`
+/// never clamps and `merge` is exact bucket-wise addition — associative and
+/// commutative by construction, which is what makes per-thread histograms
+/// mergeable in any order with identical totals.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 65;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t sum = 0;
+
+  [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t x) noexcept {
+    return static_cast<std::size_t>(std::bit_width(x));
+  }
+
+  /// Inclusive upper bound of bucket b (the value reported for quantiles
+  /// that land in it).
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(std::size_t b) noexcept {
+    if (b == 0) return 0;
+    if (b >= 64) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t n = 0;
+    for (const std::uint64_t b : buckets) n += b;
+    return n;
+  }
+
+  /// Upper bound of the bucket containing the p-quantile (p in (0, 1]);
+  /// 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t quantile(double p) const noexcept;
+
+  /// Bucket-wise accumulate: *this += other.
+  void merge(const HistogramSnapshot& other) noexcept;
+};
+
+#if MS_TELEMETRY_ENABLED
+
+namespace detail {
+
+/// Runtime gate, tri-state so it can be constant-initialized (no static
+/// init order hazards with the metric registrations running in other TUs):
+/// -1 = consult MS_METRICS on first use, 0 = off, 1 = on.
+inline constinit std::atomic<int> g_state{-1};
+
+[[nodiscard]] bool init_from_env() noexcept;
+
+/// Small dense id for the calling thread, assigned on first use; picks the
+/// counter shard and labels span records.
+[[nodiscard]] inline std::size_t thread_slot() noexcept {
+  static constinit std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+/// Is host-side metric/span recording on? Off by default; turned on by
+/// MS_METRICS=1 in the environment or set_enabled(true). One relaxed load —
+/// the whole cost of an instrumented call site while recording is off.
+[[nodiscard]] inline bool enabled() noexcept {
+  const int s = detail::g_state.load(std::memory_order_relaxed);
+  if (s >= 0) return s != 0;
+  return detail::init_from_env();
+}
+
+/// Programmatic override of the MS_METRICS gate (the CLI's --metrics flag,
+/// tests, benchmarks).
+void set_enabled(bool on) noexcept;
+
+// ---------------------------------------------------------------------------
+// Metric primitives
+// ---------------------------------------------------------------------------
+
+/// Monotonic counter, sharded across cache-line-padded relaxed atomics so
+/// concurrent writers (sweep workers, pool threads) never bounce one line.
+class Counter {
+public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    shards_[detail::thread_slot() & (kShards - 1)].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-write-wins instantaneous value (queue depth, parked bytes, ...).
+class Gauge {
+public:
+  void set(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    if (!enabled()) return;
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// High-water mark: observe() keeps the maximum ever seen. The fast path is
+/// a relaxed load and a compare, so repeated observations below the current
+/// maximum cost no write at all.
+class MaxGauge {
+public:
+  void observe(std::int64_t x) noexcept {
+    if (!enabled()) return;
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (x > cur && !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Concurrent log-bucketed latency/size histogram (see HistogramSnapshot for
+/// the bucket scheme). One relaxed add per observation on the bucket plus one
+/// on the running sum; quantiles are computed from a snapshot, never inline.
+class Histogram {
+public:
+  using Snapshot = HistogramSnapshot;
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  void observe(std::uint64_t x) noexcept {
+    if (!enabled()) return;
+    buckets_[HistogramSnapshot::bucket_of(x)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(x, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    Snapshot s;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, MaxGauge, Histogram };
+
+[[nodiscard]] const char* to_string(MetricKind k) noexcept;
+
+/// One metric's exported state.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::Counter;
+  std::uint64_t counter = 0;   ///< Counter value
+  std::int64_t gauge = 0;      ///< Gauge / MaxGauge value
+  HistogramSnapshot histogram; ///< Histogram contents
+};
+
+/// Process-wide metric registry. Metrics are registered once (typically from
+/// a namespace-scope `Counter& c = registry().counter(...)` in the
+/// instrumented TU) and live for the process; registration is mutex-guarded
+/// but the returned references are lock-free to use. Re-registering a name
+/// returns the existing metric; re-registering with a different kind throws.
+class Registry {
+public:
+  [[nodiscard]] static Registry& instance();
+
+  Counter& counter(std::string_view name, std::string_view help);
+  Gauge& gauge(std::string_view name, std::string_view help);
+  MaxGauge& max_gauge(std::string_view name, std::string_view help);
+  Histogram& histogram(std::string_view name, std::string_view help);
+
+  struct Snapshot {
+    std::vector<MetricSnapshot> metrics;  ///< name-sorted
+  };
+
+  /// Consistent-enough export: each metric is read with relaxed loads, so a
+  /// snapshot taken while writers run may split one logical update across
+  /// metrics, but every committed value is eventually visible.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zero every registered metric (CLI between protocol runs, tests).
+  void reset_all() noexcept;
+
+  /// Number of registered metrics.
+  [[nodiscard]] std::size_t size() const;
+
+private:
+  Registry() = default;
+  struct Entry;
+  Entry& find_or_create(std::string_view name, std::string_view help, MetricKind kind);
+
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+};
+
+#else  // MS_TELEMETRY_ENABLED == 0: inline no-op stubs, same surface.
+
+[[nodiscard]] constexpr bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+
+class Counter {
+public:
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  [[nodiscard]] std::int64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class MaxGauge {
+public:
+  void observe(std::int64_t) noexcept {}
+  [[nodiscard]] std::int64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+public:
+  using Snapshot = HistogramSnapshot;
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+  void observe(std::uint64_t) noexcept {}
+  [[nodiscard]] Snapshot snapshot() const noexcept { return {}; }
+  void reset() noexcept {}
+};
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, MaxGauge, Histogram };
+
+[[nodiscard]] const char* to_string(MetricKind k) noexcept;
+
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::Counter;
+  std::uint64_t counter = 0;
+  std::int64_t gauge = 0;
+  HistogramSnapshot histogram;
+};
+
+class Registry {
+public:
+  [[nodiscard]] static Registry& instance();
+  Counter& counter(std::string_view, std::string_view);
+  Gauge& gauge(std::string_view, std::string_view);
+  MaxGauge& max_gauge(std::string_view, std::string_view);
+  Histogram& histogram(std::string_view, std::string_view);
+
+  struct Snapshot {
+    std::vector<MetricSnapshot> metrics;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return {}; }
+  void reset_all() noexcept {}
+  [[nodiscard]] std::size_t size() const { return 0; }
+};
+
+#endif  // MS_TELEMETRY_ENABLED
+
+/// Shorthand used by every instrumented call site.
+[[nodiscard]] inline Registry& registry() { return Registry::instance(); }
+
+}  // namespace ms::telemetry

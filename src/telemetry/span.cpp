@@ -1,0 +1,124 @@
+#include "telemetry/span.hpp"
+
+#if MS_TELEMETRY_ENABLED
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace ms::telemetry {
+
+namespace {
+
+/// Fixed-capacity overwrite-oldest span buffer, one per recording thread.
+/// push() is called only by the owning thread; collect() may run on any
+/// thread — the per-ring mutex makes the pair race-free (and is uncontended
+/// in steady state, since collection happens at export points).
+struct SpanRing {
+  std::mutex mu;
+  std::uint32_t thread_id = 0;
+  std::size_t head = 0;   ///< next write position
+  std::size_t count = 0;  ///< live entries (<= capacity)
+  std::vector<SpanRecord> slots;
+
+  void push(const SpanRecord& r) noexcept {
+    std::lock_guard<std::mutex> lock(mu);
+    if (slots.size() < kSpanRingCapacity && count == slots.size()) {
+      slots.push_back(r);
+      head = slots.size() % kSpanRingCapacity;
+      ++count;
+      return;
+    }
+    slots[head] = r;
+    head = (head + 1) % kSpanRingCapacity;
+    if (count < slots.size()) ++count;
+  }
+
+  void collect(std::vector<SpanRecord>& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    // Oldest-first: entries live in [head - count, head) modulo size.
+    const std::size_t n = count;
+    const std::size_t cap = slots.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(slots[(head + cap - n + i) % cap]);
+    }
+  }
+
+  void clear() noexcept {
+    std::lock_guard<std::mutex> lock(mu);
+    head = 0;
+    count = 0;
+  }
+};
+
+/// Global sink: keeps every thread's ring alive (shared_ptr) so spans
+/// recorded by pool workers survive collection even after a worker exits.
+struct SpanSink {
+  std::mutex mu;
+  std::vector<std::shared_ptr<SpanRing>> rings;
+
+  static SpanSink& instance() {
+    // Immortal for the same reason as Registry::impl(): collectors may run
+    // from static destructors and from threads outliving main.
+    static SpanSink* s = new SpanSink;
+    return *s;
+  }
+
+  std::shared_ptr<SpanRing> adopt() {
+    auto ring = std::make_shared<SpanRing>();
+    ring->thread_id = static_cast<std::uint32_t>(detail::thread_slot());
+    std::lock_guard<std::mutex> lock(mu);
+    rings.push_back(ring);
+    return ring;
+  }
+};
+
+SpanRing& thread_ring() {
+  thread_local std::shared_ptr<SpanRing> ring = SpanSink::instance().adopt();
+  return *ring;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) noexcept {
+  SpanRecord r;
+  r.name = name;
+  r.start_ns = start_ns;
+  r.end_ns = end_ns;
+  SpanRing& ring = thread_ring();
+  r.thread = ring.thread_id;
+  ring.push(r);
+}
+
+std::vector<SpanRecord> collect_spans() {
+  SpanSink& sink = SpanSink::instance();
+  std::vector<std::shared_ptr<SpanRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(sink.mu);
+    rings = sink.rings;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& ring : rings) ring->collect(out);
+  return out;
+}
+
+void clear_spans() noexcept {
+  SpanSink& sink = SpanSink::instance();
+  std::vector<std::shared_ptr<SpanRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(sink.mu);
+    rings = sink.rings;
+  }
+  for (const auto& ring : rings) ring->clear();
+}
+
+}  // namespace ms::telemetry
+
+#endif  // MS_TELEMETRY_ENABLED

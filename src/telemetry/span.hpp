@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace ms::telemetry {
+
+/// One completed wall-clock span. `name` must point at storage that outlives
+/// the process slice being observed (string literals in practice) — spans are
+/// recorded on hot paths and must not allocate.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint32_t thread = 0;    ///< dense telemetry thread id
+  std::uint64_t start_ns = 0;  ///< steady-clock nanoseconds
+  std::uint64_t end_ns = 0;
+
+  [[nodiscard]] std::uint64_t duration_ns() const noexcept { return end_ns - start_ns; }
+};
+
+#if MS_TELEMETRY_ENABLED
+
+/// Monotonic wall-clock in nanoseconds (steady_clock).
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// Record a completed span into the calling thread's ring buffer. Rings are
+/// fixed-capacity and overwrite their oldest entry, so a long run keeps the
+/// freshest window instead of growing without bound.
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) noexcept;
+
+/// Copy out every buffered span (all threads, oldest-first within each
+/// thread). Does not clear; safe to call while other threads keep recording.
+[[nodiscard]] std::vector<SpanRecord> collect_spans();
+
+/// Drop every buffered span (between CLI protocol runs, tests).
+void clear_spans() noexcept;
+
+/// Per-thread ring capacity (spans kept per thread before overwrite).
+inline constexpr std::size_t kSpanRingCapacity = 8192;
+
+/// RAII wall-clock span: construction stamps the start, destruction records
+/// the span. When recording is off the constructor is one relaxed load and
+/// the destructor a null check.
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char* name) noexcept
+      : name_(enabled() ? name : nullptr), start_(name_ != nullptr ? now_ns() : 0) {}
+  ~ScopedSpan() {
+    if (name_ != nullptr) record_span(name_, start_, now_ns());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+  const char* name_;
+  std::uint64_t start_;
+};
+
+#else  // stub build
+
+[[nodiscard]] inline std::uint64_t now_ns() noexcept { return 0; }
+inline void record_span(const char*, std::uint64_t, std::uint64_t) noexcept {}
+[[nodiscard]] inline std::vector<SpanRecord> collect_spans() { return {}; }
+inline void clear_spans() noexcept {}
+inline constexpr std::size_t kSpanRingCapacity = 0;
+
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char*) noexcept {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+#endif  // MS_TELEMETRY_ENABLED
+
+}  // namespace ms::telemetry

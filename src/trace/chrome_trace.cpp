@@ -1,6 +1,10 @@
 #include "trace/chrome_trace.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <ostream>
+#include <set>
 #include <string_view>
 
 namespace ms::trace {
@@ -33,17 +37,74 @@ void write_escaped(std::ostream& os, std::string_view s) {
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const Timeline& timeline) {
+  write_chrome_trace(os, timeline, {});
+}
+
+void write_chrome_trace(std::ostream& os, const Timeline& timeline,
+                        std::span<const telemetry::SpanRecord> host_spans) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  for (const Span& s : timeline.spans()) {
+  auto sep = [&] {
     if (!first) os << ',';
     first = false;
-    os << "\n{\"ph\":\"X\",\"name\":";
+    os << '\n';
+  };
+  /// Exact microseconds with a 3-digit nanosecond fraction — stream default
+  /// precision would round large steady-clock offsets.
+  auto write_us = [&](std::uint64_t ns) {
+    os << ns / 1000 << '.' << static_cast<char>('0' + ns / 100 % 10)
+       << static_cast<char>('0' + ns / 10 % 10) << static_cast<char>('0' + ns % 10);
+  };
+
+  // Name the virtual-device processes so the combined view reads itself.
+  std::set<int> devices;
+  for (const Span& s : timeline.spans()) devices.insert(s.device);
+  for (const int d : devices) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << d
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"device " << d << " (virtual)\"}}";
+  }
+
+  for (const Span& s : timeline.spans()) {
+    sep();
+    os << "{\"ph\":\"X\",\"name\":";
     write_escaped(os, s.label.empty() ? std::string_view(to_string(s.kind)) : s.label);
     os << ",\"cat\":\"" << to_string(s.kind) << "\"";
     os << ",\"pid\":" << s.device << ",\"tid\":" << s.stream;
     os << ",\"ts\":" << s.start.micros() << ",\"dur\":" << s.duration().micros();
     os << ",\"args\":{\"partition\":" << s.partition << ",\"bytes\":" << s.bytes << "}}";
+  }
+
+  if (!host_spans.empty()) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << kHostTracePid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"host (wall-clock)\"}}";
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << kHostTracePid
+       << ",\"name\":\"process_sort_index\",\"args\":{\"sort_index\":-1}}";
+    std::set<std::uint32_t> threads;
+    for (const telemetry::SpanRecord& r : host_spans) threads.insert(r.thread);
+    for (const std::uint32_t t : threads) {
+      sep();
+      os << "{\"ph\":\"M\",\"pid\":" << kHostTracePid << ",\"tid\":" << t
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"host thread " << t << "\"}}";
+    }
+
+    // Normalize so the earliest host span starts at 0 — steady-clock offsets
+    // are since boot and would park the track light-years from the devices.
+    std::uint64_t t0 = std::numeric_limits<std::uint64_t>::max();
+    for (const telemetry::SpanRecord& r : host_spans) t0 = std::min(t0, r.start_ns);
+    for (const telemetry::SpanRecord& r : host_spans) {
+      sep();
+      os << "{\"ph\":\"X\",\"name\":";
+      write_escaped(os, r.name != nullptr ? std::string_view(r.name) : std::string_view("span"));
+      os << ",\"cat\":\"host\",\"pid\":" << kHostTracePid << ",\"tid\":" << r.thread
+         << ",\"ts\":";
+      write_us(r.start_ns - t0);
+      os << ",\"dur\":";
+      write_us(r.duration_ns());
+      os << '}';
+    }
   }
   os << "\n]}\n";
 }

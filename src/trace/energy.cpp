@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <ostream>
 
 namespace ms::trace {
 
@@ -42,6 +43,13 @@ EnergyReport measure_energy(const Timeline& timeline, const sim::CoprocessorSpec
     }
   }
   return r;
+}
+
+void print(std::ostream& os, const EnergyReport& r) {
+  const double mean_w = r.elapsed_ms > 0.0 ? r.total_j() / (r.elapsed_ms * 1e-3) : 0.0;
+  os << "energy " << r.total_j() << " J over " << r.elapsed_ms << " ms (mean " << mean_w
+     << " W) | idle " << r.idle_j << " J, compute " << r.compute_j << " J, link " << r.link_j
+     << " J\n";
 }
 
 }  // namespace ms::trace

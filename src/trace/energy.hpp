@@ -1,5 +1,7 @@
 #pragma once
 
+#include <iosfwd>
+
 #include "sim/sim_config.hpp"
 #include "trace/timeline.hpp"
 
@@ -41,5 +43,8 @@ struct EnergyReport {
 [[nodiscard]] EnergyReport measure_energy(const Timeline& timeline,
                                           const sim::CoprocessorSpec& device,
                                           const PowerSpec& power = {});
+
+/// Human-readable one-line dump (mirrors the utilization print).
+void print(std::ostream& os, const EnergyReport& report);
 
 }  // namespace ms::trace

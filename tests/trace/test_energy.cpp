@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "apps/mm_app.hpp"
 
 namespace ms::trace {
@@ -20,6 +22,33 @@ sim::CoprocessorSpec phi() { return sim::SimConfig::phi_31sp().device; }
 
 TEST(Energy, EmptyTimelineIsZero) {
   EXPECT_DOUBLE_EQ(measure_energy(Timeline{}, phi()).total_j(), 0.0);
+}
+
+TEST(Energy, ZeroHorizonTimelineIsFinite) {
+  // All-instantaneous spans: elapsed 0, every term 0, and the mean-Watts
+  // print must not divide by the zero elapsed time.
+  Timeline t;
+  t.record(make(SpanKind::Kernel, 5.0, 5.0));
+  const auto r = measure_energy(t, phi());
+  EXPECT_DOUBLE_EQ(r.elapsed_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.total_j(), 0.0);
+
+  std::ostringstream os;
+  print(os, r);
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
+  EXPECT_EQ(os.str().find("inf"), std::string::npos);
+}
+
+TEST(Energy, PrintsReadableSummary) {
+  Timeline t;
+  t.record(make(SpanKind::Kernel, 0.0, 1000.0));
+  t.record(make(SpanKind::H2D, 0.0, 500.0));
+  std::ostringstream os;
+  print(os, measure_energy(t, phi()));
+  const std::string s = os.str();
+  EXPECT_NE(s.find("energy"), std::string::npos);
+  EXPECT_NE(s.find("idle"), std::string::npos);
+  EXPECT_NE(s.find(" W)"), std::string::npos);
 }
 
 TEST(Energy, IdleEnergyCoversWholeSpan) {

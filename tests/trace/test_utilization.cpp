@@ -24,6 +24,23 @@ TEST(Utilization, EmptyTimeline) {
   EXPECT_TRUE(r.partition_busy_ms.empty());
 }
 
+TEST(Utilization, ZeroHorizonTimelineYieldsFiniteZeros) {
+  // A non-empty timeline whose spans are all instantaneous has horizon 0;
+  // utilizations must come out 0, not NaN from a 0/0 division.
+  Timeline t;
+  t.record(make(SpanKind::Sync, 1000, 1000));
+  t.record(make(SpanKind::Kernel, 1000, 1000, 0, 0));
+  const auto r = summarize(t);
+  EXPECT_DOUBLE_EQ(r.horizon_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.link_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_partition_utilization, 0.0);
+
+  std::ostringstream os;
+  print(os, r);  // per-partition percentages must not divide by the horizon
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
+  EXPECT_EQ(os.str().find("inf"), std::string::npos);
+}
+
 TEST(Utilization, AggregatesByKindAndPartition) {
   Timeline t;
   t.record(make(SpanKind::H2D, 0, 1000));

@@ -10,6 +10,7 @@
 //   mstream_cli tune --h2d-mib 32 --d2h-mib 32 --gflop 5
 //   mstream_cli analyze app srad --dim 2000 --tiles 16 --json hazards.json
 //   mstream_cli analyze hbench fig6 --dot racy.dot
+//   mstream_cli stats app cf --dim 4800
 //   mstream_cli devices
 //
 // Flags:
@@ -20,10 +21,15 @@
 //   --dim N / --points N / --iters N    workload size knobs
 //   --baseline                          run the non-streamed port instead
 //   --functional                        real data + kernels (slower, verifiable)
-//   --trace FILE                        write the Chrome trace JSON
-//   --json FILE                         (analyze) write the JSON hazard report
+//   --trace FILE                        write the Chrome trace JSON ('-' = stdout)
+//   --utilization / --energy            print resource / energy summary of the run
+//   --metrics FILE                      enable host telemetry; write the snapshot
+//                                       (JSON, or Prometheus text for *.prom/*.txt;
+//                                       '-' = stdout)
+//   --json FILE                         (analyze) write the JSON hazard report ('-' = stdout)
 //   --dot FILE                          (analyze) write Graphviz dot of the racy subgraph
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -31,6 +37,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "analyze/capture.hpp"
 #include "analyze/report.hpp"
@@ -44,7 +51,12 @@
 #include "apps/nn_app.hpp"
 #include "apps/srad_app.hpp"
 #include "model/analytic.hpp"
+#include "sim/sweep.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/span.hpp"
 #include "trace/chrome_trace.hpp"
+#include "trace/energy.hpp"
+#include "trace/utilization.hpp"
 
 namespace {
 
@@ -57,9 +69,12 @@ struct Cli {
   int iters = 0;
   bool baseline = false;
   bool functional = false;
+  bool utilization = false;
+  bool energy = false;
   std::string trace_path;
   std::string json_path;
   std::string dot_path;
+  std::string metrics_path;
   double h2d_mib = 16.0;
   double d2h_mib = 16.0;
   double gflop = 0.0;
@@ -71,11 +86,62 @@ int usage() {
                "usage: mstream_cli app {mm|cf|lu|kmeans|kmeans-async|hotspot|nn|srad} [flags]\n"
                "       mstream_cli hbench {fig5|fig6|fig7} [flags]\n"
                "       mstream_cli analyze {app|hbench} <name> [flags] [--json FILE] [--dot FILE]\n"
+               "       mstream_cli stats [{app|hbench} <name> [flags]]\n"
                "       mstream_cli tune [--h2d-mib N --d2h-mib N --gflop N | --gelem N]\n"
                "       mstream_cli devices\n"
                "flags: --device {31sp|31sp-x2|7120p} --partitions N --tiles N\n"
-               "       --dim N --points N --iters N --baseline --functional --trace FILE\n");
+               "       --dim N --points N --iters N --baseline --functional\n"
+               "       --trace FILE --metrics FILE --utilization --energy ('-' = stdout)\n");
   return 2;
+}
+
+/// Open `path` for writing and hand the stream to `fn`; "-" selects stdout.
+template <typename Fn>
+bool with_output(const std::string& path, Fn&& fn) {
+  if (path == "-") {
+    fn(std::cout);
+    return true;
+  }
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  fn(f);
+  return true;
+}
+
+bool wants_prometheus(const std::string& path) {
+  const auto ends_with = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  return ends_with(".prom") || ends_with(".txt");
+}
+
+/// Timing-only app runs never touch the host compute pool, so with --metrics
+/// on, one tiny no-op sweep is run first. It registers and exercises the pool
+/// metrics (batch count, queue wait, worker busy) as a labeled calibration
+/// baseline — the probe's own cost is visible under the "cli.calibration"
+/// span rather than blended into the measured run.
+void calibration_probe() {
+  const ms::telemetry::ScopedSpan span("cli.calibration");
+  std::atomic<std::uint64_t> sink{0};
+  ms::sim::parallel_for(
+      64, [&](std::size_t i) { sink.fetch_add(i, std::memory_order_relaxed); }, {});
+}
+
+/// Write the metrics snapshot to --metrics FILE (no-op when the flag is
+/// absent). *.prom / *.txt select the Prometheus text format, anything else
+/// gets JSON.
+void write_metrics(const Cli& cli) {
+  if (cli.metrics_path.empty()) return;
+  const bool prom = wants_prometheus(cli.metrics_path);
+  if (with_output(cli.metrics_path,
+                  [&](std::ostream& os) { ms::telemetry::write_snapshot(os, prom); }) &&
+      cli.metrics_path != "-") {
+    std::printf("metrics (%s) -> %s\n", prom ? "prometheus" : "json", cli.metrics_path.c_str());
+  }
 }
 
 bool parse_flags(int argc, char** argv, int first, Cli* cli) {
@@ -92,6 +158,14 @@ bool parse_flags(int argc, char** argv, int first, Cli* cli) {
       cli->baseline = true;
     } else if (flag == "--functional") {
       cli->functional = true;
+    } else if (flag == "--utilization") {
+      cli->utilization = true;
+    } else if (flag == "--energy") {
+      cli->energy = true;
+    } else if (flag == "--metrics") {
+      const char* v = next("--metrics");
+      if (v == nullptr) return false;
+      cli->metrics_path = v;
     } else if (flag == "--device") {
       const char* v = next("--device");
       if (v == nullptr) return false;
@@ -180,18 +254,27 @@ int square_edge(int tiles) {
   return edge > 0 ? edge : 1;
 }
 
-void report(const ms::apps::AppResult& r, const Cli& cli) {
+void report(const ms::apps::AppResult& r, const Cli& cli, const ms::sim::SimConfig& cfg) {
   std::printf("virtual time: %.3f ms", r.ms);
   if (r.gflops > 0.0) std::printf("  (%.1f GFLOPS)", r.gflops);
   if (cli.functional) std::printf("  checksum %.6g", r.checksum);
   std::printf("\n");
+  if (cli.utilization) {
+    ms::trace::print(std::cout, ms::trace::summarize(r.timeline));
+  }
+  if (cli.energy) {
+    ms::trace::print(std::cout, ms::trace::measure_energy(r.timeline, cfg.device));
+  }
   if (!cli.trace_path.empty()) {
-    std::ofstream f(cli.trace_path);
-    if (f) {
-      ms::trace::write_chrome_trace(f, r.timeline);
-      std::printf("trace: %zu spans -> %s\n", r.timeline.size(), cli.trace_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", cli.trace_path.c_str());
+    // With telemetry on, the export carries the wall-clock host track next
+    // to the virtual device timeline (one combined Perfetto view).
+    const auto host_spans = ms::telemetry::collect_spans();
+    const bool ok = with_output(cli.trace_path, [&](std::ostream& os) {
+      ms::trace::write_chrome_trace(os, r.timeline, host_spans);
+    });
+    if (ok && cli.trace_path != "-") {
+      std::printf("trace: %zu spans (+%zu host) -> %s\n", r.timeline.size(), host_spans.size(),
+                  cli.trace_path.c_str());
     }
   }
 }
@@ -206,53 +289,53 @@ int run_app(const std::string& name, const Cli& cli) {
     mc.common = common;
     mc.dim = cli.dim ? cli.dim : 6000;
     mc.tile_grid = square_edge(cli.tiles);
-    report(ms::apps::MmApp::run(cfg, mc), cli);
+    report(ms::apps::MmApp::run(cfg, mc), cli, cfg);
   } else if (name == "cf") {
     ms::apps::CfConfig cc;
     cc.common = common;
     cc.dim = cli.dim ? cli.dim : 9600;
     cc.tile = cc.dim / static_cast<std::size_t>(square_edge(cli.tiles));
-    report(ms::apps::CfApp::run(cfg, cc), cli);
+    report(ms::apps::CfApp::run(cfg, cc), cli, cfg);
   } else if (name == "lu") {
     ms::apps::LuConfig lc;
     lc.common = common;
     lc.dim = cli.dim ? cli.dim : 9600;
     lc.tile = lc.dim / static_cast<std::size_t>(square_edge(cli.tiles));
-    report(ms::apps::LuApp::run(cfg, lc), cli);
+    report(ms::apps::LuApp::run(cfg, lc), cli, cfg);
   } else if (name == "kmeans") {
     ms::apps::KmeansConfig kc;
     kc.common = common;
     kc.points = cli.points ? cli.points : 1120000;
     kc.tiles = cli.tiles;
     kc.iterations = cli.iters ? cli.iters : 100;
-    report(ms::apps::KmeansApp::run(cfg, kc), cli);
+    report(ms::apps::KmeansApp::run(cfg, kc), cli, cfg);
   } else if (name == "kmeans-async") {
     ms::apps::KmeansConfig kc;
     kc.common = common;
     kc.points = cli.points ? cli.points : 1120000;
     kc.tiles = cli.tiles;
     kc.iterations = cli.iters ? cli.iters : 100;
-    report(ms::apps::KmeansAsyncApp::run(cfg, kc), cli);
+    report(ms::apps::KmeansAsyncApp::run(cfg, kc), cli, cfg);
   } else if (name == "hotspot") {
     ms::apps::HotspotConfig hc;
     hc.common = common;
     hc.rows = hc.cols = cli.dim ? cli.dim : 16384;
     hc.tile_rows = hc.tile_cols = hc.rows / static_cast<std::size_t>(square_edge(cli.tiles));
     hc.steps = cli.iters ? cli.iters : 50;
-    report(ms::apps::HotspotApp::run(cfg, hc), cli);
+    report(ms::apps::HotspotApp::run(cfg, hc), cli, cfg);
   } else if (name == "nn") {
     ms::apps::NnConfig nc;
     nc.common = common;
     nc.records = cli.points ? cli.points : 5242880;
     nc.tiles = cli.tiles;
-    report(ms::apps::NnApp::run(cfg, nc), cli);
+    report(ms::apps::NnApp::run(cfg, nc), cli, cfg);
   } else if (name == "srad") {
     ms::apps::SradConfig sc;
     sc.common = common;
     sc.rows = sc.cols = cli.dim ? cli.dim : 10000;
     sc.tile_rows = sc.tile_cols = sc.rows / static_cast<std::size_t>(square_edge(cli.tiles));
     sc.iterations = cli.iters ? cli.iters : 100;
-    report(ms::apps::SradApp::run(cfg, sc), cli);
+    report(ms::apps::SradApp::run(cfg, sc), cli, cfg);
   } else {
     std::fprintf(stderr, "unknown app: %s\n", name.c_str());
     return 2;
@@ -305,13 +388,11 @@ int run_analyze(const std::string& sub, const std::string& name, const Cli& cli)
   const ms::analyze::Analysis& analysis = capture.result();
   std::printf("%s", ms::analyze::text_report(analysis).c_str());
   if (!cli.json_path.empty()) {
-    std::ofstream f(cli.json_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+    if (!with_output(cli.json_path,
+                     [&](std::ostream& os) { os << ms::analyze::json_report(analysis); })) {
       return 2;
     }
-    f << ms::analyze::json_report(analysis);
-    std::printf("json report -> %s\n", cli.json_path.c_str());
+    if (cli.json_path != "-") std::printf("json report -> %s\n", cli.json_path.c_str());
   }
   if (!cli.dot_path.empty()) {
     std::ofstream f(cli.dot_path);
@@ -351,6 +432,45 @@ int run_tune(const Cli& cli) {
   return 0;
 }
 
+/// `stats` with no arguments: exercise the registry via the calibration
+/// probe and list what is registered so far. Metrics register lazily at
+/// their first call site, so the catalog grows with the code paths run —
+/// `stats app <name>` shows the full picture for a real workload.
+int run_stats_list() {
+  ms::telemetry::set_enabled(true);
+  calibration_probe();
+  const auto snap = ms::telemetry::registry().snapshot();
+  if (snap.metrics.empty()) {
+    std::printf("no metrics registered (built with MS_TELEMETRY=OFF?)\n");
+    return 0;
+  }
+  for (const auto& m : snap.metrics) {
+    std::printf("%-36s %-10s %s\n", m.name.c_str(), ms::telemetry::to_string(m.kind),
+                m.help.c_str());
+  }
+  return 0;
+}
+
+/// `stats {app|hbench} <name>`: run the workload with telemetry on and dump
+/// the snapshot to stdout in Prometheus text form (or to --metrics FILE in
+/// its chosen format — main() handles that path).
+int run_stats(const std::string& sub, const std::string& name, const Cli& cli) {
+  int rc;
+  if (sub == "app") {
+    rc = run_app(name, cli);
+  } else if (sub == "hbench") {
+    rc = run_hbench(name, cli);
+  } else {
+    std::fprintf(stderr, "stats: expected 'app' or 'hbench', got '%s'\n", sub.c_str());
+    return 2;
+  }
+  if (rc != 0) return rc;
+  if (cli.metrics_path.empty()) {
+    ms::telemetry::write_snapshot(std::cout, /*prometheus=*/true);
+  }
+  return 0;
+}
+
 int list_devices() {
   const std::map<std::string, ms::sim::SimConfig> devices{
       {"31sp", ms::sim::SimConfig::phi_31sp()},
@@ -373,23 +493,42 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "devices") return list_devices();
+  if (cmd == "stats" && argc == 2) return run_stats_list();
   if (argc < 3) return usage();
 
   Cli cli;
   int flag_start = 3;
   if (cmd == "tune") flag_start = 2;
-  if (cmd == "analyze") flag_start = 4;  // analyze {app|hbench} <name> [flags]
+  if (cmd == "analyze" || cmd == "stats") flag_start = 4;  // {analyze|stats} {app|hbench} <name>
   if (flag_start > argc) return usage();
   if (!parse_flags(argc, argv, flag_start, &cli)) return usage();
 
+  // --metrics (and the stats subcommand) switch host telemetry on for the
+  // whole run; the calibration probe gives the pool metrics a baseline even
+  // for timing-only runs that never sweep.
+  if (!cli.metrics_path.empty() || cmd == "stats") {
+    ms::telemetry::set_enabled(true);
+    calibration_probe();
+  }
+
   try {
-    if (cmd == "app") return run_app(argv[2], cli);
-    if (cmd == "hbench") return run_hbench(argv[2], cli);
-    if (cmd == "analyze") return run_analyze(argv[2], argv[3], cli);
-    if (cmd == "tune") return run_tune(cli);
+    int rc = -1;
+    if (cmd == "app") {
+      rc = run_app(argv[2], cli);
+    } else if (cmd == "hbench") {
+      rc = run_hbench(argv[2], cli);
+    } else if (cmd == "analyze") {
+      rc = run_analyze(argv[2], argv[3], cli);
+    } else if (cmd == "stats") {
+      rc = run_stats(argv[2], argv[3], cli);
+    } else if (cmd == "tune") {
+      rc = run_tune(cli);
+    }
+    if (rc == -1) return usage();
+    write_metrics(cli);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
 }
