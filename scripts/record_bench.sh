@@ -3,8 +3,9 @@
 # machine-diffable across commits) at the repo root:
 #   bench_kernels   -> BENCH_KERNELS.json
 #   bench_telemetry -> BENCH_TELEMETRY.json (metrics-off vs -on A/B)
+#   bench_graph     -> BENCH_GRAPH.json (interpreted vs compiled vs batched)
 #
-#   scripts/record_bench.sh [build-dir] [kernels-output.json] [telemetry-output.json]
+#   scripts/record_bench.sh [build-dir] [kernels-out.json] [telemetry-out.json] [graph-out.json]
 #
 # Pass a build configured with -DMS_NATIVE=ON to record the full-ISA numbers.
 set -euo pipefail
@@ -13,10 +14,12 @@ BUILD_DIR="${1:-build}"
 SOURCE_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 OUT="${2:-${SOURCE_DIR}/BENCH_KERNELS.json}"
 TEL_OUT="${3:-${SOURCE_DIR}/BENCH_TELEMETRY.json}"
+GRAPH_OUT="${4:-${SOURCE_DIR}/BENCH_GRAPH.json}"
 
-if [[ ! -x "${BUILD_DIR}/bench/bench_kernels" || ! -x "${BUILD_DIR}/bench/bench_telemetry" ]]; then
+if [[ ! -x "${BUILD_DIR}/bench/bench_kernels" || ! -x "${BUILD_DIR}/bench/bench_telemetry" ||
+      ! -x "${BUILD_DIR}/bench/bench_graph" ]]; then
   cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "${BUILD_DIR}" -j --target bench_kernels bench_telemetry
+  cmake --build "${BUILD_DIR}" -j --target bench_kernels bench_telemetry bench_graph
 fi
 
 "${BUILD_DIR}/bench/bench_kernels" \
@@ -32,3 +35,10 @@ echo "record_bench: wrote ${OUT}"
   --benchmark_out="${TEL_OUT}"
 
 echo "record_bench: wrote ${TEL_OUT}"
+
+"${BUILD_DIR}/bench/bench_graph" \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="${GRAPH_OUT}"
+
+echo "record_bench: wrote ${GRAPH_OUT}"

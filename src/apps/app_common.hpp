@@ -1,12 +1,16 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <random>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "rt/compiled_graph.hpp"
 #include "rt/context.hpp"
+#include "rt/graph.hpp"
 #include "rt/tile_plan.hpp"
 #include "sim/sim_config.hpp"
 #include "telemetry/span.hpp"
@@ -44,6 +48,17 @@ inline void declare_cross_reads(rt::KernelLaunch& launch, rt::BufferId buf,
   }
 }
 
+/// How an app issues its replay-shaped inner loop.
+///  - Direct:      plain per-iteration enqueues (the original code path).
+///  - Interpreted: stream-capture the first iteration into an rt::Graph,
+///                 then Graph::launch() every iteration.
+///  - Compiled:    same capture, but Graph::compile() once and replay the
+///                 CompiledGraph — zero steady-state host allocations.
+/// Virtual times differ between Direct and the graph modes (replay pricing
+/// vs. per-enqueue pricing) but are bit-identical between Interpreted and
+/// Compiled; functional results are identical across all three.
+enum class GraphMode : std::uint8_t { Direct, Interpreted, Compiled };
+
 /// Knobs shared by every ported application.
 struct CommonConfig {
   /// Resource granularity P: partitions (= streams) per device. Ignored by
@@ -63,6 +78,15 @@ struct CommonConfig {
   /// The simulator is deterministic, so 2 (one warm-up, one measured) gives
   /// identical numbers; tests crank this up to prove it.
   int protocol_iterations = 2;
+  /// Issue mode for the replay-shaped phases (see GraphMode). The paper-figure
+  /// benches stay on Direct — replay pricing would change their shapes.
+  GraphMode graph = GraphMode::Direct;
+  /// In the graph modes, issue every phase replay as this many back-to-back
+  /// instances (CompiledGraph::launch_batch; the interpreted mode launches in
+  /// a loop with identical virtual cost). A timing/stress knob for the CLI
+  /// `graph` subcommand and benches: >1 multiplies the schedule, so keep it
+  /// at 1 when functional results matter. Ignored in Direct mode.
+  int graph_batch = 1;
 };
 
 /// What every application run reports.
@@ -71,6 +95,80 @@ struct AppResult {
   double gflops = 0.0;   ///< 0 when the app reports time instead (paper's choice)
   double checksum = 0.0; ///< functional fingerprint (0 in timing-only mode)
   trace::Timeline timeline;  ///< spans of the whole run (all iterations)
+};
+
+/// One replay-shaped phase of an app's inner loop: a block of enqueues whose
+/// schedule is identical every iteration. In Direct mode `run(record)` just
+/// calls `record()`. In the graph modes the *first* call stream-captures
+/// `record` into an rt::Graph (charging no host time) and every call —
+/// including the first — launches the graph, so each iteration pays the same
+/// replay price and per-iteration virtual times stay identical across
+/// warm-up and measured samples. Compiled mode compiles the capture once
+/// (via the process GraphCache when `cacheable`) and replays the plan.
+///
+/// The record body must be schedule-stable: host-side values it reads each
+/// iteration (e.g. srad's q0sqr) must be fed to kernels through pointers,
+/// not by-value captures. Construct phases *outside* measure_ms so the
+/// capture survives across iterations. A phase that records nothing stays a
+/// permanent no-op.
+class GraphPhase {
+public:
+  /// `cacheable` opts into the process-wide GraphCache; only safe for
+  /// timing-only graphs (kernel functors are compiled into cached plans).
+  /// `batch` > 1 replays each run() as that many back-to-back instances
+  /// (see CommonConfig::graph_batch).
+  GraphPhase(rt::Context& ctx, GraphMode mode, std::string name, bool cacheable = false,
+             int batch = 1)
+      : ctx_(&ctx), mode_(mode), name_(std::move(name)), cacheable_(cacheable),
+        batch_(batch > 1 ? batch : 1) {}
+
+  template <typename F>
+  void run(F&& record) {
+    if (mode_ == GraphMode::Direct) {
+      record();
+      return;
+    }
+    if (!recorded_) {
+      ctx_->begin_capture(graph_);
+      try {
+        record();
+      } catch (...) {
+        ctx_->end_capture();
+        throw;
+      }
+      ctx_->end_capture();
+      recorded_ = true;
+      if (mode_ == GraphMode::Compiled && !graph_.empty()) {
+        rt::CompileOptions opts;
+        opts.name = name_;
+        compiled_ = cacheable_ ? rt::process_graph_cache().get_or_compile(name_, graph_, *ctx_, opts)
+                               : graph_.compile(*ctx_, opts);
+      }
+    }
+    if (graph_.empty()) return;
+    if (compiled_) {
+      if (batch_ > 1) {
+        compiled_->launch_batch(*ctx_, batch_);
+      } else {
+        compiled_->launch(*ctx_);
+      }
+    } else {
+      for (int b = 0; b < batch_; ++b) graph_.launch(*ctx_);
+    }
+  }
+
+  [[nodiscard]] GraphMode mode() const noexcept { return mode_; }
+  [[nodiscard]] bool recorded() const noexcept { return recorded_; }
+
+private:
+  rt::Context* ctx_;
+  GraphMode mode_;
+  std::string name_;
+  bool cacheable_;
+  int batch_;
+  rt::Graph graph_;
+  std::optional<rt::CompiledGraph> compiled_;
+  bool recorded_ = false;
 };
 
 /// Run `once(iteration)` under the measurement protocol: each call is

@@ -109,6 +109,14 @@ AppResult CfApp::run(const sim::SimConfig& cfg, const CfConfig& cc) {
     return ctx.device_ptr<double>(bmat, dev, slot * tile_elems);
   };
 
+  // The whole factorization — uploads, wavefront, coherence round trips and
+  // the final readback — is one replay-shaped schedule: every event it waits
+  // on is produced inside the same iteration. Graph modes capture it once;
+  // the coherence reset stays outside (host bookkeeping only consulted while
+  // recording).
+  GraphPhase phase(ctx, cc.common.graph, "cf#" + std::to_string(n) + "#" + std::to_string(g),
+                   /*cacheable=*/!cc.common.functional, cc.common.graph_batch);
+
   AppResult result;
   result.ms = measure_ms(ctx, cc.common.protocol_iterations, [&](int) {
     if (cc.common.functional) {
@@ -116,6 +124,7 @@ AppResult CfApp::run(const sim::SimConfig& cfg, const CfConfig& cc) {
     }
     coherence.reset();
 
+    phase.run([&] {
     // Upload every lower tile to its owning card via the transfer stream,
     // in column-major order — the order the factorization wavefront consumes
     // them, so step 0 can start after g uploads instead of all of them.
@@ -211,6 +220,7 @@ AppResult CfApp::run(const sim::SimConfig& cfg, const CfConfig& cc) {
               .enqueue_d2h(bmat, s * tile_bytes, tile_bytes, coherence.readback_deps(s));
       coherence.read_back(s, ev);
     }
+    });
   });
 
   result.gflops = trace::gflops(total_flops(n), result.ms);

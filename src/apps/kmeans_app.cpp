@@ -61,6 +61,13 @@ AppResult KmeansApp::run(const sim::SimConfig& cfg, const KmeansConfig& kc) {
   const auto ranges = rt::split_even(n, t_count);
   std::vector<float> seed_centroids = centroids;  // reset between protocol runs
 
+  // One k-means iteration's device schedule is the replay-shaped phase: in
+  // graph modes it is stream-captured once and replayed kc.iterations times
+  // per protocol run, instead of re-enqueueing every action.
+  GraphPhase phase(ctx, kc.common.graph,
+                   "kmeans#" + std::to_string(n) + "#" + std::to_string(tiles),
+                   /*cacheable=*/!kc.common.functional, kc.common.graph_batch);
+
   AppResult result;
   result.ms = measure_ms(ctx, kc.common.protocol_iterations, [&](int) {
     // In-place copy: the buffer registration pins the vector's storage.
@@ -75,9 +82,9 @@ AppResult KmeansApp::run(const sim::SimConfig& cfg, const KmeansConfig& kc) {
                        ranges[t].size() * dims * sizeof(float));
     }
 
-    // One iteration's device schedule, as reusable pieces: either enqueued
-    // directly every iteration (the classic port) or recorded once into a
-    // graph and replayed (the use_graph extension).
+    // One iteration's device schedule, as reusable pieces: enqueued directly
+    // every iteration (the classic port) or captured once by the phase and
+    // replayed (the graph modes).
     auto make_launch = [&](std::size_t t) {
       const rt::Range r = ranges[t];
       sim::KernelWork work;
@@ -115,23 +122,8 @@ AppResult KmeansApp::run(const sim::SimConfig& cfg, const KmeansConfig& kc) {
       return launch;
     };
 
-    rt::Graph iteration_graph;
-    if (kc.use_graph) {
-      const auto up = iteration_graph.add_h2d(0, bcent, 0, k * dims * sizeof(float));
-      for (std::size_t t = 0; t < t_count; ++t) {
-        const int s = static_cast<int>(t) % streams;
-        const auto kn = iteration_graph.add_kernel(s, make_launch(t), {up});
-        iteration_graph.add_d2h(s, bsums, t * k * dims * sizeof(float),
-                                k * dims * sizeof(float), {kn});
-        iteration_graph.add_d2h(s, bcounts, t * k * sizeof(std::int32_t),
-                                k * sizeof(std::int32_t), {kn});
-      }
-    }
-
     for (int it = 0; it < kc.iterations; ++it) {
-      if (kc.use_graph) {
-        iteration_graph.launch(ctx);
-      } else {
+      phase.run([&] {
         const rt::Event ev_c = ctx.stream(0).enqueue_h2d(bcent, 0, k * dims * sizeof(float));
         for (std::size_t t = 0; t < t_count; ++t) {
           rt::Stream& s = ctx.stream(static_cast<int>(t) % streams);
@@ -139,7 +131,7 @@ AppResult KmeansApp::run(const sim::SimConfig& cfg, const KmeansConfig& kc) {
           s.enqueue_d2h(bsums, t * k * dims * sizeof(float), k * dims * sizeof(float));
           s.enqueue_d2h(bcounts, t * k * sizeof(std::int32_t), k * sizeof(std::int32_t));
         }
-      }
+      });
 
       // The explicit per-iteration barrier that makes Kmeans non-overlappable.
       ctx.synchronize();

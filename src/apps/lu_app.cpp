@@ -100,6 +100,11 @@ AppResult LuApp::run(const sim::SimConfig& cfg, const LuConfig& lc) {
     return ctx.device_ptr<double>(bmat, dev, slot * tile_elems);
   };
 
+  // As in CfApp: the whole factorization is one replay-shaped schedule, so
+  // graph modes capture the entire body once and replay it per iteration.
+  GraphPhase phase(ctx, lc.common.graph, "lu#" + std::to_string(n) + "#" + std::to_string(g),
+                   /*cacheable=*/!lc.common.functional, lc.common.graph_batch);
+
   AppResult result;
   result.ms = measure_ms(ctx, lc.common.protocol_iterations, [&](int) {
     if (lc.common.functional) {
@@ -107,6 +112,7 @@ AppResult LuApp::run(const sim::SimConfig& cfg, const LuConfig& lc) {
     }
     coherence.reset();
 
+    phase.run([&] {
     // Upload in column-major consumption order.
     for (std::size_t j = 0; j < g; ++j) {
       for (std::size_t i = 0; i < g; ++i) {
@@ -200,6 +206,7 @@ AppResult LuApp::run(const sim::SimConfig& cfg, const LuConfig& lc) {
               .enqueue_d2h(bmat, s * tile_bytes, tile_bytes, coherence.readback_deps(s));
       coherence.read_back(s, ev);
     }
+    });
   });
 
   result.gflops = trace::gflops(total_flops(n), result.ms);

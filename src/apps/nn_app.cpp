@@ -43,9 +43,16 @@ NnApp::Output NnApp::run_with_output(const sim::SimConfig& cfg, const NnConfig& 
   std::vector<kern::Neighbor> best;
   const auto ranges = rt::split_even(nc.records, static_cast<std::size_t>(tiles));
 
+  // The per-tile upload/kernel/readback sweep is identical every iteration;
+  // the host-side top-k merge below stays outside the captured phase.
+  GraphPhase phase(ctx, nc.common.graph,
+                   "nn#" + std::to_string(nc.records) + "#" + std::to_string(tiles),
+                   /*cacheable=*/!nc.common.functional, nc.common.graph_batch);
+
   Output out;
   out.result.ms = measure_ms(ctx, nc.common.protocol_iterations, [&](int) {
     best.assign(nc.k, kern::Neighbor{std::numeric_limits<float>::max(), 0});
+    phase.run([&] {
     for (std::size_t t = 0; t < ranges.size(); ++t) {
       rt::Stream& s = ctx.stream(static_cast<int>(t) % streams);
       const rt::Range r = ranges[t];
@@ -72,6 +79,7 @@ NnApp::Output NnApp::run_with_output(const sim::SimConfig& cfg, const NnConfig& 
       s.enqueue_kernel(std::move(launch));
       s.enqueue_d2h(bdist, r.begin * sizeof(float), r.size() * sizeof(float));
     }
+    });
     ctx.synchronize();
     // Host-side top-k merge (the "master thread updates the list" step).
     // nn_topk builds per-chunk partial lists in parallel and merges them in

@@ -80,6 +80,30 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
   const std::size_t rows = sc.rows;
   const std::size_t cols = sc.cols;
 
+  // Four replay-shaped phases, split at the host's mid-iteration q0sqr
+  // reduction: extraction, the per-iteration statistics sweep, the
+  // per-iteration diffusion sweep (coeff + update), and compression. In the
+  // graph modes, dependency events that cross a phase boundary are dropped:
+  // tile t's kernels land on stream t % streams in every phase, so the
+  // ordering those events express is already implied by stream FIFO order
+  // (and a phantom event must not leak into a different capture anyway).
+  const bool graphed = sc.common.graph != GraphMode::Direct;
+  const std::string tag = "#" + std::to_string(rows) + "x" + std::to_string(cols) + "#" +
+                          std::to_string(tiles.size());
+  const bool cache = !sc.common.functional;
+  GraphPhase extract_phase(ctx, sc.common.graph, "srad-extract" + tag, cache,
+                           sc.common.graph_batch);
+  GraphPhase stats_phase(ctx, sc.common.graph, "srad-stats" + tag, cache, sc.common.graph_batch);
+  GraphPhase diffusion_phase(ctx, sc.common.graph, "srad-diffusion" + tag, cache,
+                             sc.common.graph_batch);
+  GraphPhase compress_phase(ctx, sc.common.graph, "srad-compress" + tag, cache,
+                            sc.common.graph_batch);
+  // The diffusion coefficient depends on this iteration's q0sqr, a host
+  // value. Kernels read it through this persistent slot so a captured
+  // functor replays with the *current* value instead of a stale by-value
+  // copy from capture time.
+  double q0sqr_slot = 1.0;
+
   AppResult result;
   result.ms = measure_ms(ctx, sc.common.protocol_iterations, [&](int) {
     if (sc.common.functional) {
@@ -90,13 +114,14 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
     // the input transfers (row bands).
     const auto bands = rt::split_chunks(rows, trows);
     std::vector<rt::Event> band_ev(bands.size());
+    std::vector<rt::Event> update_ev(tiles.size());
+    extract_phase.run([&] {
     for (std::size_t b = 0; b < bands.size(); ++b) {
       band_ev[b] = ctx.stream(static_cast<int>(b) % streams)
                        .enqueue_h2d(bimg, bands[b].begin * cols * sizeof(float),
                                     bands[b].size() * cols * sizeof(float));
     }
 
-    std::vector<rt::Event> update_ev(tiles.size());
     for (std::size_t t = 0; t < tiles.size(); ++t) {
       const rt::Tile2D tile = tiles[t];
       const std::size_t tr = t / tiles_per_row;
@@ -117,9 +142,11 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
       update_ev[t] = ctx.stream(static_cast<int>(t) % streams)
                          .enqueue_kernel(std::move(launch), {band_ev[tr]});
     }
+    });
 
     for (int it = 0; it < sc.iterations; ++it) {
       // --- statistics: per-tile partial sums, small D2H, host reduce -------
+      stats_phase.run([&] {
       for (std::size_t t = 0; t < tiles.size(); ++t) {
         const rt::Tile2D tile = tiles[t];
         rt::Stream& s = ctx.stream(static_cast<int>(t) % streams);
@@ -142,14 +169,18 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
             out[1] = sum2;
           };
         }
-        s.enqueue_kernel(std::move(launch), {update_ev[t]});
+        // The cross-phase dep on the previous update (or extract) kernel is
+        // same-stream in graph modes: FIFO order already provides it.
+        s.enqueue_kernel(std::move(launch),
+                         graphed ? std::vector<rt::Event>{} : std::vector<rt::Event>{update_ev[t]});
         s.enqueue_d2h(bpart, t * 2 * sizeof(double), 2 * sizeof(double));
       }
+      });
       // Host needs the statistics before it can launch the next kernels:
       // the explicit mid-iteration barrier that kills overlap.
       ctx.synchronize();
 
-      double q0sqr = 1.0;
+      q0sqr_slot = 1.0;
       if (sc.common.functional) {
         double sum = 0.0;
         double sum2 = 0.0;
@@ -157,10 +188,11 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
           sum += part_host[t * 2];
           sum2 += part_host[t * 2 + 1];
         }
-        q0sqr = kern::srad_q0sqr(sum, sum2, cells);
+        q0sqr_slot = kern::srad_q0sqr(sum, sum2, cells);
       }
 
       // --- diffusion coefficient ------------------------------------------
+      diffusion_phase.run([&] {
       std::vector<rt::Event> coeff_ev(tiles.size());
       for (std::size_t t = 0; t < tiles.size(); ++t) {
         const rt::Tile2D tile = tiles[t];
@@ -178,12 +210,12 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
         launch.writes(bdw, tile_range(tile, cols, sizeof(float)));
         launch.writes(bde, tile_range(tile, cols, sizeof(float)));
         if (sc.common.functional) {
-          launch.fn = [&ctx, bj, bc, bdn, bds, bdw, bde, tile, rows, cols, q0sqr] {
+          launch.fn = [&ctx, bj, bc, bdn, bds, bdw, bde, tile, rows, cols, q0 = &q0sqr_slot] {
             kern::srad_coeff(ctx.device_ptr<float>(bj, 0), ctx.device_ptr<float>(bc, 0),
                              ctx.device_ptr<float>(bdn, 0), ctx.device_ptr<float>(bds, 0),
                              ctx.device_ptr<float>(bdw, 0), ctx.device_ptr<float>(bde, 0), rows,
                              cols, tile.row_begin, tile.row_end, tile.col_begin, tile.col_end,
-                             q0sqr);
+                             *q0);
           };
         }
         coeff_ev[t] =
@@ -236,9 +268,11 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
         update_ev[t] =
             ctx.stream(static_cast<int>(t) % streams).enqueue_kernel(std::move(launch), deps);
       }
+      });
     }
 
     // --- compression + result readback ------------------------------------
+    compress_phase.run([&] {
     std::vector<rt::Event> compress_ev(tiles.size());
     for (std::size_t t = 0; t < tiles.size(); ++t) {
       const rt::Tile2D tile = tiles[t];
@@ -256,8 +290,12 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
                                  tile.col_end);
         };
       }
-      compress_ev[t] = ctx.stream(static_cast<int>(t) % streams)
-                           .enqueue_kernel(std::move(launch), {update_ev[t]});
+      // Cross-phase dep on the final update kernel: same-stream FIFO in
+      // graph modes.
+      compress_ev[t] =
+          ctx.stream(static_cast<int>(t) % streams)
+              .enqueue_kernel(std::move(launch), graphed ? std::vector<rt::Event>{}
+                                                         : std::vector<rt::Event>{update_ev[t]});
     }
     for (std::size_t b = 0; b < bands.size(); ++b) {
       std::vector<rt::Event> deps;
@@ -268,6 +306,7 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
           .enqueue_d2h(bimg, bands[b].begin * cols * sizeof(float),
                        bands[b].size() * cols * sizeof(float), deps);
     }
+    });
   });
 
   if (sc.common.functional) {

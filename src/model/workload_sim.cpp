@@ -1,42 +1,36 @@
 #include "model/workload_sim.hpp"
 
 #include <algorithm>
+#include <ios>
+#include <sstream>
 #include <stdexcept>
 
+#include "rt/compiled_graph.hpp"
 #include "rt/context.hpp"
+#include "rt/graph.hpp"
 
 namespace ms::model {
 
 namespace {
 
-double run(const sim::SimConfig& cfg, const OffloadShape& shape, int partitions, int tiles) {
-  if (partitions < 1 || tiles < 1) {
-    throw std::invalid_argument("workload_sim: partitions and tiles must be >= 1");
-  }
-  rt::Context ctx(cfg);
-  ctx.set_tracing(false);
-  ctx.setup(partitions);
-
+/// The canonical T-task pipeline: per-tile H2D slice, kernel, D2H slice,
+/// round-robin over the context's streams.
+void enqueue_pipeline(rt::Context& ctx, const OffloadShape& shape, rt::BufferId bin,
+                      rt::BufferId bout, std::size_t tiles) {
   const std::size_t h2d = static_cast<std::size_t>(std::max(0.0, shape.h2d_bytes));
   const std::size_t d2h = static_cast<std::size_t>(std::max(0.0, shape.d2h_bytes));
-  const rt::BufferId bin = ctx.create_virtual_buffer(std::max<std::size_t>(1, h2d));
-  const rt::BufferId bout = ctx.create_virtual_buffer(std::max<std::size_t>(1, d2h));
-  ctx.synchronize();
-
-  const auto t = static_cast<std::size_t>(tiles);
-  const sim::SimTime t0 = ctx.host_time();
-  for (std::size_t i = 0; i < t; ++i) {
+  for (std::size_t i = 0; i < tiles; ++i) {
     rt::Stream& s = ctx.stream(static_cast<int>(i) % ctx.stream_count());
-    const std::size_t h_lo = h2d * i / t;
-    const std::size_t h_hi = h2d * (i + 1) / t;
+    const std::size_t h_lo = h2d * i / tiles;
+    const std::size_t h_hi = h2d * (i + 1) / tiles;
     if (h_hi > h_lo) s.enqueue_h2d(bin, h_lo, h_hi - h_lo);
 
     sim::KernelWork w = shape.work;
-    w.flops /= static_cast<double>(t);
-    w.elems /= static_cast<double>(t);
-    w.temp_alloc_bytes /= static_cast<double>(t);
-    const std::size_t d_lo = d2h * i / t;
-    const std::size_t d_hi = d2h * (i + 1) / t;
+    w.flops /= static_cast<double>(tiles);
+    w.elems /= static_cast<double>(tiles);
+    w.temp_alloc_bytes /= static_cast<double>(tiles);
+    const std::size_t d_lo = d2h * i / tiles;
+    const std::size_t d_hi = d2h * (i + 1) / tiles;
     rt::KernelLaunch launch{"task", w, {}, {}};
     if (h_hi > h_lo) launch.reads(bin, h_lo, h_hi - h_lo);
     if (d_hi > d_lo) launch.writes(bout, d_lo, d_hi - d_lo);
@@ -44,8 +38,46 @@ double run(const sim::SimConfig& cfg, const OffloadShape& shape, int partitions,
 
     if (d_hi > d_lo) s.enqueue_d2h(bout, d_lo, d_hi - d_lo);
   }
-  ctx.synchronize();
-  return (ctx.host_time() - t0).millis();
+}
+
+struct WorkloadContext {
+  rt::Context ctx;
+  rt::BufferId bin{};
+  rt::BufferId bout{};
+
+  WorkloadContext(const sim::SimConfig& cfg, const OffloadShape& shape, int partitions,
+                  int tiles)
+      : ctx(cfg) {
+    if (partitions < 1 || tiles < 1) {
+      throw std::invalid_argument("workload_sim: partitions and tiles must be >= 1");
+    }
+    const std::size_t h2d = static_cast<std::size_t>(std::max(0.0, shape.h2d_bytes));
+    const std::size_t d2h = static_cast<std::size_t>(std::max(0.0, shape.d2h_bytes));
+    ctx.set_tracing(false);
+    ctx.setup(partitions);
+    bin = ctx.create_virtual_buffer(std::max<std::size_t>(1, h2d));
+    bout = ctx.create_virtual_buffer(std::max<std::size_t>(1, d2h));
+    ctx.synchronize();
+  }
+};
+
+double run(const sim::SimConfig& cfg, const OffloadShape& shape, int partitions, int tiles) {
+  WorkloadContext w(cfg, shape, partitions, tiles);
+  const sim::SimTime t0 = w.ctx.host_time();
+  enqueue_pipeline(w.ctx, shape, w.bin, w.bout, static_cast<std::size_t>(tiles));
+  w.ctx.synchronize();
+  return (w.ctx.host_time() - t0).millis();
+}
+
+/// Collision-free cache key for a (shape, P, T) point: hexfloat renders the
+/// doubles exactly. Config fingerprint and stream layout are appended by the
+/// cache itself.
+std::string shape_key(const OffloadShape& shape, int partitions, int tiles) {
+  std::ostringstream os;
+  os << std::hexfloat << "workload#" << shape.h2d_bytes << '#' << shape.d2h_bytes << '#'
+     << shape.work.flops << '#' << shape.work.elems << '#' << shape.work.temp_alloc_bytes << '#'
+     << static_cast<int>(shape.work.kind) << '#' << partitions << '#' << tiles;
+  return os.str();
 }
 
 }  // namespace
@@ -57,6 +89,29 @@ double simulate_streamed_ms(const sim::SimConfig& cfg, const OffloadShape& shape
 
 double simulate_serial_ms(const sim::SimConfig& cfg, const OffloadShape& shape) {
   return run(cfg, shape, 1, 1);
+}
+
+double simulate_streamed_replay_ms(const sim::SimConfig& cfg, const OffloadShape& shape,
+                                   int partitions, int tiles, int replays) {
+  if (replays < 1) {
+    throw std::invalid_argument("workload_sim: replays must be >= 1");
+  }
+  WorkloadContext w(cfg, shape, partitions, tiles);
+
+  rt::Graph g;
+  w.ctx.begin_capture(g);
+  enqueue_pipeline(w.ctx, shape, w.bin, w.bout, static_cast<std::size_t>(tiles));
+  w.ctx.end_capture();
+
+  rt::CompileOptions opts;
+  opts.name = "workload";
+  rt::CompiledGraph cg =
+      rt::process_graph_cache().get_or_compile(shape_key(shape, partitions, tiles), g, w.ctx, opts);
+
+  const sim::SimTime t0 = w.ctx.host_time();
+  cg.launch_batch(w.ctx, replays);
+  w.ctx.synchronize();
+  return (w.ctx.host_time() - t0).millis() / static_cast<double>(replays);
 }
 
 }  // namespace ms::model

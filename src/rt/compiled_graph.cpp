@@ -1,0 +1,687 @@
+#include "rt/compiled_graph.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/record.hpp"
+#include "rt/context.hpp"
+#include "rt/errors.hpp"
+#include "rt/stream.hpp"
+#include "sim/sim_config.hpp"
+#include "telemetry/span.hpp"
+#include "trace/timeline.hpp"
+
+namespace ms::rt {
+
+namespace {
+
+telemetry::CounterFamily& tel_compiles() {
+  static telemetry::CounterFamily& f = telemetry::registry().counter_family(
+      "ms_rt_graph_compiles_total", "Graph::compile invocations per graph", "graph");
+  return f;
+}
+telemetry::CounterFamily& tel_replays() {
+  static telemetry::CounterFamily& f = telemetry::registry().counter_family(
+      "ms_rt_graph_replays_total", "Compiled-graph replays issued per graph", "graph");
+  return f;
+}
+telemetry::HistogramFamily& tel_launch_ns() {
+  static telemetry::HistogramFamily& f = telemetry::registry().histogram_family(
+      "ms_rt_graph_launch_ns", "Host wall-clock nanoseconds per compiled launch call", "graph");
+  return f;
+}
+telemetry::HistogramFamily& tel_compile_ns() {
+  static telemetry::HistogramFamily& f = telemetry::registry().histogram_family(
+      "ms_rt_graph_compile_ns", "Host wall-clock nanoseconds per Graph::compile", "graph");
+  return f;
+}
+telemetry::Counter& tel_cache_hits() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_rt_graph_cache_hits_total", "GraphCache lookups served from a cached plan");
+  return c;
+}
+telemetry::Counter& tel_cache_misses() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_rt_graph_cache_misses_total", "GraphCache lookups that compiled a new plan");
+  return c;
+}
+
+}  // namespace
+
+namespace detail {
+void compiled_graph_notify(void* run, std::uint32_t node, sim::SimTime now) {
+  CompiledGraph::notify(run, node, now);
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+CompiledGraph::CompiledGraph(const Graph& g, Context& ctx, const CompileOptions& opts) {
+  if (g.empty()) {
+    throw Error("Graph::compile: empty graph");
+  }
+  const std::uint64_t t_compile0 = telemetry::enabled() ? telemetry::now_ns() : 0;
+  auto plan = std::make_shared<Plan>();
+  plan->name = opts.name.empty() ? "graph" : opts.name;
+  plan->config_fp = sim::fingerprint(ctx.platform().config());
+
+  const std::size_t n = g.nodes_.size();
+  plan->nodes.reserve(n + 1);
+  int max_stream = -1;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Graph::Node& src = g.nodes_[i];
+    if (src.stream >= ctx.stream_count()) {
+      throw Error("Graph::compile: node " + std::to_string(i) + " targets stream " +
+                  std::to_string(src.stream) + " but the context has only " +
+                  std::to_string(ctx.stream_count()) + " streams");
+    }
+    max_stream = std::max(max_stream, src.stream);
+
+    PlanNode pn;
+    pn.kind = src.kind;
+    pn.stream = src.stream;
+    pn.dep_count = static_cast<std::uint32_t>(src.deps.size());
+    switch (src.kind) {
+      case ActionKind::H2D:
+      case ActionKind::D2H: {
+        const std::size_t size = ctx.buffer_size(src.buffer);  // throws on unknown handle
+        if (src.offset + src.bytes > size) {
+          throw Error("Graph::compile: node " + std::to_string(i) +
+                      " transfer range exceeds buffer size");
+        }
+        pn.buffer = src.buffer;
+        pn.offset = src.offset;
+        pn.bytes = src.bytes;
+        pn.label = src.kind == ActionKind::H2D ? "h2d" : "d2h";
+        break;
+      }
+      case ActionKind::Kernel:
+        pn.work = src.launch.work;
+        pn.label =
+            src.launch.label.empty() ? "kernel" : trace::intern_label(src.launch.label);
+        if (src.launch.fn) {
+          pn.fn = static_cast<std::uint32_t>(plan->kernel_fns.size());
+          plan->kernel_fns.push_back(src.launch.fn);
+        }
+        break;
+      case ActionKind::Barrier:
+        pn.label = "barrier";
+        break;
+    }
+    plan->nodes.push_back(std::move(pn));
+  }
+
+  // Appended completion barrier: joins every leaf, exactly as the
+  // interpreted launch() enqueues it last on the first node's stream.
+  {
+    PlanNode bar;
+    bar.kind = ActionKind::Barrier;
+    bar.stream = g.nodes_.front().stream;
+    bar.dep_count = static_cast<std::uint32_t>(g.leaves_.size());
+    bar.label = "barrier";
+    plan->nodes.push_back(std::move(bar));
+  }
+  const std::uint32_t barrier_id = static_cast<std::uint32_t>(n);
+
+  // Dependent lists in CSR form. Counting pass, prefix sums, fill pass —
+  // dependents of one node end up ordered by dependent id, which matches the
+  // waiter registration order of the interpreted path.
+  std::vector<std::uint32_t> counts(plan->nodes.size(), 0);
+  for (const Graph::Node& src : g.nodes_) {
+    for (const Graph::NodeId d : src.deps) ++counts[d];
+  }
+  for (const Graph::NodeId leaf : g.leaves_) ++counts[leaf];
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < plan->nodes.size(); ++i) {
+    plan->nodes[i].dependents_begin = total;
+    plan->nodes[i].dependents_end = total;  // advanced by the fill pass
+    total += counts[i];
+  }
+  plan->dependents.resize(total);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Graph::NodeId d : g.nodes_[i].deps) {
+      plan->dependents[plan->nodes[d].dependents_end++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  for (const Graph::NodeId leaf : g.leaves_) {
+    plan->dependents[plan->nodes[leaf].dependents_end++] = barrier_id;
+  }
+
+  plan->stream_count = max_stream + 1;
+  plan->source = g;
+
+  if (opts.analyze) run_hazard_pass(g, ctx);
+
+  plan->replays_metric = &tel_replays().with(plan->name);
+  plan->launch_ns_metric = &tel_launch_ns().with(plan->name);
+  tel_compiles().with(plan->name).add(1);
+  if (t_compile0 != 0) {
+    tel_compile_ns().with(plan->name).observe(telemetry::now_ns() - t_compile0);
+  }
+
+  plan_ = std::move(plan);
+}
+
+void CompiledGraph::run_hazard_pass(const Graph& g, Context& ctx) {
+  analyze::GraphRecord rec;
+  rec.stream_count = ctx.stream_count();
+  std::unordered_set<std::uint64_t> declared;
+  const auto declare = [&](BufferId buf) {
+    if (declared.insert(buf.value).second) {
+      rec.declare_buffer(buf, ctx.buffer_size(buf));
+      // A replayable graph may read device state produced before it; only
+      // intra-graph ordering is being checked here.
+      rec.assume_device_resident(buf);
+    }
+  };
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(g.nodes_.size());
+  std::vector<std::uint64_t> deps;
+  for (const Graph::Node& src : g.nodes_) {
+    deps.clear();
+    deps.reserve(src.deps.size());
+    for (const Graph::NodeId d : src.deps) deps.push_back(ids[d]);
+    const int device = ctx.stream(src.stream).device();
+    switch (src.kind) {
+      case ActionKind::H2D:
+        declare(src.buffer);
+        ids.push_back(rec.add_h2d(src.stream, device, src.buffer, src.offset, src.bytes, deps));
+        break;
+      case ActionKind::D2H:
+        declare(src.buffer);
+        ids.push_back(rec.add_d2h(src.stream, device, src.buffer, src.offset, src.bytes, deps));
+        break;
+      case ActionKind::Kernel:
+        for (const BufferAccess& a : src.launch.accesses) declare(a.buffer);
+        ids.push_back(rec.add_kernel(src.stream, device,
+                                     src.launch.label.empty() ? "kernel" : src.launch.label,
+                                     src.launch.accesses, deps));
+        break;
+      case ActionKind::Barrier:
+        ids.push_back(rec.add_barrier(src.stream, deps));
+        break;
+    }
+  }
+
+  const analyze::Analysis result = analyze::analyze(rec);
+  if (!result.clean()) {
+    throw Error("Graph::compile: hazard in recorded graph:\n" + result.hazards.front().message);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+void CompiledGraph::validate_for(Context& ctx) {
+  if (exec_.ctx == &ctx && exec_.epoch == ctx.layout_epoch()) return;
+
+  const Plan& plan = *plan_;
+  const std::uint64_t fp = sim::fingerprint(ctx.platform().config());
+  if (fp != plan.config_fp) {
+    throw Error("CompiledGraph::launch: context SimConfig differs from the compiled plan "
+                "(recompile for this platform)");
+  }
+  if (plan.stream_count > ctx.stream_count()) {
+    throw Error("CompiledGraph::launch: plan spans " + std::to_string(plan.stream_count) +
+                " streams but the context has " + std::to_string(ctx.stream_count()));
+  }
+
+  Exec exec;
+  exec.ctx = &ctx;
+  exec.epoch = ctx.layout_epoch();
+  exec.streams.resize(static_cast<std::size_t>(plan.stream_count));
+  for (int s = 0; s < plan.stream_count; ++s) {
+    exec.streams[static_cast<std::size_t>(s)] = &ctx.stream(s);
+  }
+  exec.durations.assign(plan.nodes.size(), sim::SimTime::zero());
+  exec.payloads.assign(plan.nodes.size(), Exec::Payload{});
+  const auto& oh = ctx.platform().config().overhead;
+  exec.per_node_cost = oh.graph_replay_per_node;
+  exec.base_cost = oh.graph_launch_base;
+
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& pn = plan.nodes[i];
+    Stream& s = *exec.streams[static_cast<std::size_t>(pn.stream)];
+    switch (pn.kind) {
+      case ActionKind::Kernel:
+        exec.durations[i] = ctx.cost().kernel_duration(
+            pn.work, ctx.platform().device(s.device()).partition(s.partition()));
+        break;
+      case ActionKind::H2D:
+      case ActionKind::D2H: {
+        const std::size_t size = ctx.buffer_size(pn.buffer);  // throws on unknown handle
+        if (pn.offset + pn.bytes > size) {
+          throw Error("CompiledGraph::launch: transfer range exceeds buffer size on this context");
+        }
+        if (ctx.buffer_backed(pn.buffer)) {
+          exec.has_backed = true;
+          exec.payloads[i].device = ctx.device_data(pn.buffer, s.device()) + pn.offset;
+          exec.payloads[i].host = ctx.buffer_rec(pn.buffer).host + pn.offset;
+        }
+        break;
+      }
+      case ActionKind::Barrier: break;
+    }
+  }
+
+  exec_ = std::move(exec);
+}
+
+void CompiledGraph::check_rotation(Context& ctx) {
+  if (exec_.rotation_checked) return;
+  const Plan& plan = *plan_;
+  if (exec_.has_backed && ctx.device_count() > 1) {
+    throw Error("CompiledGraph::launch_batch: stream rotation with host-backed buffers is "
+                "only supported on single-device contexts");
+  }
+  // Rotation re-targets each node's stream, so every kernel must cost the
+  // same on every partition the plan spans (true for the uniform layouts
+  // Context::setup builds; add_stream layouts can violate it).
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& pn = plan.nodes[i];
+    if (pn.kind != ActionKind::Kernel) continue;
+    for (int s = 0; s < plan.stream_count; ++s) {
+      Stream& target = *exec_.streams[static_cast<std::size_t>(s)];
+      const sim::SimTime d = ctx.cost().kernel_duration(
+          pn.work, ctx.platform().device(target.device()).partition(target.partition()));
+      if (!(d == exec_.durations[i])) {
+        throw Error("CompiledGraph::launch_batch: stream rotation requires uniform "
+                    "partitions (kernel durations differ across the plan's streams)");
+      }
+    }
+  }
+  exec_.rotation_checked = true;
+}
+
+// ---------------------------------------------------------------------------
+// Launch
+// ---------------------------------------------------------------------------
+
+CompiledGraph::Run* CompiledGraph::acquire_run() {
+  if (!runs_) runs_ = std::make_unique<RunPool>();
+  ++runs_->in_flight;
+  if (!runs_->free.empty()) {
+    Run* r = runs_->free.back();
+    runs_->free.pop_back();
+    r->completed = 0;
+    return r;
+  }
+  auto owned = std::make_unique<Run>();
+  Run* r = owned.get();
+  r->pool = runs_.get();
+  r->plan = plan_.get();
+  r->target = plan_->nodes.size();
+  r->actions.resize(plan_->nodes.size(), nullptr);
+  r->stream_tab.resize(static_cast<std::size_t>(plan_->stream_count), nullptr);
+  runs_->all.push_back(std::move(owned));
+  return r;
+}
+
+CompiledGraph::Run* CompiledGraph::acquire_arena(Context& ctx, int instances) {
+  if (!runs_) runs_ = std::make_unique<RunPool>();
+  Run* arena = nullptr;
+  for (Run* r : runs_->arenas) {
+    if (!r->idle || r->instances != static_cast<std::uint32_t>(instances)) continue;
+    arena = r;
+    if (r->built_for == &ctx && r->built_epoch == ctx.layout_epoch()) break;  // exact match
+  }
+  if (arena == nullptr) {
+    auto owned = std::make_unique<Run>();
+    arena = owned.get();
+    arena->pool = runs_.get();
+    arena->plan = plan_.get();
+    arena->instances = static_cast<std::uint32_t>(instances);
+    runs_->arenas.push_back(arena);
+    runs_->all.push_back(std::move(owned));
+  }
+  if (arena->built_for != &ctx || arena->built_epoch != ctx.layout_epoch()) {
+    build_arena(*arena, ctx);
+  }
+  ++runs_->in_flight;
+  arena->idle = false;
+  arena->completed = 0;
+  return arena;
+}
+
+void CompiledGraph::build_arena(Run& run, Context& ctx) {
+  const Plan& plan = *plan_;
+  const std::size_t count = plan.nodes.size();
+  const std::size_t total = count * run.instances;
+  run.target = total;
+  run.stream_tab.assign(exec_.streams.begin(), exec_.streams.end());
+  run.slab.clear();  // destroy stale payload functors before rebuilding in place
+  run.slab.resize(total);
+  run.actions.resize(total);
+  for (std::size_t g = 0; g < total; ++g) {
+    const std::size_t i = g % count;
+    const PlanNode& pn = plan.nodes[i];
+    detail::Action& a = run.slab[g];
+    a.kind = pn.kind;
+    a.label = pn.label;
+    a.pooled = false;
+    a.graph_run = &run;
+    a.graph_node = static_cast<std::uint32_t>(g);
+    switch (pn.kind) {
+      case ActionKind::Kernel:
+        a.duration = exec_.durations[i];
+        if (pn.fn != kNoFn) {
+          a.fn = [fp = &plan.kernel_fns[pn.fn]] { (*fp)(); };
+        }
+        break;
+      case ActionKind::H2D: {
+        a.buffer = pn.buffer;
+        a.offset = pn.offset;
+        a.bytes = pn.bytes;
+        const Exec::Payload& p = exec_.payloads[i];
+        if (p.device != nullptr) {
+          a.fn = [dst = p.device, src = p.host, len = pn.bytes] { std::memcpy(dst, src, len); };
+        }
+        break;
+      }
+      case ActionKind::D2H: {
+        a.buffer = pn.buffer;
+        a.offset = pn.offset;
+        a.bytes = pn.bytes;
+        const Exec::Payload& p = exec_.payloads[i];
+        if (p.device != nullptr) {
+          a.fn = [dst = p.host, src = p.device, len = pn.bytes] { std::memcpy(dst, src, len); };
+        }
+        break;
+      }
+      case ActionKind::Barrier: break;
+    }
+    run.actions[g] = &a;
+  }
+  run.built_for = &ctx;
+  run.built_epoch = ctx.layout_epoch();
+}
+
+Event CompiledGraph::issue_batch(Context& ctx, Run& run) {
+  const Plan& plan = *plan_;
+  const std::size_t count = plan.nodes.size();
+  const sim::SimTime per_node = exec_.per_node_cost;
+  // Same action tally the pooled path reports via acquire_action[_raw].
+  ctx.tel_.actions += run.target;
+
+  // Identical pricing and push order to `instances` separate launches: per
+  // instance one launch base charge, then one host reservation per node in
+  // issue order. Only the scheduling fields are rewritten — everything else
+  // (durations, payload functors, labels) survives from the arena build.
+  std::size_t g = 0;
+  for (std::uint32_t k = 0; k < run.instances; ++k) {
+    ctx.host_cursor_ += exec_.base_cost;
+    for (std::size_t i = 0; i < count; ++i, ++g) {
+      const PlanNode& pn = plan.nodes[i];
+      detail::Action& a = run.slab[g];
+      a.ready_floor = ctx.host_issue(per_node);
+      a.deps_pending = static_cast<int>(pn.dep_count);
+      a.armed = false;
+      run.stream_tab[static_cast<std::size_t>(pn.stream)]->push_compiled(&a);
+    }
+  }
+  // The batch's completion event hangs off the final instance's barrier.
+  detail::Action& last = run.slab[run.target - 1];
+  last.state = std::allocate_shared<detail::ActionState>(
+      detail::PoolAlloc<detail::ActionState>(ctx.state_pool_));
+  return Event{last.state};
+}
+
+Event CompiledGraph::issue_instance(Context& ctx, int rotation, bool want_event) {
+  const Plan& plan = *plan_;
+  Run* run = acquire_run();
+
+  const int span = plan.stream_count;
+  for (int s = 0; s < span; ++s) {
+    run->stream_tab[static_cast<std::size_t>(s)] =
+        exec_.streams[static_cast<std::size_t>((s + rotation) % span)];
+  }
+
+  // Same pricing as the interpreted replay: one launch base charge, then one
+  // host-thread reservation per node (completion barrier included) in issue
+  // order.
+  ctx.host_cursor_ += exec_.base_cost;
+  const sim::SimTime per_node = exec_.per_node_cost;
+
+  const std::size_t count = plan.nodes.size();
+  Event out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const PlanNode& pn = plan.nodes[i];
+    detail::Action* a;
+    if (want_event && i == count - 1) {
+      a = ctx.acquire_action();  // the returned Event needs a state
+      out = Event{a->state};
+    } else {
+      a = ctx.acquire_action_raw();
+    }
+    a->kind = pn.kind;
+    a->label = pn.label;
+    a->graph_run = run;
+    a->graph_node = static_cast<std::uint32_t>(i);
+    a->deps_pending = static_cast<int>(pn.dep_count);
+    a->ready_floor = ctx.host_issue(per_node);
+    switch (pn.kind) {
+      case ActionKind::Kernel:
+        a->duration = exec_.durations[i];
+        if (pn.fn != kNoFn) {
+          a->fn = [fp = &plan.kernel_fns[pn.fn]] { (*fp)(); };
+        }
+        break;
+      case ActionKind::H2D: {
+        a->buffer = pn.buffer;
+        a->offset = pn.offset;
+        a->bytes = pn.bytes;
+        const Exec::Payload& p = exec_.payloads[i];
+        if (p.device != nullptr) {
+          a->fn = [dst = p.device, src = p.host, len = pn.bytes] { std::memcpy(dst, src, len); };
+        }
+        break;
+      }
+      case ActionKind::D2H: {
+        a->buffer = pn.buffer;
+        a->offset = pn.offset;
+        a->bytes = pn.bytes;
+        const Exec::Payload& p = exec_.payloads[i];
+        if (p.device != nullptr) {
+          a->fn = [dst = p.host, src = p.device, len = pn.bytes] { std::memcpy(dst, src, len); };
+        }
+        break;
+      }
+      case ActionKind::Barrier: break;
+    }
+    run->actions[i] = a;
+    run->stream_tab[static_cast<std::size_t>(pn.stream)]->push_compiled(a);
+  }
+  return out;
+}
+
+Event CompiledGraph::launch(Context& ctx) {
+  if (ctx.capturing()) {
+    throw Error("CompiledGraph::launch: forbidden while the context is capturing");
+  }
+  if (ctx.analyzing()) {
+    // Hazard-recording contexts take the interpreted path so the analyzer
+    // sees every action; virtual-time charges are identical by construction.
+    ++replays_;
+    return plan_->source.launch(ctx);
+  }
+  const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
+  validate_for(ctx);
+  Event ev = issue_instance(ctx, /*rotation=*/0, /*want_event=*/true);
+  ++replays_;
+  plan_->replays_metric->add(1);
+  if (t0 != 0) plan_->launch_ns_metric->observe(telemetry::now_ns() - t0);
+  return ev;
+}
+
+Event CompiledGraph::launch_batch(Context& ctx, int instances, int stream_rotation) {
+  if (instances < 1) {
+    throw Error("CompiledGraph::launch_batch: need at least one instance");
+  }
+  if (ctx.capturing()) {
+    throw Error("CompiledGraph::launch_batch: forbidden while the context is capturing");
+  }
+  if (ctx.analyzing()) {
+    if (stream_rotation != 0) {
+      throw Error("CompiledGraph::launch_batch: stream rotation is unavailable on "
+                  "analyzing contexts");
+    }
+    Event last;
+    for (int k = 0; k < instances; ++k) last = plan_->source.launch(ctx);
+    replays_ += static_cast<std::uint64_t>(instances);
+    return last;
+  }
+  const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
+  validate_for(ctx);
+  const int span = plan_->stream_count;
+  const int rot_step = ((stream_rotation % span) + span) % span;
+  if (rot_step != 0) check_rotation(ctx);
+  Event last;
+  if (rot_step == 0 && instances > 1) {
+    // Arena fast path: the batch's actions were materialised once; refresh
+    // their scheduling fields in place and re-push. Virtual charges are the
+    // per-instance / per-node loop either way, so the cost (and the whole
+    // schedule) is bit-identical to `instances` separate launch() calls.
+    last = issue_batch(ctx, *acquire_arena(ctx, instances));
+  } else {
+    int rotation = 0;
+    for (int k = 0; k < instances; ++k) {
+      last = issue_instance(ctx, rotation, /*want_event=*/k == instances - 1);
+      rotation = (rotation + rot_step) % span;
+    }
+  }
+  replays_ += static_cast<std::uint64_t>(instances);
+  plan_->replays_metric->add(static_cast<std::uint64_t>(instances));
+  if (t0 != 0) plan_->launch_ns_metric->observe(telemetry::now_ns() - t0);
+  return last;
+}
+
+void CompiledGraph::orphan_runs() noexcept {
+  if (!runs_) return;
+  if (runs_->in_flight == 0) {
+    runs_.reset();  // nothing in flight: reclaim immediately
+    return;
+  }
+  // Replays still in flight: hand the pool (and the plan it dereferences)
+  // over to them. The last completing run deletes the pool in notify().
+  runs_->orphaned = true;
+  runs_->plan_keepalive = plan_;
+  (void)runs_.release();
+}
+
+void CompiledGraph::notify(void* run_ptr, std::uint32_t node, sim::SimTime now) {
+  Run* run = static_cast<Run*>(run_ptr);
+  const Plan& plan = *run->plan;
+  const std::size_t count = plan.nodes.size();
+  // Arena actions carry a batch-global node id; dependent edges in the plan
+  // are instance-local, so split it into (instance base, local id).
+  std::uint32_t base = 0;
+  std::uint32_t local = node;
+  if (local >= count) {
+    local = static_cast<std::uint32_t>(node % count);
+    base = node - local;
+  }
+  const PlanNode& pn = plan.nodes[local];
+  // Dependents are stored in increasing node id — the same order the
+  // interpreted path registers (and its states fire) waiters.
+  for (std::uint32_t idx = pn.dependents_begin; idx != pn.dependents_end; ++idx) {
+    const std::uint32_t d = plan.dependents[idx];
+    detail::Action* a = run->actions[base + d];
+    a->ready_floor = sim::max(a->ready_floor, now);
+    if (--a->deps_pending == 0) {
+      run->stream_tab[static_cast<std::size_t>(plan.nodes[d].stream)]->maybe_arm(a);
+    }
+  }
+  if (++run->completed == run->target) {
+    RunPool* pool = run->pool;
+    if (run->instances > 1) {
+      run->idle = true;
+    } else {
+      pool->free.push_back(run);
+    }
+    --pool->in_flight;
+    if (pool->orphaned && pool->in_flight == 0) delete pool;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GraphCache
+// ---------------------------------------------------------------------------
+
+CompiledGraph GraphCache::get_or_compile(std::string_view key, const Graph& g, Context& ctx,
+                                         const CompileOptions& opts) {
+  std::string full(key);
+  full += '#';
+  full += std::to_string(sim::fingerprint(ctx.platform().config()));
+  full += '#';
+  full += std::to_string(ctx.stream_count());
+  full += '#';
+  full += std::to_string(ctx.partitions_per_device());
+  full += '#';
+  full += std::to_string(ctx.device_count());
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Slot& s : slots_) {
+      if (s.key == full) {
+        s.last_used = ++tick_;
+        ++hits_;
+        tel_cache_hits().add(1);
+        return s.graph;  // copy: shared plan, fresh execution state
+      }
+    }
+  }
+
+  // Compile outside the lock (it can run the hazard pass); racing compiles
+  // of the same key are benign — last one in wins the slot.
+  CompiledGraph compiled = g.compile(ctx, opts);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  tel_cache_misses().add(1);
+  if (slots_.size() >= capacity_) {
+    auto oldest = std::min_element(slots_.begin(), slots_.end(), [](const Slot& a, const Slot& b) {
+      return a.last_used < b.last_used;
+    });
+    slots_.erase(oldest);
+  }
+  slots_.push_back(Slot{std::move(full), compiled, ++tick_});
+  return compiled;
+}
+
+std::uint64_t GraphCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t GraphCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t GraphCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+void GraphCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  tick_ = 0;
+}
+
+GraphCache& process_graph_cache() {
+  static GraphCache cache;
+  return cache;
+}
+
+}  // namespace ms::rt

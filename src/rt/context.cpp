@@ -5,6 +5,7 @@
 
 #include "analyze/recorder.hpp"
 #include "rt/errors.hpp"
+#include "rt/graph.hpp"
 #include "telemetry/span.hpp"
 
 namespace ms::rt {
@@ -65,10 +66,14 @@ Context::~Context() {
 int Context::device_count() const noexcept { return platform_->device_count(); }
 
 void Context::setup(int partitions_per_device) {
+  if (capture_ != nullptr) {
+    throw Error("Context::setup: forbidden while capturing a graph");
+  }
   require_all_idle("Context::setup");
   if (partitions_per_device < 1) {
     throw Error("Context::setup: need at least one partition");
   }
+  ++layout_epoch_;
   // All streams idle = every recorded action completed before anything that
   // will be enqueued on the new layout: a segment boundary.
   if (recorder_) recorder_->flush(/*may_throw=*/true);
@@ -111,6 +116,7 @@ Stream& Context::add_stream(int device, int partition) {
   if (device < 0 || device >= device_count() || partition < 0 || partition >= partitions_) {
     throw Error("Context::add_stream: (device, partition) out of range");
   }
+  ++layout_epoch_;
   const int index = stream_count();
   streams_.push_back(std::unique_ptr<Stream>(new Stream(*this, index, device, partition)));
   host_cursor_ += platform_->config().overhead.context_setup_per_partition;
@@ -171,7 +177,11 @@ void Context::assume_device_resident(BufferId id) {
 }
 
 void Context::destroy_buffer(BufferId id) {
+  if (capture_ != nullptr) {
+    throw Error("Context::destroy_buffer: forbidden while capturing a graph");
+  }
   require_all_idle("Context::destroy_buffer");
+  ++layout_epoch_;
   auto it = buffers_.find(id.value);
   if (it == buffers_.end()) {
     throw Error("Context::destroy_buffer: unknown buffer");
@@ -201,6 +211,9 @@ std::byte* Context::device_data(BufferId id, int device) {
 }
 
 void Context::synchronize() {
+  if (capture_ != nullptr) {
+    throw Error("Context::synchronize: forbidden while capturing a graph");
+  }
   const telemetry::ScopedSpan span("rt.synchronize");
   const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
   ++tel_.syncs;
@@ -221,6 +234,9 @@ void Context::synchronize() {
 }
 
 void Context::wait(const Event& ev) {
+  if (capture_ != nullptr) {
+    throw Error("Context::wait: forbidden while capturing a graph");
+  }
   if (!ev.valid()) return;
   auto& engine = platform_->engine();
   while (!ev.done()) {
@@ -231,6 +247,69 @@ void Context::wait(const Event& ev) {
   host_cursor_ = sim::max(host_cursor_, sim::max(engine.now(), ev.time())) +
                  platform_->cost().sync_overhead(1, false);
   if (recorder_) recorder_->on_host_wait(ev.state_->analyze_id);
+}
+
+void Context::begin_capture(Graph& g) {
+  if (capture_ != nullptr) {
+    throw Error("Context::begin_capture: a capture is already active");
+  }
+  capture_ = &g;
+}
+
+void Context::end_capture() {
+  if (capture_ == nullptr) {
+    throw Error("Context::end_capture: no active capture");
+  }
+  capture_ = nullptr;
+}
+
+std::vector<std::size_t> Context::capture_deps(const std::vector<Event>& deps) const {
+  std::vector<std::size_t> ids;
+  ids.reserve(deps.size());
+  for (const Event& e : deps) {
+    if (!e.valid()) continue;
+    if (e.state_->capture_node != 0) {
+      if (e.state_->capture_owner != capture_) {
+        throw Error(
+            "Graph capture: dependency is a phantom event recorded into a "
+            "different graph; node ids are graph-local");
+      }
+      ids.push_back(static_cast<std::size_t>(e.state_->capture_node - 1));
+      continue;
+    }
+    if (e.done()) continue;  // completed real work orders nothing in a replay
+    throw Error(
+        "Graph capture: dependency on still-pending non-captured work; "
+        "synchronize before begin_capture()");
+  }
+  return ids;
+}
+
+Event Context::capture_phantom(std::size_t node) {
+  auto state = std::allocate_shared<detail::ActionState>(
+      detail::PoolAlloc<detail::ActionState>(state_pool_));
+  state->capture_node = static_cast<std::uint64_t>(node) + 1;
+  state->capture_owner = capture_;
+  return Event{std::move(state)};
+}
+
+Event Context::capture_transfer(ActionKind kind, int stream, BufferId buf, std::size_t offset,
+                                std::size_t bytes, const std::vector<Event>& deps) {
+  auto ids = capture_deps(deps);
+  const std::size_t node =
+      kind == ActionKind::H2D ? capture_->add_h2d(stream, buf, offset, bytes, std::move(ids))
+                              : capture_->add_d2h(stream, buf, offset, bytes, std::move(ids));
+  return capture_phantom(node);
+}
+
+Event Context::capture_kernel(int stream, KernelLaunch launch, const std::vector<Event>& deps) {
+  auto ids = capture_deps(deps);
+  return capture_phantom(capture_->add_kernel(stream, std::move(launch), std::move(ids)));
+}
+
+Event Context::capture_barrier(int stream, const std::vector<Event>& deps) {
+  auto ids = capture_deps(deps);
+  return capture_phantom(capture_->add_barrier(stream, std::move(ids)));
 }
 
 detail::Action* Context::acquire_action() {
@@ -244,6 +323,11 @@ detail::Action* Context::acquire_action() {
   return a;
 }
 
+detail::Action* Context::acquire_action_raw() {
+  ++tel_.actions;
+  return new (ActionPool::allocate(action_store_)) detail::Action;
+}
+
 void Context::release_action(detail::Action* a) {
   // Destroying the Action drops its state reference; the state's node goes
   // straight back to the pool unless some Event still holds it (then it is
@@ -253,9 +337,11 @@ void Context::release_action(detail::Action* a) {
 }
 
 sim::SimTime Context::host_issue() {
+  return host_issue(issue_override_ ? issue_cost_ : platform_->cost().enqueue_overhead());
+}
+
+sim::SimTime Context::host_issue(sim::SimTime cost) {
   ++tel_.enqueues;
-  const sim::SimTime cost =
-      issue_override_ ? issue_cost_ : platform_->cost().enqueue_overhead();
   const auto grant =
       platform_->host_thread().reserve(sim::max(host_cursor_, sim::SimTime::zero()), cost);
   host_cursor_ = grant.end;

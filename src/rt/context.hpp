@@ -21,6 +21,8 @@ class Recorder;
 
 namespace ms::rt {
 
+class Graph;
+
 /// Per-Context feature toggles (beyond the simulated platform's SimConfig).
 struct ContextConfig {
   /// Record the action graph and run the happens-before hazard analysis at
@@ -130,6 +132,23 @@ public:
   /// overlap still-running streams. Null events return immediately.
   void wait(const Event& ev);
 
+  // --- Graph capture ---------------------------------------------------------
+
+  /// Begin recording enqueues into `g` (CUDA stream-capture style): until
+  /// end_capture(), every Stream::enqueue_* on this context appends a graph
+  /// node instead of issuing work, charges no host time, and returns a
+  /// *phantom* event usable only as a dependency of later captured enqueues.
+  /// Dependencies on already-completed real events are dropped (a replayable
+  /// graph cannot bake in absolute times); depending on still-pending
+  /// non-captured work throws, as do synchronize()/wait()/setup() while
+  /// capturing. The same graph can then be launch()ed or compile()d.
+  void begin_capture(Graph& g);
+
+  /// Stop recording; `g` holds everything enqueued since begin_capture().
+  void end_capture();
+
+  [[nodiscard]] bool capturing() const noexcept { return capture_ != nullptr; }
+
   /// The virtual host clock: what a wall-clock timer around an offload phase
   /// would have read on the real machine.
   [[nodiscard]] sim::SimTime host_time() const noexcept { return host_cursor_; }
@@ -173,8 +192,14 @@ public:
   [[nodiscard]] trace::Timeline& timeline() noexcept { return timeline_; }
   [[nodiscard]] const trace::Timeline& timeline() const noexcept { return timeline_; }
 
+  /// Bumped whenever the stream/buffer layout changes (setup, add_stream,
+  /// destroy_buffer). Compiled graphs cache their per-context validation
+  /// against this, so replays on an unchanged layout skip revalidation.
+  [[nodiscard]] std::uint64_t layout_epoch() const noexcept { return layout_epoch_; }
+
 private:
   friend class Stream;
+  friend class CompiledGraph;
 
   struct BufferRec {
     std::byte* host = nullptr;
@@ -185,6 +210,20 @@ private:
   /// Reserve the host application thread for one enqueue call; returns the
   /// time at which the action is issued.
   sim::SimTime host_issue();
+  /// Same, with an explicit per-call cost — how CompiledGraph charges its
+  /// per-node replay cost without the IssueCostGuard indirection.
+  sim::SimTime host_issue(sim::SimTime cost);
+
+  // --- Graph capture internals ----------------------------------------------
+
+  Event capture_transfer(ActionKind kind, int stream, BufferId buf, std::size_t offset,
+                         std::size_t bytes, const std::vector<Event>& deps);
+  Event capture_kernel(int stream, KernelLaunch launch, const std::vector<Event>& deps);
+  Event capture_barrier(int stream, const std::vector<Event>& deps);
+  /// Map dependency events to captured node ids (phantoms), dropping done
+  /// real events and rejecting pending ones.
+  std::vector<std::size_t> capture_deps(const std::vector<Event>& deps) const;
+  Event capture_phantom(std::size_t node);
 
   // --- Action / state pools ---------------------------------------------------
   //
@@ -200,6 +239,10 @@ private:
                                       alignof(std::max_align_t) * alignof(std::max_align_t)>;
 
   [[nodiscard]] detail::Action* acquire_action();
+  /// Action without a completion state: compiled-graph nodes notify their
+  /// dependents through the flattened plan, so no Event/waiter state exists
+  /// (and nothing is heap- or pool-allocated beyond the action node).
+  [[nodiscard]] detail::Action* acquire_action_raw();
   void release_action(detail::Action* a);
 
   void require_all_idle(const char* who) const;
@@ -222,6 +265,9 @@ private:
   sim::SimTime issue_cost_ = sim::SimTime::zero();
   sim::SimTime host_cursor_ = sim::SimTime::zero();
   int partitions_ = 0;
+  std::uint64_t layout_epoch_ = 0;
+  /// Target of an active begin_capture() (null = not capturing).
+  Graph* capture_ = nullptr;
   std::vector<std::unique_ptr<Stream>> streams_;
   std::unordered_map<std::uint64_t, BufferRec> buffers_;
   std::uint64_t next_buffer_ = 1;

@@ -26,6 +26,15 @@ struct ActionState {
   /// Lets a dependency Event be mapped back to the recorded action so the
   /// analyzer sees the same edge the scheduler wires.
   std::uint64_t analyze_id = 0;
+  /// While a Context is capturing into a Graph, enqueues return phantom
+  /// events whose state carries `1 + node id` here (0 = not a capture
+  /// phantom). Such events never complete; they only name graph nodes so
+  /// later captured enqueues can depend on them.
+  std::uint64_t capture_node = 0;
+  /// The Graph a capture phantom belongs to. Node ids are graph-local, so a
+  /// phantom handed to a *different* capture must be rejected rather than
+  /// silently aliasing that graph's node of the same index.
+  const void* capture_owner = nullptr;
   std::vector<Waiter> waiters;
 
   void complete(sim::SimTime t) {
@@ -59,6 +68,7 @@ public:
 private:
   friend class Stream;
   friend class Context;
+  friend class CompiledGraph;
   explicit Event(std::shared_ptr<detail::ActionState> s) : state_(std::move(s)) {}
   std::shared_ptr<detail::ActionState> state_;
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "analyze/recorder.hpp"
+#include "rt/compiled_graph.hpp"
 #include "rt/context.hpp"
 #include "rt/errors.hpp"
 #include "trace/timeline.hpp"
@@ -40,6 +41,9 @@ Event Stream::enqueue_transfer(ActionKind kind, BufferId buf, std::size_t offset
   if (bytes == 0) {
     throw Error("Stream::enqueue transfer: zero-length transfer");
   }
+  if (ctx_->capture_ != nullptr) {
+    return ctx_->capture_transfer(kind, index_, buf, offset, bytes, deps);
+  }
 
   Action* a = ctx_->acquire_action();
   a->kind = kind;
@@ -70,6 +74,9 @@ Event Stream::enqueue_transfer(ActionKind kind, BufferId buf, std::size_t offset
 }
 
 Event Stream::enqueue_kernel(KernelLaunch launch, const std::vector<Event>& deps) {
+  if (ctx_->capture_ != nullptr) {
+    return ctx_->capture_kernel(index_, std::move(launch), deps);
+  }
   Action* a = ctx_->acquire_action();
   a->kind = ActionKind::Kernel;
   // Labels only feed trace spans; intern them (stable storage, no per-span
@@ -86,6 +93,9 @@ Event Stream::enqueue_kernel(KernelLaunch launch, const std::vector<Event>& deps
 }
 
 Event Stream::enqueue_barrier(const std::vector<Event>& deps) {
+  if (ctx_->capture_ != nullptr) {
+    return ctx_->capture_barrier(index_, deps);
+  }
   Action* a = ctx_->acquire_action();
   a->kind = ActionKind::Barrier;
   a->label = "barrier";
@@ -278,6 +288,12 @@ void Stream::start_transfer_chunked(detail::Action* a, sim::Direction dir, std::
   engine_->schedule_at(first.end, [step] { (*step)(); });
 }
 
+void Stream::push_compiled(Action* a) {
+  queue_.push_back(a);
+  a->pred_done = queue_.size() == 1;
+  maybe_arm(a);
+}
+
 void Stream::on_complete(Action* a) {
   // Strict in-order streams: the completing action is necessarily the front.
   if (queue_.empty() || queue_.front() != a) {
@@ -285,9 +301,17 @@ void Stream::on_complete(Action* a) {
   }
   if (a->fn) a->fn();
   queue_.pop_front();
+  // Read before notifying: an arena action's storage belongs to its run, and
+  // the graph notification below may retire the run (freeing the slab) when
+  // this was the batch's final action on an orphaned executor.
+  const bool pooled = a->pooled;
 
   const sim::SimTime now = engine_->now();
-  a->state->complete(now);
+  // Same notification order as the interpreted path: external waiters (the
+  // state's, when one exists) fire before graph dependents, and both before
+  // the stream's next action arms.
+  if (a->state) a->state->complete(now);
+  if (a->graph_run != nullptr) detail::compiled_graph_notify(a->graph_run, a->graph_node, now);
 
   if (!queue_.empty()) {
     Action* next = queue_.front();
@@ -295,11 +319,15 @@ void Stream::on_complete(Action* a) {
     maybe_arm(next);
   }
 
-  // Notification and successor arming are done; recycle the action.
-  ctx_->release_action(a);
+  // Notification and successor arming are done; recycle the action. Arena
+  // actions stay in their slab — the owning batch refreshes them in place.
+  if (pooled) ctx_->release_action(a);
 }
 
 void Stream::synchronize() {
+  if (ctx_->capture_ != nullptr) {
+    throw Error("Stream::synchronize: forbidden while capturing a graph");
+  }
   sim::Engine& engine = *engine_;
   while (!queue_.empty()) {
     if (!engine.step()) {

@@ -62,7 +62,14 @@ public:
 
 private:
   friend class Context;
+  friend class CompiledGraph;
   Stream(Context& ctx, int index, int device, int partition);
+
+  /// Append a fully-filled compiled-graph action (kind, label, ready_floor,
+  /// deps_pending, payload already set by the plan executor) to the FIFO and
+  /// arm it if dependency-free — the tail of enqueue_common without the
+  /// per-enqueue event/waiter machinery.
+  void push_compiled(detail::Action* a);
 
   Event enqueue_transfer(ActionKind kind, BufferId buf, std::size_t offset, std::size_t bytes,
                          const std::vector<Event>& deps);

@@ -1,5 +1,6 @@
 #include "sim/sim_config.hpp"
 
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -35,6 +36,68 @@ void SimConfig::validate() const {
           "stencil_locality_bonus must be in [0, 1)");
 
   require(num_devices > 0, "num_devices must be positive");
+}
+
+namespace {
+
+struct Fnv {
+  // FNV-1a, folded field by field so struct padding never contributes.
+  std::uint64_t h = 14695981039346656037ull;
+
+  void feed(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  }
+  void feed(double v) noexcept {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    feed(bits);
+  }
+  void feed(int v) noexcept { feed(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v))); }
+  void feed(bool v) noexcept { feed(std::uint64_t{v ? 1u : 0u}); }
+  void feed(SimTime t) noexcept { feed(t.micros()); }
+};
+
+}  // namespace
+
+std::uint64_t fingerprint(const SimConfig& cfg) noexcept {
+  Fnv f;
+  f.feed(cfg.device.cores);
+  f.feed(cfg.device.reserved_cores);
+  f.feed(cfg.device.threads_per_core);
+  f.feed(cfg.device.clock_ghz);
+  f.feed(cfg.device.dp_flops_per_cycle_per_core);
+  f.feed(cfg.device.l2_kib_per_core);
+  f.feed(cfg.device.memory_bytes);
+  f.feed(cfg.link.bandwidth_gib_s);
+  f.feed(cfg.link.per_transfer_latency);
+  f.feed(cfg.link.full_duplex);
+  f.feed(cfg.link.dma_chunk_bytes);
+  f.feed(cfg.overhead.kernel_launch_base);
+  f.feed(cfg.overhead.kernel_launch_per_partition);
+  f.feed(cfg.overhead.action_enqueue);
+  f.feed(cfg.overhead.graph_launch_base);
+  f.feed(cfg.overhead.graph_replay_per_node);
+  f.feed(cfg.overhead.sync_base);
+  f.feed(cfg.overhead.sync_per_stream);
+  f.feed(cfg.overhead.sync_cross_device);
+  f.feed(cfg.overhead.context_setup_base);
+  f.feed(cfg.overhead.context_setup_per_partition);
+  f.feed(cfg.overhead.alloc_base);
+  f.feed(cfg.overhead.alloc_per_mib);
+  f.feed(cfg.overhead.alloc_per_thread);
+  f.feed(cfg.efficiency.elems_per_thread_us);
+  f.feed(cfg.efficiency.max_flop_efficiency);
+  f.feed(cfg.efficiency.ramp_elems_per_thread);
+  f.feed(cfg.efficiency.ramp_flops_per_thread);
+  f.feed(cfg.efficiency.split_core_penalty);
+  f.feed(cfg.efficiency.stencil_locality_max_cores);
+  f.feed(cfg.efficiency.stencil_locality_bonus);
+  f.feed(cfg.num_devices);
+  return f.h;
 }
 
 }  // namespace ms::sim

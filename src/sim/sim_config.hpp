@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "sim/sim_time.hpp"
 
@@ -162,5 +163,12 @@ struct SimConfig {
   /// Throws std::invalid_argument if any field is out of range.
   void validate() const;
 };
+
+/// Order-sensitive 64-bit digest of every field (FNV-1a over the field
+/// values, not the object bytes, so padding never leaks in). Two configs
+/// with equal fingerprints produce identical cost-model outputs, which is
+/// what lets a compiled graph (rt::CompiledGraph) reuse its precomputed
+/// durations on another context, and what keys the rt::GraphCache.
+[[nodiscard]] std::uint64_t fingerprint(const SimConfig& cfg) noexcept;
 
 }  // namespace ms::sim

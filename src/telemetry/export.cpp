@@ -42,35 +42,63 @@ void write_json_string(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
+/// Rendered `{key="value"}` selector of a labeled snapshot ("" if unlabeled).
+std::string label_selector(const MetricSnapshot& m) {
+  if (m.label_key.empty()) return {};
+  std::string out = "{" + m.label_key + "=\"";
+  for (const char c : m.label_value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '"': out += "\\\""; break;
+      default: out += c;
+    }
+  }
+  out += "\"}";
+  return out;
+}
+
 }  // namespace
 
 void write_prometheus(std::ostream& os, const Registry::Snapshot& snap) {
+  // Snapshots are (name, label)-sorted, so a family's children are adjacent:
+  // emit HELP/TYPE once per metric name.
+  const std::string* described = nullptr;
   for (const MetricSnapshot& m : snap.metrics) {
-    os << "# HELP " << m.name << ' ';
-    write_escaped(os, m.help);
-    os << '\n';
+    const std::string sel = label_selector(m);
+    if (described == nullptr || *described != m.name) {
+      os << "# HELP " << m.name << ' ';
+      write_escaped(os, m.help);
+      os << '\n';
+      os << "# TYPE " << m.name << ' '
+         << (m.kind == MetricKind::Counter     ? "counter"
+             : m.kind == MetricKind::Histogram ? "histogram"
+                                               : "gauge")
+         << '\n';
+      described = &m.name;
+    }
     switch (m.kind) {
       case MetricKind::Counter:
-        os << "# TYPE " << m.name << " counter\n";
-        os << m.name << ' ' << m.counter << '\n';
+        os << m.name << sel << ' ' << m.counter << '\n';
         break;
       case MetricKind::Gauge:
       case MetricKind::MaxGauge:
-        os << "# TYPE " << m.name << " gauge\n";
-        os << m.name << ' ' << m.gauge << '\n';
+        os << m.name << sel << ' ' << m.gauge << '\n';
         break;
       case MetricKind::Histogram: {
-        os << "# TYPE " << m.name << " histogram\n";
+        // A labeled histogram's extra label joins `le` inside one selector.
+        const std::string pre =
+            sel.empty() ? "{le=\"" : sel.substr(0, sel.size() - 1) + ",le=\"";
         std::uint64_t cum = 0;
         for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
           if (m.histogram.buckets[b] == 0) continue;  // sparse: most buckets are empty
           cum += m.histogram.buckets[b];
-          os << m.name << "_bucket{le=\"" << HistogramSnapshot::bucket_upper(b) << "\"} " << cum
+          os << m.name << "_bucket" << pre << HistogramSnapshot::bucket_upper(b) << "\"} " << cum
              << '\n';
         }
-        os << m.name << "_bucket{le=\"+Inf\"} " << m.histogram.count() << '\n';
-        os << m.name << "_sum " << m.histogram.sum << '\n';
-        os << m.name << "_count " << m.histogram.count() << '\n';
+        os << m.name << "_bucket" << pre << "+Inf\"} " << m.histogram.count() << '\n';
+        os << m.name << "_sum" << sel << ' ' << m.histogram.sum << '\n';
+        os << m.name << "_count" << sel << ' ' << m.histogram.count() << '\n';
         break;
       }
     }
@@ -85,7 +113,7 @@ void write_json(std::ostream& os, const Registry::Snapshot& snap) {
     if (!first) os << ',';
     first = false;
     os << "\n    ";
-    write_json_string(os, m.name);
+    write_json_string(os, m.name + label_selector(m));
     os << ": " << m.counter;
   }
   os << "\n  },\n  \"gauges\": {";
@@ -95,7 +123,7 @@ void write_json(std::ostream& os, const Registry::Snapshot& snap) {
     if (!first) os << ',';
     first = false;
     os << "\n    ";
-    write_json_string(os, m.name);
+    write_json_string(os, m.name + label_selector(m));
     os << ": " << m.gauge;
   }
   os << "\n  },\n  \"histograms\": {";
@@ -105,7 +133,7 @@ void write_json(std::ostream& os, const Registry::Snapshot& snap) {
     if (!first) os << ',';
     first = false;
     os << "\n    ";
-    write_json_string(os, m.name);
+    write_json_string(os, m.name + label_selector(m));
     os << ": {\"count\": " << m.histogram.count() << ", \"sum\": " << m.histogram.sum
        << ", \"p50\": " << m.histogram.quantile(0.50) << ", \"p95\": " << m.histogram.quantile(0.95)
        << ", \"p99\": " << m.histogram.quantile(0.99) << ", \"buckets\": [";

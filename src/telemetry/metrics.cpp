@@ -65,6 +65,9 @@ struct Registry::Entry {
   std::string name;
   std::string help;
   MetricKind kind = MetricKind::Counter;
+  /// Family children record their label pair; empty key = unlabeled.
+  std::string label_key;
+  std::string label_value;
   // Exactly one is set, matching `kind`; unique_ptr keeps addresses stable
   // as the registry grows (call sites hold references for the process life).
   std::unique_ptr<Counter> counter;
@@ -76,7 +79,11 @@ struct Registry::Entry {
 struct Registry::Impl {
   mutable std::mutex mu;
   std::vector<std::unique_ptr<Entry>> entries;
+  /// Unlabeled metrics index by name; family children by
+  /// name + '\x1f' + label value (no valid metric name contains '\x1f').
   std::unordered_map<std::string, std::size_t> index;
+  std::unordered_map<std::string, std::unique_ptr<CounterFamily>> counter_families;
+  std::unordered_map<std::string, std::unique_ptr<HistogramFamily>> histogram_families;
 };
 
 Registry& Registry::instance() {
@@ -93,10 +100,25 @@ Registry::Impl& Registry::impl() const {
   return *i;
 }
 
+namespace {
+/// Index key of a family child: family name + unit separator + label value.
+std::string child_key(std::string_view name, std::string_view value) {
+  std::string k(name);
+  k += '\x1f';
+  k += value;
+  return k;
+}
+}  // namespace
+
 Registry::Entry& Registry::find_or_create(std::string_view name, std::string_view help,
                                           MetricKind kind) {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
+  if (im.counter_families.count(std::string(name)) != 0 ||
+      im.histogram_families.count(std::string(name)) != 0) {
+    throw std::logic_error("telemetry: metric '" + std::string(name) +
+                           "' is registered as a labeled family");
+  }
   if (auto it = im.index.find(std::string(name)); it != im.index.end()) {
     Entry& e = *im.entries[it->second];
     if (e.kind != kind) {
@@ -118,6 +140,93 @@ Registry::Entry& Registry::find_or_create(std::string_view name, std::string_vie
   im.entries.push_back(std::move(entry));
   im.index.emplace(im.entries.back()->name, im.entries.size() - 1);
   return *im.entries.back();
+}
+
+Registry::Entry& Registry::find_or_create_labeled(const std::string& name, const std::string& help,
+                                                  const std::string& key, std::string_view value,
+                                                  MetricKind kind) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const std::string idx = child_key(name, value);
+  if (auto it = im.index.find(idx); it != im.index.end()) {
+    return *im.entries[it->second];
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = kind;
+  entry->label_key = key;
+  entry->label_value = std::string(value);
+  if (kind == MetricKind::Counter) {
+    entry->counter = std::make_unique<Counter>();
+  } else {
+    entry->histogram = std::make_unique<Histogram>();
+  }
+  im.entries.push_back(std::move(entry));
+  im.index.emplace(idx, im.entries.size() - 1);
+  return *im.entries.back();
+}
+
+CounterFamily& Registry::counter_family(std::string_view name, std::string_view help,
+                                        std::string_view label_key) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const std::string n(name);
+  if (auto it = im.counter_families.find(n); it != im.counter_families.end()) {
+    if (it->second->label_key() != label_key) {
+      throw std::logic_error("telemetry: family '" + n + "' registered with label key '" +
+                             it->second->label_key() + "', requested '" + std::string(label_key) +
+                             "'");
+    }
+    return *it->second;
+  }
+  if (im.histogram_families.count(n) != 0) {
+    throw std::logic_error("telemetry: family '" + n + "' registered as histogram, requested as counter");
+  }
+  if (im.index.count(n) != 0) {
+    throw std::logic_error("telemetry: '" + n + "' already registered as an unlabeled metric");
+  }
+  auto fam = std::unique_ptr<CounterFamily>(
+      new CounterFamily(*this, n, std::string(help), std::string(label_key)));
+  auto [it, inserted] = im.counter_families.emplace(n, std::move(fam));
+  (void)inserted;
+  return *it->second;
+}
+
+HistogramFamily& Registry::histogram_family(std::string_view name, std::string_view help,
+                                            std::string_view label_key) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const std::string n(name);
+  if (auto it = im.histogram_families.find(n); it != im.histogram_families.end()) {
+    if (it->second->label_key() != label_key) {
+      throw std::logic_error("telemetry: family '" + n + "' registered with label key '" +
+                             it->second->label_key() + "', requested '" + std::string(label_key) +
+                             "'");
+    }
+    return *it->second;
+  }
+  if (im.counter_families.count(n) != 0) {
+    throw std::logic_error("telemetry: family '" + n + "' registered as counter, requested as histogram");
+  }
+  if (im.index.count(n) != 0) {
+    throw std::logic_error("telemetry: '" + n + "' already registered as an unlabeled metric");
+  }
+  auto fam = std::unique_ptr<HistogramFamily>(
+      new HistogramFamily(*this, n, std::string(help), std::string(label_key)));
+  auto [it, inserted] = im.histogram_families.emplace(n, std::move(fam));
+  (void)inserted;
+  return *it->second;
+}
+
+Counter& CounterFamily::with(std::string_view label_value) {
+  return *reg_->find_or_create_labeled(name_, help_, key_, label_value, MetricKind::Counter)
+              .counter;
+}
+
+Histogram& HistogramFamily::with(std::string_view label_value) {
+  return *reg_->find_or_create_labeled(name_, help_, key_, label_value, MetricKind::Histogram)
+              .histogram;
 }
 
 Counter& Registry::counter(std::string_view name, std::string_view help) {
@@ -147,6 +256,8 @@ Registry::Snapshot Registry::snapshot() const {
       m.name = e->name;
       m.help = e->help;
       m.kind = e->kind;
+      m.label_key = e->label_key;
+      m.label_value = e->label_value;
       switch (e->kind) {
         case MetricKind::Counter: m.counter = e->counter->value(); break;
         case MetricKind::Gauge: m.gauge = e->gauge->value(); break;
@@ -157,7 +268,10 @@ Registry::Snapshot Registry::snapshot() const {
     }
   }
   std::sort(out.metrics.begin(), out.metrics.end(),
-            [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.label_value < b.label_value;
+            });
   return out;
 }
 
@@ -188,6 +302,8 @@ Counter g_stub_counter;
 Gauge g_stub_gauge;
 MaxGauge g_stub_max_gauge;
 Histogram g_stub_histogram;
+CounterFamily g_stub_counter_family;
+HistogramFamily g_stub_histogram_family;
 }  // namespace
 
 Registry& Registry::instance() {
@@ -198,6 +314,24 @@ Counter& Registry::counter(std::string_view, std::string_view) { return g_stub_c
 Gauge& Registry::gauge(std::string_view, std::string_view) { return g_stub_gauge; }
 MaxGauge& Registry::max_gauge(std::string_view, std::string_view) { return g_stub_max_gauge; }
 Histogram& Registry::histogram(std::string_view, std::string_view) { return g_stub_histogram; }
+CounterFamily& Registry::counter_family(std::string_view, std::string_view, std::string_view) {
+  return g_stub_counter_family;
+}
+HistogramFamily& Registry::histogram_family(std::string_view, std::string_view, std::string_view) {
+  return g_stub_histogram_family;
+}
+Counter& CounterFamily::with(std::string_view) { return g_stub_counter; }
+Histogram& HistogramFamily::with(std::string_view) { return g_stub_histogram; }
+
+namespace {
+// Stubs record neither name nor key; accessors return an empty string so
+// callers compiled against either flavour see the same surface.
+const std::string g_stub_label;
+}  // namespace
+const std::string& CounterFamily::name() const noexcept { return g_stub_label; }
+const std::string& CounterFamily::label_key() const noexcept { return g_stub_label; }
+const std::string& HistogramFamily::name() const noexcept { return g_stub_label; }
+const std::string& HistogramFamily::label_key() const noexcept { return g_stub_label; }
 
 #endif  // MS_TELEMETRY_ENABLED
 

@@ -202,6 +202,54 @@ private:
 };
 
 // ---------------------------------------------------------------------------
+// Labeled families
+// ---------------------------------------------------------------------------
+
+class Registry;
+
+/// A counter fanned out over the values of one label key — rendered as
+/// Prometheus `name{key="value"}`. `with()` registers the child metric on
+/// first use and returns a process-lifetime reference, so hot paths resolve
+/// their child once (at setup/compile time) and then touch only the plain
+/// Counter. One family owns its label key; re-registering the same family
+/// name with a different key throws, as does colliding with an unlabeled
+/// metric of the same name.
+class CounterFamily {
+public:
+  [[nodiscard]] Counter& with(std::string_view label_value);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& label_key() const noexcept { return key_; }
+
+private:
+  friend class Registry;
+  CounterFamily(Registry& r, std::string name, std::string help, std::string key)
+      : reg_(&r), name_(std::move(name)), help_(std::move(help)), key_(std::move(key)) {}
+  Registry* reg_;
+  std::string name_;
+  std::string help_;
+  std::string key_;
+};
+
+/// Histogram counterpart of CounterFamily.
+class HistogramFamily {
+public:
+  [[nodiscard]] Histogram& with(std::string_view label_value);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& label_key() const noexcept { return key_; }
+
+private:
+  friend class Registry;
+  HistogramFamily(Registry& r, std::string name, std::string help, std::string key)
+      : reg_(&r), name_(std::move(name)), help_(std::move(help)), key_(std::move(key)) {}
+  Registry* reg_;
+  std::string name_;
+  std::string help_;
+  std::string key_;
+};
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -217,6 +265,9 @@ struct MetricSnapshot {
   std::uint64_t counter = 0;   ///< Counter value
   std::int64_t gauge = 0;      ///< Gauge / MaxGauge value
   HistogramSnapshot histogram; ///< Histogram contents
+  /// Family children carry their label pair; empty key = unlabeled metric.
+  std::string label_key;
+  std::string label_value;
 };
 
 /// Process-wide metric registry. Metrics are registered once (typically from
@@ -233,8 +284,17 @@ public:
   MaxGauge& max_gauge(std::string_view name, std::string_view help);
   Histogram& histogram(std::string_view name, std::string_view help);
 
+  /// Labeled families: one metric name whose children are distinguished by
+  /// the value of `label_key` (see CounterFamily). Children appear in
+  /// snapshots with their label pair filled in and export as
+  /// `name{label_key="value"}`.
+  CounterFamily& counter_family(std::string_view name, std::string_view help,
+                                std::string_view label_key);
+  HistogramFamily& histogram_family(std::string_view name, std::string_view help,
+                                    std::string_view label_key);
+
   struct Snapshot {
-    std::vector<MetricSnapshot> metrics;  ///< name-sorted
+    std::vector<MetricSnapshot> metrics;  ///< sorted by (name, label_value)
   };
 
   /// Consistent-enough export: each metric is read with relaxed loads, so a
@@ -249,9 +309,13 @@ public:
   [[nodiscard]] std::size_t size() const;
 
 private:
+  friend class CounterFamily;
+  friend class HistogramFamily;
   Registry() = default;
   struct Entry;
   Entry& find_or_create(std::string_view name, std::string_view help, MetricKind kind);
+  Entry& find_or_create_labeled(const std::string& name, const std::string& help,
+                                const std::string& key, std::string_view value, MetricKind kind);
 
   struct Impl;
   [[nodiscard]] Impl& impl() const;
@@ -304,6 +368,22 @@ struct MetricSnapshot {
   std::uint64_t counter = 0;
   std::int64_t gauge = 0;
   HistogramSnapshot histogram;
+  std::string label_key;
+  std::string label_value;
+};
+
+class CounterFamily {
+public:
+  [[nodiscard]] Counter& with(std::string_view);
+  [[nodiscard]] const std::string& name() const noexcept;
+  [[nodiscard]] const std::string& label_key() const noexcept;
+};
+
+class HistogramFamily {
+public:
+  [[nodiscard]] Histogram& with(std::string_view);
+  [[nodiscard]] const std::string& name() const noexcept;
+  [[nodiscard]] const std::string& label_key() const noexcept;
 };
 
 class Registry {
@@ -313,6 +393,8 @@ public:
   Gauge& gauge(std::string_view, std::string_view);
   MaxGauge& max_gauge(std::string_view, std::string_view);
   Histogram& histogram(std::string_view, std::string_view);
+  CounterFamily& counter_family(std::string_view, std::string_view, std::string_view);
+  HistogramFamily& histogram_family(std::string_view, std::string_view, std::string_view);
 
   struct Snapshot {
     std::vector<MetricSnapshot> metrics;

@@ -60,7 +60,7 @@ TEST(AppsClean, KmeansGraphReplay) {
   kc.dims = 4;
   kc.iterations = 3;
   kc.tiles = 4;
-  kc.use_graph = true;
+  kc.common.graph = ms::apps::GraphMode::Interpreted;
   expect_clean([&] { return ms::apps::KmeansApp::run(cfg(), kc); });
 }
 

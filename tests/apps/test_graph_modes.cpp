@@ -1,0 +1,211 @@
+// The apps' replay-shaped inner loops through the graph executor: for every
+// ported app, functional checksums must be identical across Direct /
+// Interpreted / Compiled issue modes, and virtual times must be BIT-identical
+// between the interpreted and compiled replay paths — on one card and two,
+// and regardless of the kernel engine's thread count.
+
+#include <gtest/gtest.h>
+
+#include "apps/cf_app.hpp"
+#include "apps/hotspot_app.hpp"
+#include "apps/kmeans_app.hpp"
+#include "apps/lu_app.hpp"
+#include "apps/mm_app.hpp"
+#include "apps/nn_app.hpp"
+#include "apps/srad_app.hpp"
+#include "kern/par.hpp"
+
+namespace ms::apps {
+namespace {
+
+struct Modes {
+  AppResult direct;
+  AppResult interpreted;
+  AppResult compiled;
+};
+
+template <typename App, typename Config>
+Modes run_modes(const sim::SimConfig& cfg, Config c) {
+  Modes m;
+  c.common.graph = GraphMode::Direct;
+  m.direct = App::run(cfg, c);
+  c.common.graph = GraphMode::Interpreted;
+  m.interpreted = App::run(cfg, c);
+  c.common.graph = GraphMode::Compiled;
+  m.compiled = App::run(cfg, c);
+  return m;
+}
+
+void expect_identical(const Modes& m) {
+  // Functional results do not depend on the issue mode at all.
+  EXPECT_EQ(m.interpreted.checksum, m.direct.checksum);
+  EXPECT_EQ(m.compiled.checksum, m.direct.checksum);
+  // Replay pricing differs from per-enqueue pricing, but the interpreted and
+  // compiled replays charge exactly the same costs in the same order.
+  EXPECT_EQ(m.compiled.ms, m.interpreted.ms);
+  EXPECT_GT(m.direct.ms, 0.0);
+  EXPECT_GT(m.interpreted.ms, 0.0);
+}
+
+MmConfig mm_cfg() {
+  MmConfig c;
+  c.dim = 128;
+  c.tile_grid = 4;
+  c.common.partitions = 4;
+  return c;
+}
+
+NnConfig nn_cfg() {
+  NnConfig c;
+  c.records = 4096;
+  c.tiles = 4;
+  c.k = 8;
+  c.common.partitions = 4;
+  return c;
+}
+
+KmeansConfig kmeans_cfg() {
+  KmeansConfig c;
+  c.points = 2000;
+  c.dims = 6;
+  c.clusters = 4;
+  c.iterations = 5;
+  c.tiles = 4;
+  c.common.partitions = 4;
+  return c;
+}
+
+HotspotConfig hotspot_cfg() {
+  HotspotConfig c;
+  c.rows = 64;
+  c.cols = 64;
+  c.tile_rows = 16;
+  c.tile_cols = 32;
+  c.steps = 4;
+  c.common.partitions = 4;
+  return c;
+}
+
+SradConfig srad_cfg() {
+  SradConfig c;
+  c.rows = 64;
+  c.cols = 64;
+  c.tile_rows = 16;
+  c.tile_cols = 64;
+  c.iterations = 3;
+  c.common.partitions = 4;
+  return c;
+}
+
+CfConfig cf_cfg() {
+  CfConfig c;
+  c.dim = 128;
+  c.tile = 32;
+  c.common.partitions = 4;
+  return c;
+}
+
+LuConfig lu_cfg() {
+  LuConfig c;
+  c.dim = 128;
+  c.tile = 32;
+  c.common.partitions = 4;
+  return c;
+}
+
+TEST(GraphModes, MmIdenticalAcrossModes) {
+  expect_identical(run_modes<MmApp>(sim::SimConfig::phi_31sp(), mm_cfg()));
+}
+
+TEST(GraphModes, NnIdenticalAcrossModes) {
+  expect_identical(run_modes<NnApp>(sim::SimConfig::phi_31sp(), nn_cfg()));
+}
+
+TEST(GraphModes, KmeansIdenticalAcrossModes) {
+  expect_identical(run_modes<KmeansApp>(sim::SimConfig::phi_31sp(), kmeans_cfg()));
+}
+
+TEST(GraphModes, HotspotIdenticalAcrossModes) {
+  expect_identical(run_modes<HotspotApp>(sim::SimConfig::phi_31sp(), hotspot_cfg()));
+}
+
+TEST(GraphModes, SradIdenticalAcrossModes) {
+  expect_identical(run_modes<SradApp>(sim::SimConfig::phi_31sp(), srad_cfg()));
+}
+
+TEST(GraphModes, CfIdenticalAcrossModes) {
+  expect_identical(run_modes<CfApp>(sim::SimConfig::phi_31sp(), cf_cfg()));
+}
+
+TEST(GraphModes, LuIdenticalAcrossModes) {
+  expect_identical(run_modes<LuApp>(sim::SimConfig::phi_31sp(), lu_cfg()));
+}
+
+// Two cards: the multi-device apps route coherence round trips through
+// per-card transfer streams; the capture must reproduce those too.
+TEST(GraphModes, CfIdenticalAcrossModesOnTwoCards) {
+  expect_identical(run_modes<CfApp>(sim::SimConfig::phi_31sp_x2(), cf_cfg()));
+}
+
+TEST(GraphModes, LuIdenticalAcrossModesOnTwoCards) {
+  expect_identical(run_modes<LuApp>(sim::SimConfig::phi_31sp_x2(), lu_cfg()));
+}
+
+TEST(GraphModes, MmIdenticalAcrossModesOnTwoCards) {
+  expect_identical(run_modes<MmApp>(sim::SimConfig::phi_31sp_x2(), mm_cfg()));
+}
+
+// The kernel engine's host thread count must not leak into either virtual
+// times or checksums, in any issue mode.
+TEST(GraphModes, ThreadCountInvariant) {
+  const Modes base = run_modes<SradApp>(sim::SimConfig::phi_31sp(), srad_cfg());
+  const Modes base_km = run_modes<KmeansApp>(sim::SimConfig::phi_31sp(), kmeans_cfg());
+  for (const int threads : {1, 2, 0 /* one per hardware thread */}) {
+    kern::par::ThreadScope scope(threads);
+    const Modes m = run_modes<SradApp>(sim::SimConfig::phi_31sp(), srad_cfg());
+    EXPECT_EQ(m.direct.ms, base.direct.ms) << threads;
+    EXPECT_EQ(m.compiled.ms, base.compiled.ms) << threads;
+    EXPECT_EQ(m.compiled.checksum, base.compiled.checksum) << threads;
+    const Modes km = run_modes<KmeansApp>(sim::SimConfig::phi_31sp(), kmeans_cfg());
+    EXPECT_EQ(km.compiled.ms, base_km.compiled.ms) << threads;
+    EXPECT_EQ(km.compiled.checksum, base_km.compiled.checksum) << threads;
+  }
+}
+
+// graph_batch issues every phase replay as M back-to-back instances —
+// launch_batch on the compiled path, a launch loop on the interpreted one.
+// The two must stay bit-identical, and the batch must actually multiply the
+// replayed schedule.
+TEST(GraphModes, BatchedPhasesBitIdenticalAcrossPaths) {
+  auto c = mm_cfg();
+  c.common.functional = false;
+  c.common.graph_batch = 3;
+  c.common.graph = GraphMode::Interpreted;
+  const auto interpreted = MmApp::run(sim::SimConfig::phi_31sp(), c);
+  c.common.graph = GraphMode::Compiled;
+  const auto compiled = MmApp::run(sim::SimConfig::phi_31sp(), c);
+  EXPECT_EQ(compiled.ms, interpreted.ms);
+
+  c.common.graph_batch = 1;
+  const auto single = MmApp::run(sim::SimConfig::phi_31sp(), c);
+  EXPECT_GT(compiled.ms, single.ms);
+}
+
+// Timing-only runs consult the process-wide graph cache: a repeat run of the
+// same app geometry must hit, not recompile.
+TEST(GraphModes, TimingOnlyRunsShareCachedPlans) {
+  auto c = kmeans_cfg();
+  c.common.functional = false;
+  c.common.tracing = false;
+  c.common.graph = GraphMode::Compiled;
+  const auto first = KmeansApp::run(sim::SimConfig::phi_31sp(), c);
+  const auto misses_after_first = rt::process_graph_cache().misses();
+  const auto hits_before = rt::process_graph_cache().hits();
+  const auto second = KmeansApp::run(sim::SimConfig::phi_31sp(), c);
+  EXPECT_EQ(second.ms, first.ms);
+  EXPECT_EQ(rt::process_graph_cache().misses(), misses_after_first);
+  EXPECT_GE(rt::process_graph_cache().hits(), hits_before + 1);
+}
+
+}  // namespace
+}  // namespace ms::apps

@@ -103,9 +103,13 @@ TEST(KmeansApp, InvalidTilesThrow) {
 TEST(KmeansApp, GraphReplayMatchesDirectEnqueueResults) {
   auto kc = small(true);
   const auto direct = KmeansApp::run(cfg(), kc);
-  kc.use_graph = true;
+  kc.common.graph = GraphMode::Interpreted;
   const auto graphed = KmeansApp::run(cfg(), kc);
   EXPECT_DOUBLE_EQ(graphed.checksum, direct.checksum);
+  kc.common.graph = GraphMode::Compiled;
+  const auto compiled = KmeansApp::run(cfg(), kc);
+  EXPECT_DOUBLE_EQ(compiled.checksum, direct.checksum);
+  EXPECT_DOUBLE_EQ(compiled.ms, graphed.ms);  // replay pricing is bit-identical
 }
 
 TEST(KmeansApp, GraphReplayCutsHostOverheadAtFineGranularity) {
@@ -120,7 +124,7 @@ TEST(KmeansApp, GraphReplayCutsHostOverheadAtFineGranularity) {
   kc.common.partitions = 28;
   kc.common.functional = false;
   const auto direct = KmeansApp::run(cfg(), kc);
-  kc.use_graph = true;
+  kc.common.graph = GraphMode::Interpreted;
   const auto graphed = KmeansApp::run(cfg(), kc);
   EXPECT_LT(graphed.ms, direct.ms * 0.9);
 }

@@ -1,0 +1,625 @@
+// Compiled graph executor: determinism vs the interpreted path, the
+// compile-error gallery, stream capture, and the graph cache.
+
+#include "rt/compiled_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "rt/context.hpp"
+#include "rt/errors.hpp"
+#include "rt/graph.hpp"
+#include "rt/tile_plan.hpp"
+
+namespace ms::rt {
+namespace {
+
+sim::SimConfig cfg() { return sim::SimConfig::phi_31sp(); }
+
+sim::KernelWork work(double elems = 1e6) {
+  sim::KernelWork w;
+  w.kind = sim::KernelKind::Streaming;
+  w.elems = elems;
+  return w;
+}
+
+/// Timing-only pipeline over `streams` streams: per tile an h2d, a kernel
+/// depending on it, and a d2h depending on the kernel, plus a cross-stream
+/// dependency every fourth tile so the DAG is not stream-separable.
+Graph make_pipeline(BufferId buf, std::size_t bytes, int tiles, int streams) {
+  Graph g;
+  const auto ranges = split_even(bytes, tiles);
+  Graph::NodeId prev_kernel = 0;
+  bool have_prev = false;
+  for (std::size_t t = 0; t < ranges.size(); ++t) {
+    const int s = static_cast<int>(t) % streams;
+    const auto up = g.add_h2d(s, buf, ranges[t].begin, ranges[t].size());
+    std::vector<Graph::NodeId> deps{up};
+    if (have_prev && t % 4 == 0) deps.push_back(prev_kernel);
+    const auto k = g.add_kernel(s, {"k", work(1e4), {}}, deps);
+    g.add_d2h(s, buf, ranges[t].begin, ranges[t].size(), {k});
+    prev_kernel = k;
+    have_prev = true;
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: virtual times and results must be bit-identical across the
+// interpreted, compiled, and batched paths.
+// ---------------------------------------------------------------------------
+
+TEST(CompiledGraph, VirtualTimeBitIdenticalToInterpreted) {
+  constexpr int kReplays = 7;
+
+  Context interp(cfg());
+  interp.setup(4);
+  interp.set_tracing(false);
+  const auto b1 = interp.create_virtual_buffer(1 << 20);
+  const Graph g1 = make_pipeline(b1, 1 << 20, 64, 4);
+  for (int i = 0; i < kReplays; ++i) g1.launch(interp);
+  interp.synchronize();
+
+  Context comp(cfg());
+  comp.setup(4);
+  comp.set_tracing(false);
+  const auto b2 = comp.create_virtual_buffer(1 << 20);
+  const Graph g2 = make_pipeline(b2, 1 << 20, 64, 4);
+  CompiledGraph cg = g2.compile(comp);
+  for (int i = 0; i < kReplays; ++i) cg.launch(comp);
+  comp.synchronize();
+
+  Context batch(cfg());
+  batch.setup(4);
+  batch.set_tracing(false);
+  const auto b3 = batch.create_virtual_buffer(1 << 20);
+  const Graph g3 = make_pipeline(b3, 1 << 20, 64, 4);
+  CompiledGraph cgb = g3.compile(batch);
+  cgb.launch_batch(batch, kReplays);
+  batch.synchronize();
+
+  // Bit-identical, not just close: EXPECT_EQ on the raw micros.
+  EXPECT_EQ(interp.host_time().micros(), comp.host_time().micros());
+  EXPECT_EQ(interp.host_time().micros(), batch.host_time().micros());
+  EXPECT_EQ(cg.replays(), static_cast<std::uint64_t>(kReplays));
+  EXPECT_EQ(cgb.replays(), static_cast<std::uint64_t>(kReplays));
+}
+
+TEST(CompiledGraph, FunctionalResultsMatchInterpreted) {
+  auto run = [](bool compiled) {
+    Context ctx(cfg());
+    ctx.setup(2);
+    std::vector<float> a(1024), b(1024, 0.0f);
+    std::iota(a.begin(), a.end(), 1.0f);
+    const auto ba = ctx.create_buffer(std::span<float>(a));
+    const auto bb = ctx.create_buffer(std::span<float>(b));
+
+    Graph g;
+    const auto up = g.add_h2d(0, ba, 0, 4096);
+    const auto k = g.add_kernel(0, {"twice", work(1024), [&ctx, ba, bb] {
+                                      const float* src = ctx.device_ptr<float>(ba, 0);
+                                      float* dst = ctx.device_ptr<float>(bb, 0);
+                                      for (int i = 0; i < 1024; ++i) dst[i] = 2.0f * src[i];
+                                    }},
+                                {up});
+    const auto k2 = g.add_kernel(1, {"inc", work(1024), [&ctx, bb] {
+                                       float* dst = ctx.device_ptr<float>(bb, 0);
+                                       for (int i = 0; i < 1024; ++i) dst[i] += 1.0f;
+                                     }},
+                                 {k});
+    g.add_d2h(0, bb, 0, 4096, {k2});
+
+    if (compiled) {
+      CompiledGraph cg = g.compile(ctx);
+      cg.launch(ctx);
+    } else {
+      g.launch(ctx);
+    }
+    ctx.synchronize();
+    const double checksum = std::accumulate(b.begin(), b.end(), 0.0);
+    return std::pair{ctx.host_time().micros(), checksum};
+  };
+
+  const auto [t_interp, sum_interp] = run(false);
+  const auto [t_comp, sum_comp] = run(true);
+  EXPECT_EQ(t_interp, t_comp);
+  EXPECT_EQ(sum_interp, sum_comp);
+  // 2*(1+...+1024) + 1024 = 1024*1025 + 1024.
+  EXPECT_DOUBLE_EQ(sum_comp, 1024.0 * 1025.0 + 1024.0);
+}
+
+TEST(CompiledGraph, BatchedFunctionalReplayRunsEveryInstance) {
+  Context ctx(cfg());
+  ctx.setup(2);
+  int runs = 0;
+  Graph g;
+  g.add_kernel(0, {"count", work(), [&runs] { ++runs; }});
+  CompiledGraph cg = g.compile(ctx);
+  const Event done = cg.launch_batch(ctx, 5);
+  ctx.synchronize();
+  EXPECT_TRUE(done.done());
+  EXPECT_EQ(runs, 5);
+}
+
+TEST(CompiledGraph, BatchMatchesSeparateLaunchesInVirtualTime) {
+  auto run = [](bool batched) {
+    Context ctx(cfg());
+    ctx.setup(4);
+    ctx.set_tracing(false);
+    const auto buf = ctx.create_virtual_buffer(1 << 18);
+    const Graph g = make_pipeline(buf, 1 << 18, 16, 4);
+    CompiledGraph cg = g.compile(ctx);
+    if (batched) {
+      cg.launch_batch(ctx, 8);
+    } else {
+      for (int i = 0; i < 8; ++i) cg.launch(ctx);
+    }
+    ctx.synchronize();
+    return ctx.host_time().micros();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(CompiledGraph, RepeatedBatchesReuseTheArenaBitIdentically) {
+  // Steady-state batches refresh the arena's actions in place; every batch
+  // must still charge exactly what the same count of separate launches does.
+  auto run = [](bool batched) {
+    Context ctx(cfg());
+    ctx.setup(4);
+    ctx.set_tracing(false);
+    const auto buf = ctx.create_virtual_buffer(1 << 18);
+    const Graph g = make_pipeline(buf, 1 << 18, 16, 4);
+    CompiledGraph cg = g.compile(ctx);
+    for (int round = 0; round < 4; ++round) {
+      if (batched) {
+        cg.launch_batch(ctx, 6);
+      } else {
+        for (int i = 0; i < 6; ++i) cg.launch(ctx);
+      }
+      ctx.synchronize();
+    }
+    return ctx.host_time().micros();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(CompiledGraph, OverlappingBatchesGetIndependentArenas) {
+  // A second batch issued while the first is still in flight cannot reuse
+  // its arena; it must behave exactly like more separate launches.
+  auto run = [](bool batched) {
+    Context ctx(cfg());
+    ctx.setup(4);
+    ctx.set_tracing(false);
+    const auto buf = ctx.create_virtual_buffer(1 << 18);
+    const Graph g = make_pipeline(buf, 1 << 18, 16, 4);
+    CompiledGraph cg = g.compile(ctx);
+    if (batched) {
+      cg.launch_batch(ctx, 5);
+      cg.launch_batch(ctx, 5);  // first batch still in flight
+    } else {
+      for (int i = 0; i < 10; ++i) cg.launch(ctx);
+    }
+    ctx.synchronize();
+    return ctx.host_time().micros();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(CompiledGraph, BatchSurvivesCompatibleLayoutChange) {
+  // Growing the stream set bumps the layout epoch; the stale arena (its
+  // stream table and durations were resolved against the old layout) must be
+  // rebuilt, not replayed.
+  Context ctx(cfg());
+  ctx.setup(2);
+  ctx.set_tracing(false);
+  const auto buf = ctx.create_virtual_buffer(1 << 16);
+  const Graph g = make_pipeline(buf, 1 << 16, 8, 2);
+  CompiledGraph cg = g.compile(ctx);
+  cg.launch_batch(ctx, 4);
+  ctx.synchronize();
+  const auto t_before = ctx.host_time();
+
+  ctx.add_stream(0, 0);
+  EXPECT_NO_THROW(cg.launch_batch(ctx, 4));
+  ctx.synchronize();
+  EXPECT_GT(ctx.host_time().micros(), t_before.micros());
+}
+
+TEST(CompiledGraph, RotationKeepsVirtualTimeOnUniformPartitions) {
+  // With uniform partitions, rotating the stream assignment must not change
+  // completion time: the schedule is symmetric under stream permutation.
+  auto run = [](int rotation) {
+    Context ctx(cfg());
+    ctx.setup(4);
+    ctx.set_tracing(false);
+    const auto buf = ctx.create_virtual_buffer(1 << 18);
+    const Graph g = make_pipeline(buf, 1 << 18, 16, 4);
+    CompiledGraph cg = g.compile(ctx);
+    cg.launch_batch(ctx, 8, rotation);
+    ctx.synchronize();
+    return ctx.host_time().micros();
+  };
+  EXPECT_EQ(run(0), run(1));
+  EXPECT_EQ(run(0), run(3));
+  EXPECT_EQ(run(0), run(-1));  // negative rotations are normalised
+}
+
+TEST(CompiledGraph, CompiledReplayIsSameVirtualCostAsInterpreted) {
+  // The feature changes host wall-clock, never the modelled cost: one replay
+  // charges graph_launch_base + (n+1) * graph_replay_per_node either way.
+  auto issue_cost = [](bool compiled) {
+    Context ctx(cfg());
+    ctx.setup(2);
+    ctx.set_tracing(false);
+    const auto buf = ctx.create_virtual_buffer(1 << 16);
+    const Graph g = make_pipeline(buf, 1 << 16, 8, 2);
+    CompiledGraph cg = g.compile(ctx);
+    ctx.synchronize();
+    const auto t0 = ctx.host_time();
+    if (compiled) {
+      cg.launch(ctx);
+    } else {
+      g.launch(ctx);
+    }
+    const auto cost = ctx.host_time() - t0;
+    ctx.synchronize();
+    return cost;
+  };
+
+  const auto interp = issue_cost(false);
+  const auto comp = issue_cost(true);
+  EXPECT_EQ(interp.micros(), comp.micros());
+
+  const auto& ov = cfg().overhead;
+  const Graph probe = make_pipeline(BufferId{1}, 1 << 16, 8, 2);
+  const auto expected =
+      ov.graph_launch_base + ov.graph_replay_per_node * static_cast<double>(probe.size() + 1);
+  EXPECT_NEAR(comp.micros(), expected.micros(), 1e-9);
+}
+
+TEST(CompiledGraph, DestroyingExecutorWithLaunchesInFlightIsSafe) {
+  // The executor may go out of scope before the context drains: the run
+  // state and plan are kept alive until the last action completes.
+  Context ctx(cfg());
+  ctx.setup(2);
+  int runs = 0;
+  {
+    Graph g;
+    const auto buf = ctx.create_virtual_buffer(4096);
+    const auto up = g.add_h2d(0, buf, 0, 4096);
+    g.add_kernel(1, {"k", work(), [&runs] { ++runs; }}, {up});
+    CompiledGraph cg = g.compile(ctx);
+    cg.launch(ctx);
+    cg.launch_batch(ctx, 3);
+  }  // cg (and g) destroyed with 4 replays still in flight
+  ctx.synchronize();
+  EXPECT_EQ(runs, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Compile-error gallery.
+// ---------------------------------------------------------------------------
+
+TEST(CompiledGraphErrors, EmptyGraphCannotCompile) {
+  Context ctx(cfg());
+  Graph g;
+  EXPECT_THROW((void)g.compile(ctx), Error);
+}
+
+TEST(CompiledGraphErrors, BadStreamSurfacesAtCompile) {
+  Context ctx(cfg());  // only stream 0 exists
+  Graph g;
+  g.add_kernel(3, {"k", work(), {}});
+  EXPECT_THROW((void)g.compile(ctx), Error);
+}
+
+TEST(CompiledGraphErrors, UnknownBufferSurfacesAtCompile) {
+  Context ctx(cfg());
+  Graph g;
+  g.add_h2d(0, BufferId{999}, 0, 64);
+  EXPECT_THROW((void)g.compile(ctx), Error);
+}
+
+TEST(CompiledGraphErrors, OutOfRangeTransferSurfacesAtCompile) {
+  Context ctx(cfg());
+  const auto buf = ctx.create_virtual_buffer(4096);
+  Graph g;
+  g.add_h2d(0, buf, 4000, 1024);  // runs past the end
+  EXPECT_THROW((void)g.compile(ctx), Error);
+}
+
+TEST(CompiledGraphErrors, LaunchOnIncompatibleConfigThrows) {
+  Context a(cfg());
+  const auto buf = a.create_virtual_buffer(4096);
+  Graph g;
+  g.add_h2d(0, buf, 0, 4096);
+  CompiledGraph cg = g.compile(a);
+
+  // Same stream layout, different simulated platform: the precomputed
+  // durations and charges would be wrong, so launch must refuse.
+  Context b(sim::SimConfig::phi_7120p());
+  (void)b.create_virtual_buffer(4096);
+  EXPECT_THROW((void)cg.launch(b), Error);
+}
+
+TEST(CompiledGraphErrors, LaunchOnContextWithTooFewStreamsThrows) {
+  Context a(cfg());
+  a.setup(4);
+  const auto buf = a.create_virtual_buffer(4096);
+  Graph g;
+  g.add_h2d(3, buf, 0, 4096);
+  CompiledGraph cg = g.compile(a);
+
+  Context b(cfg());  // one stream
+  (void)b.create_virtual_buffer(4096);
+  EXPECT_THROW((void)cg.launch(b), Error);
+}
+
+TEST(CompiledGraphErrors, LaunchSurvivesCompatibleLayoutChange) {
+  // Growing the stream set bumps the layout epoch; the compiled graph must
+  // revalidate and keep working rather than trusting the stale cache.
+  Context ctx(cfg());
+  ctx.setup(2);
+  const auto buf = ctx.create_virtual_buffer(4096);
+  Graph g;
+  g.add_h2d(1, buf, 0, 4096);
+  CompiledGraph cg = g.compile(ctx);
+  cg.launch(ctx);
+  ctx.synchronize();
+
+  ctx.add_stream(0, 0);
+  EXPECT_NO_THROW((void)cg.launch(ctx));
+  ctx.synchronize();
+}
+
+TEST(CompiledGraphErrors, BatchRequiresPositiveInstanceCount) {
+  Context ctx(cfg());
+  Graph g;
+  g.add_kernel(0, {"k", work(), {}});
+  CompiledGraph cg = g.compile(ctx);
+  EXPECT_THROW((void)cg.launch_batch(ctx, 0), Error);
+  EXPECT_THROW((void)cg.launch_batch(ctx, -3), Error);
+}
+
+TEST(CompiledGraphErrors, AnalyzePassCatchesRacyGraph) {
+  Context ctx(cfg());
+  ctx.setup(2);
+  const auto buf = ctx.create_virtual_buffer(4096);
+
+  // Two kernels on different streams write the same range with no ordering
+  // edge between them: a write/write race the compile-time pass must flag.
+  Graph racy;
+  racy.add_kernel(0, KernelLaunch{"w0", work()}.writes(buf, 0, 4096));
+  racy.add_kernel(1, KernelLaunch{"w1", work()}.writes(buf, 0, 4096));
+  CompileOptions analyze;
+  analyze.analyze = true;
+  EXPECT_THROW((void)racy.compile(ctx, analyze), Error);
+  EXPECT_NO_THROW((void)racy.compile(ctx));  // pass is opt-in
+
+  // Adding the ordering edge makes the same accesses clean.
+  Graph clean;
+  const auto w0 = clean.add_kernel(0, KernelLaunch{"w0", work()}.writes(buf, 0, 4096));
+  clean.add_kernel(1, KernelLaunch{"w1", work()}.writes(buf, 0, 4096), {w0});
+  EXPECT_NO_THROW((void)clean.compile(ctx, analyze));
+}
+
+// ---------------------------------------------------------------------------
+// Stream capture.
+// ---------------------------------------------------------------------------
+
+TEST(CompiledGraphCapture, CaptureRecordsWithoutExecuting) {
+  Context ctx(cfg());
+  ctx.setup(2);
+  std::vector<float> a(256, 1.0f);
+  const auto buf = ctx.create_buffer(std::span<float>(a));
+  ctx.synchronize();
+  const auto t0 = ctx.host_time();
+
+  int runs = 0;
+  Graph g;
+  ctx.begin_capture(g);
+  EXPECT_TRUE(ctx.capturing());
+  const Event up = ctx.stream(0).enqueue_h2d(buf, 0, 1024);
+  ctx.stream(1).enqueue_kernel({"k", work(), [&runs] { ++runs; }}, {up});
+  ctx.end_capture();
+  EXPECT_FALSE(ctx.capturing());
+
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(runs, 0) << "capture must not execute anything";
+  EXPECT_EQ((ctx.host_time() - t0).micros(), 0.0) << "capture charges no host time";
+
+  g.launch(ctx);
+  ctx.synchronize();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(CompiledGraphCapture, CapturedGraphMatchesDirectRecording) {
+  // Recording the same enqueue sequence by hand or via capture must produce
+  // the same replay schedule, hence identical virtual times.
+  auto build = [](Context& ctx, BufferId buf, Graph& g, bool use_capture) {
+    if (use_capture) {
+      ctx.begin_capture(g);
+      for (int t = 0; t < 8; ++t) {
+        const int s = t % 2;
+        const Event up = ctx.stream(s).enqueue_h2d(buf, static_cast<std::size_t>(t) * 512, 512);
+        ctx.stream(s).enqueue_kernel({"k", work(1e4), {}}, {up});
+      }
+      ctx.end_capture();
+    } else {
+      for (int t = 0; t < 8; ++t) {
+        const int s = t % 2;
+        const auto up = g.add_h2d(s, buf, static_cast<std::size_t>(t) * 512, 512);
+        g.add_kernel(s, {"k", work(1e4), {}}, {up});
+      }
+    }
+  };
+
+  auto run = [&](bool use_capture) {
+    Context ctx(cfg());
+    ctx.setup(2);
+    ctx.set_tracing(false);
+    const auto buf = ctx.create_virtual_buffer(4096);
+    Graph g;
+    build(ctx, buf, g, use_capture);
+    CompiledGraph cg = g.compile(ctx);
+    cg.launch_batch(ctx, 4);
+    ctx.synchronize();
+    return ctx.host_time().micros();
+  };
+
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(CompiledGraphCapture, DependencyOnFinishedWorkIsDropped) {
+  Context ctx(cfg());
+  const auto buf = ctx.create_virtual_buffer(4096);
+  const Event pre = ctx.stream(0).enqueue_h2d(buf, 0, 4096);
+  ctx.synchronize();
+  ASSERT_TRUE(pre.done());
+
+  Graph g;
+  ctx.begin_capture(g);
+  // `pre` completed before capture began: it is outside the graph, so the
+  // recorded node simply has no dependencies.
+  ctx.stream(0).enqueue_kernel({"k", work(), {}}, {pre});
+  ctx.end_capture();
+  EXPECT_EQ(g.size(), 1u);
+  g.launch(ctx);
+  ctx.synchronize();
+}
+
+TEST(CompiledGraphCapture, DependencyOnPendingWorkThrows) {
+  Context ctx(cfg());
+  const auto buf = ctx.create_virtual_buffer(1 << 20);
+  const Event pending = ctx.stream(0).enqueue_h2d(buf, 0, 1 << 20);
+
+  Graph g;
+  ctx.begin_capture(g);
+  EXPECT_THROW(ctx.stream(0).enqueue_kernel({"k", work(), {}}, {pending}), Error);
+  ctx.end_capture();
+  ctx.synchronize();
+}
+
+TEST(CompiledGraphCapture, BlockingOpsThrowDuringCapture) {
+  Context ctx(cfg());
+  const auto buf = ctx.create_virtual_buffer(4096);
+  Graph g;
+  ctx.begin_capture(g);
+  const Event phantom = ctx.stream(0).enqueue_h2d(buf, 0, 4096);
+  EXPECT_THROW(ctx.synchronize(), Error);
+  EXPECT_THROW(ctx.wait(phantom), Error);
+  EXPECT_THROW(ctx.stream(0).synchronize(), Error);
+  EXPECT_THROW(ctx.setup(4), Error);
+  EXPECT_THROW(ctx.destroy_buffer(buf), Error);
+  Graph other;
+  EXPECT_THROW((void)other.launch(ctx), Error);
+  ctx.end_capture();
+}
+
+TEST(CompiledGraphCapture, NestedOrUnbalancedCaptureThrows) {
+  Context ctx(cfg());
+  Graph g, h;
+  EXPECT_THROW(ctx.end_capture(), Error);  // not capturing
+  ctx.begin_capture(g);
+  EXPECT_THROW(ctx.begin_capture(h), Error);  // already capturing
+  ctx.end_capture();
+}
+
+// ---------------------------------------------------------------------------
+// GraphCache.
+// ---------------------------------------------------------------------------
+
+TEST(GraphCacheTest, SecondLookupHitsAndSharesThePlan) {
+  Context ctx(cfg());
+  ctx.setup(2);
+  const auto buf = ctx.create_virtual_buffer(4096);
+  Graph g;
+  g.add_h2d(0, buf, 0, 4096);
+  g.add_kernel(1, {"k", work(), {}});
+
+  GraphCache cache(4);
+  CompiledGraph a = cache.get_or_compile("app", g, ctx);
+  CompiledGraph b = cache.get_or_compile("app", g, ctx);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(a.config_fingerprint(), b.config_fingerprint());
+
+  // Both executors replay independently on the shared plan.
+  a.launch(ctx);
+  b.launch(ctx);
+  ctx.synchronize();
+  EXPECT_EQ(a.replays(), 1u);
+  EXPECT_EQ(b.replays(), 1u);
+}
+
+TEST(GraphCacheTest, DifferentConfigOrLayoutMisses) {
+  Graph g;
+  g.add_kernel(0, {"k", work(), {}});
+
+  GraphCache cache(8);
+  Context a(cfg());
+  (void)cache.get_or_compile("app", g, a);
+
+  // Different platform: same key string, different fingerprint.
+  Context b(sim::SimConfig::phi_7120p());
+  (void)cache.get_or_compile("app", g, b);
+
+  // Different stream layout on the original platform.
+  Context c(cfg());
+  c.setup(4);
+  (void)cache.get_or_compile("app", g, c);
+
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(GraphCacheTest, LeastRecentlyUsedPlanIsEvicted) {
+  Context ctx(cfg());
+  Graph g;
+  g.add_kernel(0, {"k", work(), {}});
+
+  GraphCache cache(2);
+  (void)cache.get_or_compile("a", g, ctx);
+  (void)cache.get_or_compile("b", g, ctx);
+  (void)cache.get_or_compile("a", g, ctx);  // refresh "a"
+  (void)cache.get_or_compile("c", g, ctx);  // evicts "b"
+  EXPECT_EQ(cache.size(), 2u);
+
+  (void)cache.get_or_compile("a", g, ctx);
+  EXPECT_EQ(cache.hits(), 2u);
+  (void)cache.get_or_compile("b", g, ctx);  // must recompile
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(GraphCacheTest, ClearDropsPlansAndStats) {
+  Context ctx(cfg());
+  Graph g;
+  g.add_kernel(0, {"k", work(), {}});
+  GraphCache cache(4);
+  (void)cache.get_or_compile("a", g, ctx);
+  (void)cache.get_or_compile("a", g, ctx);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(GraphCacheTest, ProcessCacheIsSharedAndUsable) {
+  Context ctx(cfg());
+  Graph g;
+  g.add_kernel(0, {"k", work(), {}});
+  auto& cache = process_graph_cache();
+  const auto misses_before = cache.misses();
+  CompiledGraph cg = cache.get_or_compile("test-process-cache-probe", g, ctx);
+  cg.launch(ctx);
+  ctx.synchronize();
+  EXPECT_GE(cache.misses(), misses_before + 1);
+}
+
+}  // namespace
+}  // namespace ms::rt

@@ -1,0 +1,138 @@
+// Proves the compiled-graph zero-allocation steady state: after a warm-up
+// replay has grown the action/state/run pools and the engine heap to the
+// graph's high-water mark, launch()/synchronize() cycles perform no heap
+// allocation at all. Checked with a counting global operator new (the same
+// harness as sim/test_engine_alloc.cpp) so it cannot silently regress.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "rt/compiled_graph.hpp"
+#include "rt/context.hpp"
+#include "rt/graph.hpp"
+#include "rt/tile_plan.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_allocs{0};
+
+}  // namespace
+
+// Counting wrappers for the whole test binary; only the deltas sampled
+// inside the tests below matter.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace ms::rt {
+namespace {
+
+sim::KernelWork work(double elems = 1e4) {
+  sim::KernelWork w;
+  w.kind = sim::KernelKind::Streaming;
+  w.elems = elems;
+  return w;
+}
+
+TEST(CompiledGraphAlloc, SteadyStateReplayAllocatesNothing) {
+  Context ctx(sim::SimConfig::phi_31sp());
+  ctx.setup(4);
+  ctx.set_tracing(false);
+  const std::size_t bytes = 1 << 20;
+  const auto buf = ctx.create_virtual_buffer(bytes);
+
+  Graph g;
+  const auto ranges = split_even(bytes, 64);
+  for (std::size_t t = 0; t < ranges.size(); ++t) {
+    const int s = static_cast<int>(t) % 4;
+    const auto up = g.add_h2d(s, buf, ranges[t].begin, ranges[t].size());
+    const auto k = g.add_kernel(s, {"k", work(), {}}, {up});
+    g.add_d2h(s, buf, ranges[t].begin, ranges[t].size(), {k});
+  }
+
+  CompiledGraph cg = g.compile(ctx);
+
+  // Warm up: grow the run pool, action/state pools, stream rings, and the
+  // engine's event heap to this graph's high-water mark.
+  for (int i = 0; i < 3; ++i) {
+    cg.launch(ctx);
+    ctx.synchronize();
+  }
+
+  const std::size_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    cg.launch(ctx);
+    ctx.synchronize();
+  }
+  const std::size_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "steady-state compiled replay must not allocate";
+}
+
+TEST(CompiledGraphAlloc, SteadyStateBatchAllocatesNothing) {
+  Context ctx(sim::SimConfig::phi_31sp());
+  ctx.setup(4);
+  ctx.set_tracing(false);
+  const auto buf = ctx.create_virtual_buffer(1 << 16);
+
+  Graph g;
+  const auto up = g.add_h2d(0, buf, 0, 1 << 16);
+  g.add_kernel(1, {"k", work(), {}}, {up});
+  CompiledGraph cg = g.compile(ctx);
+
+  for (int i = 0; i < 3; ++i) {
+    cg.launch_batch(ctx, 16, /*stream_rotation=*/1);
+    ctx.synchronize();
+  }
+
+  const std::size_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 50; ++i) {
+    cg.launch_batch(ctx, 16, /*stream_rotation=*/1);
+    ctx.synchronize();
+  }
+  const std::size_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "steady-state batched replay must not allocate";
+}
+
+TEST(CompiledGraphAlloc, SteadyStateArenaBatchAllocatesNothing) {
+  // Rotation 0 takes the arena fast path: after the first batch has built
+  // the slab, refresh-and-push cycles must be allocation-free too.
+  Context ctx(sim::SimConfig::phi_31sp());
+  ctx.setup(4);
+  ctx.set_tracing(false);
+  const auto buf = ctx.create_virtual_buffer(1 << 16);
+
+  Graph g;
+  const auto up = g.add_h2d(0, buf, 0, 1 << 16);
+  g.add_kernel(1, {"k", work(), {}}, {up});
+  CompiledGraph cg = g.compile(ctx);
+
+  for (int i = 0; i < 3; ++i) {
+    cg.launch_batch(ctx, 16);
+    ctx.synchronize();
+  }
+
+  const std::size_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 50; ++i) {
+    cg.launch_batch(ctx, 16);
+    ctx.synchronize();
+  }
+  const std::size_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "steady-state arena batch must not allocate";
+}
+
+}  // namespace
+}  // namespace ms::rt

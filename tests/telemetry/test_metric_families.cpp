@@ -1,0 +1,142 @@
+// Labeled metric families: registration semantics, child identity, snapshot
+// ordering, and the Prometheus/JSON label rendering. The compiled-graph
+// executor is the first adopter (ms_rt_graph_replays_total{graph="..."}).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ms::telemetry {
+namespace {
+
+class MetricFamilies : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out (MS_TELEMETRY=OFF)";
+    set_enabled(true);
+  }
+  void TearDown() override { set_enabled(false); }
+
+  static Registry& registry() { return Registry::instance(); }
+};
+
+TEST_F(MetricFamilies, WithReturnsAStableChildPerLabelValue) {
+  auto& fam = registry().counter_family("ms_test_fam_stable_total", "family child identity", "app");
+  Counter& a1 = fam.with("mm");
+  Counter& a2 = fam.with("mm");
+  Counter& b = fam.with("nn");
+  EXPECT_EQ(&a1, &a2) << "same label value must resolve to the same child";
+  EXPECT_NE(&a1, &b);
+
+  a1.add(3);
+  b.add(1);
+  EXPECT_EQ(a2.value(), 3u);
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(MetricFamilies, ReRegisteringSameFamilyIsIdempotent) {
+  auto& a = registry().counter_family("ms_test_fam_dedupe_total", "first", "app");
+  auto& b = registry().counter_family("ms_test_fam_dedupe_total", "help ignored", "app");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.label_key(), "app");
+}
+
+TEST_F(MetricFamilies, LabelKeyAndKindClashesThrow) {
+  registry().counter_family("ms_test_fam_clash_total", "as counter family", "app");
+  // Same name, different label key.
+  EXPECT_THROW(registry().counter_family("ms_test_fam_clash_total", "other key", "graph"),
+               std::logic_error);
+  // Same name, different family kind.
+  EXPECT_THROW(registry().histogram_family("ms_test_fam_clash_total", "as histogram", "app"),
+               std::logic_error);
+  // Family name colliding with a plain metric, in either direction.
+  registry().counter("ms_test_fam_plain_total", "plain counter");
+  EXPECT_THROW(registry().counter_family("ms_test_fam_plain_total", "now a family", "app"),
+               std::logic_error);
+  registry().counter_family("ms_test_fam_first_total", "family first", "app");
+  EXPECT_THROW(registry().counter("ms_test_fam_first_total", "now plain"), std::logic_error);
+}
+
+TEST_F(MetricFamilies, SnapshotCarriesLabelsSortedByValue) {
+  auto& fam = registry().counter_family("ms_test_fam_snap_total", "snapshot ordering", "app");
+  fam.with("zeta").add(1);
+  fam.with("alpha").add(2);
+
+  const auto snap = registry().snapshot();
+  std::vector<std::pair<std::string, std::string>> seen;
+  for (const auto& m : snap.metrics) {
+    if (m.name == "ms_test_fam_snap_total") seen.emplace_back(m.label_value, m.label_key);
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, "alpha");
+  EXPECT_EQ(seen[1].first, "zeta");
+  EXPECT_EQ(seen[0].second, "app");
+}
+
+TEST_F(MetricFamilies, PrometheusRendersLabelSelectors) {
+  auto& fam = registry().counter_family("ms_test_fam_prom_total", "prom rendering", "app");
+  fam.with("mm").add(7);
+
+  std::ostringstream os;
+  write_prometheus(os, registry().snapshot());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ms_test_fam_prom_total{app=\"mm\"} 7"), std::string::npos) << out;
+  // HELP/TYPE headers appear once for the family, not once per child.
+  fam.with("nn").add(1);
+  std::ostringstream os2;
+  write_prometheus(os2, registry().snapshot());
+  const std::string out2 = os2.str();
+  const auto first = out2.find("# HELP ms_test_fam_prom_total");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(out2.find("# HELP ms_test_fam_prom_total", first + 1), std::string::npos);
+}
+
+TEST_F(MetricFamilies, PrometheusMergesHistogramLabelsWithLe) {
+  auto& fam =
+      registry().histogram_family("ms_test_fam_hist_ns", "labeled histogram rendering", "graph");
+  fam.with("pipeline").observe(5);
+
+  std::ostringstream os;
+  write_prometheus(os, registry().snapshot());
+  const std::string out = os.str();
+  // Bucket selectors must combine the family label and `le` in one set.
+  EXPECT_NE(out.find("ms_test_fam_hist_ns_bucket{graph=\"pipeline\",le=\""), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("ms_test_fam_hist_ns_count{graph=\"pipeline\"} 1"), std::string::npos) << out;
+}
+
+TEST_F(MetricFamilies, JsonKeysIncludeTheSelector) {
+  auto& fam = registry().counter_family("ms_test_fam_json_total", "json rendering", "app");
+  fam.with("srad").add(2);
+
+  std::ostringstream os;
+  write_json(os, registry().snapshot());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ms_test_fam_json_total{app=\\\"srad\\\"}"), std::string::npos) << out;
+}
+
+TEST_F(MetricFamilies, DisabledChildrenRecordNothing) {
+  auto& fam = registry().counter_family("ms_test_fam_disabled_total", "gating", "app");
+  set_enabled(false);
+  fam.with("mm").add(100);
+  set_enabled(true);
+  EXPECT_EQ(fam.with("mm").value(), 0u);
+}
+
+// Stub-flavour sanity: in MS_TELEMETRY=OFF builds the family API still links
+// and returns usable no-op children (this is what keeps the compiled-graph
+// hot path free of #ifdefs). Runs in both flavours.
+TEST(MetricFamiliesStub, FamilyApiIsCallableInEitherFlavour) {
+  auto& fam = Registry::instance().counter_family("ms_test_fam_any_total", "always links", "app");
+  EXPECT_NO_THROW(fam.with("x").add(1));
+  auto& hfam = Registry::instance().histogram_family("ms_test_fam_any_ns", "always links", "app");
+  EXPECT_NO_THROW(hfam.with("x").observe(42));
+}
+
+}  // namespace
+}  // namespace ms::telemetry

@@ -7,6 +7,7 @@
 //   mstream_cli app srad    --dim 10000 --tiles 400 --baseline
 //   mstream_cli app cf      --dim 9600 --tiles 144 --device 31sp-x2 --trace out.json
 //   mstream_cli hbench fig7 --partitions 8
+//   mstream_cli graph app kmeans --replays 50 --batch 4
 //   mstream_cli tune --h2d-mib 32 --d2h-mib 32 --gflop 5
 //   mstream_cli analyze app srad --dim 2000 --tiles 16 --json hazards.json
 //   mstream_cli analyze hbench fig6 --dot racy.dot
@@ -28,14 +29,19 @@
 //                                       '-' = stdout)
 //   --json FILE                         (analyze) write the JSON hazard report ('-' = stdout)
 //   --dot FILE                          (analyze) write Graphviz dot of the racy subgraph
+//   --replays N                         (graph) protocol replays of the captured schedule
+//   --batch M                           (graph) instances per replay via launch_batch
+//   --no-compile                        (graph) interpreted Graph::launch() baseline
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -51,8 +57,10 @@
 #include "apps/nn_app.hpp"
 #include "apps/srad_app.hpp"
 #include "model/analytic.hpp"
+#include "rt/compiled_graph.hpp"
 #include "sim/sweep.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/energy.hpp"
@@ -79,6 +87,9 @@ struct Cli {
   double d2h_mib = 16.0;
   double gflop = 0.0;
   double gelem = 0.2;
+  int replays = 0;
+  int batch = 1;
+  bool no_compile = false;
 };
 
 int usage() {
@@ -86,6 +97,7 @@ int usage() {
                "usage: mstream_cli app {mm|cf|lu|kmeans|kmeans-async|hotspot|nn|srad} [flags]\n"
                "       mstream_cli hbench {fig5|fig6|fig7} [flags]\n"
                "       mstream_cli analyze {app|hbench} <name> [flags] [--json FILE] [--dot FILE]\n"
+               "       mstream_cli graph app <name> --replays N [--batch M] [--no-compile] [flags]\n"
                "       mstream_cli stats [{app|hbench} <name> [flags]]\n"
                "       mstream_cli tune [--h2d-mib N --d2h-mib N --gflop N | --gelem N]\n"
                "       mstream_cli devices\n"
@@ -156,6 +168,16 @@ bool parse_flags(int argc, char** argv, int first, Cli* cli) {
     };
     if (flag == "--baseline") {
       cli->baseline = true;
+    } else if (flag == "--no-compile") {
+      cli->no_compile = true;
+    } else if (flag == "--replays") {
+      const char* v = next("--replays");
+      if (v == nullptr) return false;
+      cli->replays = std::atoi(v);
+    } else if (flag == "--batch") {
+      const char* v = next("--batch");
+      if (v == nullptr) return false;
+      cli->batch = std::atoi(v);
     } else if (flag == "--functional") {
       cli->functional = true;
     } else if (flag == "--utilization") {
@@ -279,67 +301,167 @@ void report(const ms::apps::AppResult& r, const Cli& cli, const ms::sim::SimConf
   }
 }
 
-int run_app(const std::string& name, const Cli& cli) {
-  ms::sim::SimConfig cfg;
-  if (!pick_config(cli, &cfg)) return 2;
-  const auto common = common_from(cli);
-
+/// Build the named app's config from the CLI knobs and run it. Returns
+/// nullopt for an unknown app name.
+std::optional<ms::apps::AppResult> dispatch_app(const std::string& name,
+                                                const ms::sim::SimConfig& cfg,
+                                                const ms::apps::CommonConfig& common,
+                                                const Cli& cli) {
   if (name == "mm") {
     ms::apps::MmConfig mc;
     mc.common = common;
     mc.dim = cli.dim ? cli.dim : 6000;
     mc.tile_grid = square_edge(cli.tiles);
-    report(ms::apps::MmApp::run(cfg, mc), cli, cfg);
-  } else if (name == "cf") {
+    return ms::apps::MmApp::run(cfg, mc);
+  }
+  if (name == "cf") {
     ms::apps::CfConfig cc;
     cc.common = common;
     cc.dim = cli.dim ? cli.dim : 9600;
     cc.tile = cc.dim / static_cast<std::size_t>(square_edge(cli.tiles));
-    report(ms::apps::CfApp::run(cfg, cc), cli, cfg);
-  } else if (name == "lu") {
+    return ms::apps::CfApp::run(cfg, cc);
+  }
+  if (name == "lu") {
     ms::apps::LuConfig lc;
     lc.common = common;
     lc.dim = cli.dim ? cli.dim : 9600;
     lc.tile = lc.dim / static_cast<std::size_t>(square_edge(cli.tiles));
-    report(ms::apps::LuApp::run(cfg, lc), cli, cfg);
-  } else if (name == "kmeans") {
+    return ms::apps::LuApp::run(cfg, lc);
+  }
+  if (name == "kmeans") {
     ms::apps::KmeansConfig kc;
     kc.common = common;
     kc.points = cli.points ? cli.points : 1120000;
     kc.tiles = cli.tiles;
     kc.iterations = cli.iters ? cli.iters : 100;
-    report(ms::apps::KmeansApp::run(cfg, kc), cli, cfg);
-  } else if (name == "kmeans-async") {
+    return ms::apps::KmeansApp::run(cfg, kc);
+  }
+  if (name == "kmeans-async") {
     ms::apps::KmeansConfig kc;
     kc.common = common;
     kc.points = cli.points ? cli.points : 1120000;
     kc.tiles = cli.tiles;
     kc.iterations = cli.iters ? cli.iters : 100;
-    report(ms::apps::KmeansAsyncApp::run(cfg, kc), cli, cfg);
-  } else if (name == "hotspot") {
+    return ms::apps::KmeansAsyncApp::run(cfg, kc);
+  }
+  if (name == "hotspot") {
     ms::apps::HotspotConfig hc;
     hc.common = common;
     hc.rows = hc.cols = cli.dim ? cli.dim : 16384;
     hc.tile_rows = hc.tile_cols = hc.rows / static_cast<std::size_t>(square_edge(cli.tiles));
     hc.steps = cli.iters ? cli.iters : 50;
-    report(ms::apps::HotspotApp::run(cfg, hc), cli, cfg);
-  } else if (name == "nn") {
+    return ms::apps::HotspotApp::run(cfg, hc);
+  }
+  if (name == "nn") {
     ms::apps::NnConfig nc;
     nc.common = common;
     nc.records = cli.points ? cli.points : 5242880;
     nc.tiles = cli.tiles;
-    report(ms::apps::NnApp::run(cfg, nc), cli, cfg);
-  } else if (name == "srad") {
+    return ms::apps::NnApp::run(cfg, nc);
+  }
+  if (name == "srad") {
     ms::apps::SradConfig sc;
     sc.common = common;
     sc.rows = sc.cols = cli.dim ? cli.dim : 10000;
     sc.tile_rows = sc.tile_cols = sc.rows / static_cast<std::size_t>(square_edge(cli.tiles));
     sc.iterations = cli.iters ? cli.iters : 100;
-    report(ms::apps::SradApp::run(cfg, sc), cli, cfg);
-  } else {
+    return ms::apps::SradApp::run(cfg, sc);
+  }
+  return std::nullopt;
+}
+
+int run_app(const std::string& name, const Cli& cli) {
+  ms::sim::SimConfig cfg;
+  if (!pick_config(cli, &cfg)) return 2;
+  const auto r = dispatch_app(name, cfg, common_from(cli), cli);
+  if (!r) {
     std::fprintf(stderr, "unknown app: %s\n", name.c_str());
     return 2;
   }
+  report(*r, cli, cfg);
+  return 0;
+}
+
+/// `graph app <name>`: run the app's replay-shaped phases through the graph
+/// executor (compiled by default; `--no-compile` keeps the interpreted
+/// `Graph::launch()` baseline) and report the host-side economics: compile
+/// time, per-replay host wall cost, and process GraphCache stats. `--replays
+/// N` replays the captured schedule for N protocol iterations; `--batch M`
+/// issues each phase replay as M back-to-back instances via launch_batch
+/// (a timing knob — it multiplies the schedule, so pair it with the default
+/// timing-only mode rather than --functional). The compile/launch breakdown
+/// comes from the `ms_rt_graph_*` telemetry families and is unavailable in
+/// MS_TELEMETRY=OFF builds; wall-clock and cache stats always print.
+int run_graph(const std::string& sub, const std::string& name, const Cli& cli) {
+  if (sub != "app") {
+    std::fprintf(stderr, "graph: expected 'app', got '%s'\n", sub.c_str());
+    return 2;
+  }
+  ms::sim::SimConfig cfg;
+  if (!pick_config(cli, &cfg)) return 2;
+
+  auto common = common_from(cli);
+  common.graph =
+      cli.no_compile ? ms::apps::GraphMode::Interpreted : ms::apps::GraphMode::Compiled;
+  common.graph_batch = cli.batch > 1 ? cli.batch : 1;
+  // Long replay runs would otherwise accumulate a full action timeline.
+  common.tracing = !cli.trace_path.empty() || cli.utilization || cli.energy;
+  const int replays = cli.replays > 0 ? cli.replays : 10;
+  common.protocol_iterations = replays;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = dispatch_app(name, cfg, common, cli);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  if (!r) {
+    std::fprintf(stderr, "unknown app: %s\n", name.c_str());
+    return 2;
+  }
+
+  std::printf("mode: %s%s, %d protocol replays of the captured schedule\n",
+              cli.no_compile ? "interpreted" : "compiled",
+              common.graph_batch > 1
+                  ? (" (batch " + std::to_string(common.graph_batch) + ")").c_str()
+                  : "",
+              replays);
+  report(*r, cli, cfg);
+  std::printf("host wall: %.2f ms total, %.3f ms per replay\n", wall_ms,
+              wall_ms / static_cast<double>(replays));
+
+  // Compile/launch breakdown from the labeled graph metric families. All
+  // zeros (families absent) means a telemetry-off build or --no-compile.
+  std::uint64_t compiles = 0, compile_ns = 0, graph_replays = 0, launches = 0, launch_ns = 0;
+  for (const auto& m : ms::telemetry::registry().snapshot().metrics) {
+    if (m.name == "ms_rt_graph_compiles_total") {
+      compiles += m.counter;
+    } else if (m.name == "ms_rt_graph_compile_ns") {
+      compile_ns += m.histogram.sum;
+    } else if (m.name == "ms_rt_graph_replays_total") {
+      graph_replays += m.counter;
+    } else if (m.name == "ms_rt_graph_launch_ns") {
+      launches += m.histogram.count();
+      launch_ns += m.histogram.sum;
+    }
+  }
+  if (compiles > 0) {
+    std::printf("compile: %llu plan(s), %.1f us total\n",
+                static_cast<unsigned long long>(compiles),
+                static_cast<double>(compile_ns) / 1e3);
+  } else if (cli.no_compile) {
+    std::printf("compile: skipped (--no-compile: interpreted Graph::launch)\n");
+  } else {
+    std::printf("compile: no telemetry (MS_TELEMETRY=OFF build?)\n");
+  }
+  if (launches > 0) {
+    std::printf("launch: %llu graph replays in %llu launch calls, %.2f us host per call\n",
+                static_cast<unsigned long long>(graph_replays),
+                static_cast<unsigned long long>(launches),
+                static_cast<double>(launch_ns) / 1e3 / static_cast<double>(launches));
+  }
+  const auto& cache = ms::rt::process_graph_cache();
+  std::printf("cache: %llu hits, %llu misses, %zu plan(s) resident (capacity %zu)\n",
+              static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.misses()), cache.size(), cache.capacity());
   return 0;
 }
 
@@ -499,14 +621,16 @@ int main(int argc, char** argv) {
   Cli cli;
   int flag_start = 3;
   if (cmd == "tune") flag_start = 2;
-  if (cmd == "analyze" || cmd == "stats") flag_start = 4;  // {analyze|stats} {app|hbench} <name>
+  if (cmd == "analyze" || cmd == "stats" || cmd == "graph") {
+    flag_start = 4;  // {analyze|stats|graph} {app|hbench} <name>
+  }
   if (flag_start > argc) return usage();
   if (!parse_flags(argc, argv, flag_start, &cli)) return usage();
 
-  // --metrics (and the stats subcommand) switch host telemetry on for the
-  // whole run; the calibration probe gives the pool metrics a baseline even
-  // for timing-only runs that never sweep.
-  if (!cli.metrics_path.empty() || cmd == "stats") {
+  // --metrics (and the stats/graph subcommands) switch host telemetry on for
+  // the whole run; the calibration probe gives the pool metrics a baseline
+  // even for timing-only runs that never sweep.
+  if (!cli.metrics_path.empty() || cmd == "stats" || cmd == "graph") {
     ms::telemetry::set_enabled(true);
     calibration_probe();
   }
@@ -519,6 +643,8 @@ int main(int argc, char** argv) {
       rc = run_hbench(argv[2], cli);
     } else if (cmd == "analyze") {
       rc = run_analyze(argv[2], argv[3], cli);
+    } else if (cmd == "graph") {
+      rc = run_graph(argv[2], argv[3], cli);
     } else if (cmd == "stats") {
       rc = run_stats(argv[2], argv[3], cli);
     } else if (cmd == "tune") {
