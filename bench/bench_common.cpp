@@ -24,18 +24,23 @@ struct JsonSink {
 
   ~JsonSink() {
     if (path.empty()) return;
-    std::ofstream f(path);
-    if (!f) {
-      std::cerr << "warning: cannot write JSON to " << path << "\n";
-      return;
+    // "-" streams to stdout, mirroring the CLI's with_output contract.
+    std::ofstream f;
+    if (path != "-") {
+      f.open(path);
+      if (!f) {
+        std::cerr << "warning: cannot write JSON to " << path << "\n";
+        return;
+      }
     }
-    f << "{\n";
+    std::ostream& os = path == "-" ? std::cout : f;
+    os << "{\n";
     for (std::size_t i = 0; i < tables.size(); ++i) {
-      f << "  \"" << tables[i].first << "\": ";
-      tables[i].second.write_json(f);
-      f << (i + 1 < tables.size() ? ",\n" : "\n");
+      os << "  \"" << tables[i].first << "\": ";
+      tables[i].second.write_json(os);
+      os << (i + 1 < tables.size() ? ",\n" : "\n");
     }
-    f << "}\n";
+    os << "}\n";
   }
 };
 
@@ -51,13 +56,16 @@ struct MetricsSink {
 
   ~MetricsSink() {
     if (path.empty()) return;
-    std::ofstream f(path);
-    if (!f) {
-      std::cerr << "warning: cannot write metrics to " << path << "\n";
-      return;
+    std::ofstream f;
+    if (path != "-") {
+      f.open(path);
+      if (!f) {
+        std::cerr << "warning: cannot write metrics to " << path << "\n";
+        return;
+      }
     }
     const bool prom = path.ends_with(".prom") || path.ends_with(".txt");
-    telemetry::write_snapshot(f, prom);
+    telemetry::write_snapshot(path == "-" ? std::cout : f, prom);
   }
 };
 

@@ -10,10 +10,11 @@ namespace ms::bench {
 ///   --quick         shrink sweeps (CI smoke run; shapes still visible)
 ///   --csv DIR       also write each table as DIR/<name>.csv (DIR is created)
 ///   --json FILE     write every emitted table into one machine-readable JSON
-///                   file keyed by table name (perf-trajectory tracking)
+///                   file keyed by table name (perf-trajectory tracking);
+///                   "-" streams to stdout like the CLI
 ///   --metrics FILE  enable host telemetry for the whole run and write the
 ///                   registry snapshot at exit (JSON, or Prometheus text for
-///                   *.prom/*.txt paths)
+///                   *.prom/*.txt paths; "-" = stdout)
 struct Options {
   bool quick = false;
   std::string csv_dir;

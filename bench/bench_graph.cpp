@@ -10,6 +10,7 @@
 
 #include <cstddef>
 
+#include "gbench_main.hpp"
 #include "rt/compiled_graph.hpp"
 #include "rt/context.hpp"
 #include "rt/graph.hpp"
@@ -116,4 +117,4 @@ BENCHMARK(BM_GraphCompile)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ms::bench::gbench_main(argc, argv); }

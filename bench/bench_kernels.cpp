@@ -11,6 +11,7 @@
 #include <random>
 #include <vector>
 
+#include "gbench_main.hpp"
 #include "kern/gemm.hpp"
 #include "kern/hotspot.hpp"
 #include "kern/kmeans.hpp"
@@ -184,4 +185,4 @@ BENCHMARK(BM_SaxpyIter)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ms::bench::gbench_main(argc, argv); }

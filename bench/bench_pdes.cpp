@@ -1,0 +1,163 @@
+// A/B benchmark of the conservative parallel discrete-event engine against
+// the serial engine on 3-device, Fig. 9/10-scale workloads (paper-scale task
+// counts; timing-only, so host event-processing cost is what is measured).
+//
+// Before any measurement, main() proves the contract the speedup rides on:
+// virtual time, checksum, and span count must be bit-identical between the
+// two engines at worker counts {1, 2, hw} — a mismatch fails the binary. It
+// then prints an interleaved serial/parallel A/B (median of >= 5 alternating
+// rounds, so drift hits both sides equally) and hands over to
+// google-benchmark for the JSON rows recorded as BENCH_PDES.json by
+// scripts/record_bench.sh.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/kmeans_app.hpp"
+#include "apps/mm_app.hpp"
+#include "gbench_main.hpp"
+
+namespace {
+
+constexpr int kDevices = 3;
+
+ms::sim::SimConfig platform() {
+  ms::sim::SimConfig cfg = ms::sim::SimConfig::phi_31sp();
+  cfg.num_devices = kDevices;
+  return cfg;
+}
+
+/// Scoped engine selection; the apps construct their own Context, so the
+/// production env switch is the honest way to flip them.
+struct EngineEnv {
+  explicit EngineEnv(bool par, int threads = 0) {
+    if (!par) return;
+    setenv("MS_PAR_ENGINE", "1", 1);
+    setenv("MS_PAR_THREADS", std::to_string(threads).c_str(), 1);
+  }
+  ~EngineEnv() {
+    unsetenv("MS_PAR_ENGINE");
+    unsetenv("MS_PAR_THREADS");
+  }
+};
+
+/// Paper-scale MM: D = 6000 in a 12x12 tile grid, streamed across the cards.
+/// Timing-only (virtual buffers, empty functors): host event-processing cost
+/// is the quantity under test, and it is independent of the matrix payload.
+ms::apps::AppResult run_mm(bool par, int threads = 0) {
+  const EngineEnv env(par, threads);
+  ms::apps::MmConfig mc;
+  mc.common.partitions = 4;
+  mc.common.functional = false;
+  mc.dim = 6000;
+  mc.tile_grid = 12;
+  return ms::apps::MmApp::run(platform(), mc);
+}
+
+/// Paper-scale KMeans: MineBench row count, 56 tiles, 20 protocol rounds.
+ms::apps::AppResult run_kmeans(bool par, int threads = 0) {
+  const EngineEnv env(par, threads);
+  ms::apps::KmeansConfig kc;
+  kc.common.partitions = 4;
+  kc.common.functional = false;
+  kc.points = 1'120'000;
+  kc.dims = 34;
+  kc.clusters = 8;
+  kc.iterations = 20;
+  kc.tiles = 56;
+  return ms::apps::KmeansApp::run(platform(), kc);
+}
+
+template <typename Run>
+void bench_engine(benchmark::State& state, Run run) {
+  // range(0): 0 = serial, otherwise parallel with range(0)-1 workers
+  // (0 workers = all hardware threads).
+  const bool par = state.range(0) != 0;
+  const int threads = par ? static_cast<int>(state.range(0)) - 1 : 0;
+  double virtual_ms = 0.0;
+  for (auto _ : state) {
+    virtual_ms = run(par, threads).ms;
+  }
+  state.counters["virtual_ms"] = virtual_ms;
+}
+
+void BM_PdesMm(benchmark::State& state) { bench_engine(state, run_mm); }
+// 0 = serial; 1/2/3 = parallel with hw/1/2 workers (arg - 1, 0 meaning all).
+BENCHMARK(BM_PdesMm)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_PdesKmeans(benchmark::State& state) { bench_engine(state, run_kmeans); }
+BENCHMARK(BM_PdesKmeans)->Arg(0)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+/// Bit-identity gate: serial vs parallel at {1, 2, hw} workers.
+template <typename Run>
+bool verify(const char* name, Run run) {
+  const ms::apps::AppResult serial = run(false, 0);
+  for (const int threads : {1, 2, 0}) {
+    const ms::apps::AppResult par = run(true, threads);
+    if (par.ms != serial.ms || par.checksum != serial.checksum ||
+        par.timeline.size() != serial.timeline.size()) {
+      std::fprintf(stderr,
+                   "FAIL %s: parallel(threads=%d) diverged: ms %.17g vs %.17g, "
+                   "checksum %.17g vs %.17g, spans %zu vs %zu\n",
+                   name, threads, par.ms, serial.ms, par.checksum, serial.checksum,
+                   par.timeline.size(), serial.timeline.size());
+      return false;
+    }
+  }
+  std::fprintf(stderr, "bench_pdes: %s bit-identical across engines (threads 1/2/hw)\n", name);
+  return true;
+}
+
+/// Interleaved A/B: alternate serial/parallel rounds so thermal or load
+/// drift lands on both sides, then report medians.
+template <typename Run>
+void interleaved_ab(const char* name, Run run, int rounds) {
+  using clock = std::chrono::steady_clock;
+  std::vector<double> serial_ms, par_ms;
+  for (int r = 0; r < rounds; ++r) {
+    auto t0 = clock::now();
+    run(false, 0);
+    serial_ms.push_back(std::chrono::duration<double, std::milli>(clock::now() - t0).count());
+    t0 = clock::now();
+    run(true, 0);
+    par_ms.push_back(std::chrono::duration<double, std::milli>(clock::now() - t0).count());
+  }
+  const auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double s = median(serial_ms), p = median(par_ms);
+  std::fprintf(stderr, "bench_pdes: %s interleaved A/B over %d rounds: serial %.2f ms, "
+              "parallel %.2f ms, speedup %.2fx\n",
+              name, rounds, s, p, s / p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verify_only = false;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--verify-only") verify_only = true;
+    if (flag.starts_with("--benchmark_list_tests")) list_only = true;
+  }
+  if (!list_only) {
+    if (!verify("mm", run_mm)) return 1;
+    if (!verify("kmeans", run_kmeans)) return 1;
+    if (verify_only) return 0;
+    interleaved_ab("mm", run_mm, 5);
+    interleaved_ab("kmeans", run_kmeans, 5);
+  }
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) != "--verify-only") args.push_back(argv[i]);
+  }
+  return ms::bench::gbench_main(static_cast<int>(args.size()), args.data());
+}

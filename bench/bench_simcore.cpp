@@ -5,10 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include <string>
-#include <string_view>
-#include <vector>
-
+#include "gbench_main.hpp"
 #include "rt/context.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
@@ -62,6 +59,42 @@ void BM_RuntimePipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_RuntimePipeline)->Arg(64)->Arg(1024);
 
+/// Serial vs parallel engine on one multi-device pipeline: state.range(0)
+/// devices, each card running an independent H2D -> kernel -> D2H chain, and
+/// state.range(1) selecting the engine (0 = serial, 1 = parallel with all
+/// hardware workers). Interleave the two rows to A/B the PDES win; virtual
+/// times are bit-identical by construction (asserted in bench_pdes).
+void BM_MultiDevicePipeline(benchmark::State& state) {
+  const int devices = static_cast<int>(state.range(0));
+  const bool par = state.range(1) != 0;
+  ms::sim::SimConfig cfg = ms::sim::SimConfig::phi_31sp();
+  cfg.num_devices = devices;
+  ms::rt::ContextConfig cc;
+  cc.parallel_engine = par;
+  constexpr int kTasks = 256;
+  for (auto _ : state) {
+    ms::rt::Context ctx(cfg, cc);
+    ctx.set_tracing(false);
+    ctx.setup(4);
+    const auto buf = ctx.create_virtual_buffer(static_cast<std::size_t>(kTasks) << 10);
+    for (int t = 0; t < kTasks; ++t) {
+      auto& s = ctx.stream(t % devices, (t / devices) % 4);
+      const std::size_t off = static_cast<std::size_t>(t) << 10;
+      s.enqueue_h2d(buf, off, 1 << 10);
+      ms::sim::KernelWork w;
+      w.kind = ms::sim::KernelKind::Streaming;
+      w.elems = 1e5;
+      s.enqueue_kernel({"k", w, {}});
+      s.enqueue_d2h(buf, off, 1 << 10);
+    }
+    ctx.synchronize();
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_MultiDevicePipeline)
+    ->ArgsProduct({{1, 3}, {0, 1}})
+    ->ArgNames({"devices", "par"});
+
 void BM_ContextSetup(benchmark::State& state) {
   for (auto _ : state) {
     ms::rt::Context ctx(ms::sim::SimConfig::phi_31sp());
@@ -73,27 +106,4 @@ BENCHMARK(BM_ContextSetup)->Arg(4)->Arg(56);
 
 }  // namespace
 
-// Custom main so `--json FILE` works like the figure benches: it maps onto
-// google-benchmark's JSON reporter (--benchmark_out), giving one consistent
-// flag across every perf-tracked binary.
-int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag;
-  std::string fmt_flag = "--benchmark_out_format=json";
-  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
-    if (std::string_view(args[i]) == "--json") {
-      out_flag = std::string("--benchmark_out=") + args[i + 1];
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      args.push_back(out_flag.data());
-      args.push_back(fmt_flag.data());
-      break;
-    }
-  }
-  int n = static_cast<int>(args.size());
-  benchmark::Initialize(&n, args.data());
-  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+int main(int argc, char** argv) { return ms::bench::gbench_main(argc, argv); }

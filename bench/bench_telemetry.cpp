@@ -8,10 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <string>
-#include <string_view>
-#include <vector>
-
+#include "gbench_main.hpp"
 #include "rt/context.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
@@ -130,26 +127,4 @@ BENCHMARK(BM_PipelineMetricsOn)->Arg(64)->Arg(1024);
 
 }  // namespace
 
-// Custom main so `--json FILE` works like the figure benches (see
-// bench_simcore.cpp).
-int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag;
-  std::string fmt_flag = "--benchmark_out_format=json";
-  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
-    if (std::string_view(args[i]) == "--json") {
-      out_flag = std::string("--benchmark_out=") + args[i + 1];
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      args.push_back(out_flag.data());
-      args.push_back(fmt_flag.data());
-      break;
-    }
-  }
-  int n = static_cast<int>(args.size());
-  benchmark::Initialize(&n, args.data());
-  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+int main(int argc, char** argv) { return ms::bench::gbench_main(argc, argv); }

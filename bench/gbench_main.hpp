@@ -1,0 +1,55 @@
+#pragma once
+
+// Shared main() body for the google-benchmark binaries. Maps the repo-wide
+// `--json FILE` flag onto google-benchmark's JSON reporter
+// (--benchmark_out=FILE --benchmark_out_format=json) so every perf-tracked
+// binary takes the same flag as the figure benches and the CLI. "-" selects
+// stdout, matching the CLI's with_output contract — spelled
+// --benchmark_format=json (the console reporter), not
+// --benchmark_out=/dev/stdout, because the human-readable table also goes to
+// stdout and the two would interleave into unparseable output.
+//
+// Usage, replacing BENCHMARK_MAIN():
+//   int main(int argc, char** argv) { return ms::bench::gbench_main(argc, argv); }
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ms::bench {
+
+inline int gbench_main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (std::string_view(args[i]) == "--json") {
+      const std::string_view path(args[i + 1]);
+      if (path == "-") {
+        out_flag = "--benchmark_format=json";
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        args.push_back(out_flag.data());
+      } else {
+        out_flag = "--benchmark_out=";
+        out_flag += path;
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+      }
+      break;
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ms::bench

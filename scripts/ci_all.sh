@@ -7,6 +7,7 @@
 #      releases pooled actions), undefined (every UB report fatal)
 #   4. native kernel leg (-O3 -march=native numerics stay bit-stable)
 #   5. static analysis (clang-tidy, or the strict -Werror fallback)
+#   6. bench-regression smoke (report-only: fresh medians vs BENCH_*.json)
 #
 #   scripts/ci_all.sh [build-dir-prefix]
 set -euo pipefail
@@ -34,5 +35,8 @@ echo "==> native kernels"
 
 echo "==> static analysis"
 "${SOURCE_DIR}/scripts/ci_tidy.sh" "${PREFIX}-tidy"
+
+echo "==> bench regression smoke (report-only)"
+"${SOURCE_DIR}/scripts/ci_bench_regress.sh" "${PREFIX}"
 
 echo "ci_all: OK"

@@ -81,6 +81,10 @@ struct Action {
   /// pool on completion; batch-arena actions (CompiledGraph::launch_batch)
   /// live in the arena slab and are refreshed in place instead.
   bool pooled = true;
+  /// Parallel-engine mode, compiled-graph nodes only: some plan dependent
+  /// runs on a different device, so completion notifies cross-LP (stateful
+  /// actions carry the equivalent flag on their ActionState instead).
+  bool cross_emitter = false;
   /// Completion state, shared with user-held Events. Null for actions issued
   /// by a compiled graph, whose intra-graph dependents are notified through
   /// `graph_run` instead of per-state waiter lists.

@@ -1,11 +1,15 @@
 #include "rt/context.hpp"
 
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "analyze/recorder.hpp"
 #include "rt/errors.hpp"
 #include "rt/graph.hpp"
+#include "sim/chunk_depot.hpp"
 #include "telemetry/span.hpp"
 
 namespace ms::rt {
@@ -14,6 +18,30 @@ namespace {
 bool env_analyze() {
   const char* v = std::getenv("MS_ANALYZE");
   return v != nullptr && *v != '\0' && *v != '0';
+}
+
+bool env_par_engine() {
+  const char* v = std::getenv("MS_PAR_ENGINE");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+int env_par_threads() {
+  const char* v = std::getenv("MS_PAR_THREADS");
+  if (v == nullptr || *v == '\0') return 0;
+  return std::atoi(v);
+}
+
+/// Stable storage for per-device link counter-track names.
+const char* link_track_name(int device) {
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<std::string>> names;
+  const auto d = static_cast<std::size_t>(device);
+  std::lock_guard<std::mutex> lock(mu);
+  while (names.size() <= d) {
+    names.push_back(std::make_unique<std::string>(
+        "pdes.link" + std::to_string(names.size()) + ".inflight_bytes"));
+  }
+  return names[d]->c_str();
 }
 
 telemetry::Counter& tel_enqueues() {
@@ -39,9 +67,19 @@ telemetry::Histogram& tel_sync_ns() {
 }  // namespace
 
 Context::Context(const sim::SimConfig& cfg, const ContextConfig& ctx_cfg)
-    : platform_(std::make_unique<sim::Platform>(cfg)) {
+    : platform_(std::make_unique<sim::Platform>(
+          cfg, ctx_cfg.parallel_engine || env_par_engine(),
+          ctx_cfg.parallel_threads != 0 ? ctx_cfg.parallel_threads : env_par_threads())) {
   if (ctx_cfg.analyze || env_analyze() || analyze::Capture::current() != nullptr) {
     recorder_ = std::make_unique<analyze::Recorder>();
+  }
+  if (platform_->parallel()) {
+    par_mode_ = true;
+    const auto devices = static_cast<std::size_t>(platform_->device_count());
+    par_release_.resize(devices);
+    par_timelines_.resize(devices);
+    platform_->par().set_bound_fn([this] { return par_emission_bound(); });
+    platform_->par().set_barrier_fn([this] { par_barrier_flush(); });
   }
   setup(1);
 }
@@ -51,6 +89,11 @@ Context::~Context() {
   // Report whatever the last segment accumulated; dtors must not throw, so
   // abort-mode hazards go to stderr and capture mode collects as usual.
   if (recorder_) recorder_->finalize();
+  // Deferred parallel-mode releases (left behind only if a drain threw).
+  for (auto& pending : par_release_) {
+    for (detail::Action* a : pending) release_action(a);
+    pending.clear();
+  }
   // Actions still in flight (a Context dropped without synchronize()) are
   // placement-constructed in pool nodes, so run their destructors before the
   // store releases the chunks. In-order queues hold every live action.
@@ -217,7 +260,11 @@ void Context::synchronize() {
   const telemetry::ScopedSpan span("rt.synchronize");
   const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
   ++tel_.syncs;
-  platform_->engine().run_until_idle();
+  if (par_mode_) {
+    platform_->par().run_until_idle();
+  } else {
+    platform_->engine().run_until_idle();
+  }
   for (const auto& s : streams_) {
     if (!s->idle()) {
       throw Error("Context::synchronize: stream still pending after drain (dependency cycle?)");
@@ -229,6 +276,7 @@ void Context::synchronize() {
   // Everything enqueued so far completed before anything enqueued next: a
   // segment boundary. Abort mode throws HazardError here.
   if (recorder_) recorder_->flush(/*may_throw=*/true);
+  sample_counter_tracks();
   if (t0 != 0) tel_sync_ns().observe(telemetry::now_ns() - t0);
   flush_telemetry();
 }
@@ -238,13 +286,26 @@ void Context::wait(const Event& ev) {
     throw Error("Context::wait: forbidden while capturing a graph");
   }
   if (!ev.valid()) return;
-  auto& engine = platform_->engine();
-  while (!ev.done()) {
-    if (!engine.step()) {
-      throw Error("Context::wait: event can never complete (missing producer?)");
+  if (par_mode_) {
+    // Predicate drain: global micro-steps only. A window could overshoot the
+    // event's completion and fire later work the caller wanted to overlap
+    // with host-side computation.
+    auto& par = platform_->par();
+    while (!ev.done()) {
+      if (!par.step()) {
+        throw Error("Context::wait: event can never complete (missing producer?)");
+      }
+    }
+    par_barrier_flush();
+  } else {
+    auto& engine = platform_->engine();
+    while (!ev.done()) {
+      if (!engine.step()) {
+        throw Error("Context::wait: event can never complete (missing producer?)");
+      }
     }
   }
-  host_cursor_ = sim::max(host_cursor_, sim::max(engine.now(), ev.time())) +
+  host_cursor_ = sim::max(host_cursor_, sim::max(platform_->now(), ev.time())) +
                  platform_->cost().sync_overhead(1, false);
   if (recorder_) recorder_->on_host_wait(ev.state_->analyze_id);
 }
@@ -346,6 +407,80 @@ sim::SimTime Context::host_issue(sim::SimTime cost) {
       platform_->host_thread().reserve(sim::max(host_cursor_, sim::SimTime::zero()), cost);
   host_cursor_ = grant.end;
   return grant.end;
+}
+
+sim::SimTime Context::par_emission_bound() const {
+  if (par_cross_pending_ == 0) return sim::SimTime::max();
+  sim::SimTime bound = sim::SimTime::max();
+  for (const auto& sp : streams_) {
+    const Stream& s = *sp;
+    const std::size_t n = s.queue_.size();
+    if (n == 0) continue;
+    const sim::PcieLink& link = platform_->device(s.device_).link();
+    sim::SimTime ect = sim::SimTime::zero();
+    for (std::size_t i = 0; i < n; ++i) {
+      const detail::Action* a = s.queue_.at(i);
+      ect = sim::max(ect, a->ready_floor);
+      switch (a->kind) {
+        case ActionKind::Kernel:
+          ect = ect + a->duration;
+          break;
+        case ActionKind::H2D:
+        case ActionKind::D2H:
+          // Also a floor for chunked transfers: chunk durations sum to at
+          // least transfer_duration and the first chunk starts no earlier
+          // than the ready floor.
+          ect = ect + link.transfer_duration(a->bytes);
+          break;
+        case ActionKind::Barrier:
+          break;  // zero duration
+      }
+      if (a->cross_emitter || (a->state && a->state->cross_emitter)) {
+        bound = sim::min(bound, ect);
+        break;  // later actions of this FIFO only complete later
+      }
+    }
+  }
+  return bound;
+}
+
+void Context::par_barrier_flush() {
+  for (auto& pending : par_release_) {
+    for (detail::Action* a : pending) release_action(a);
+    pending.clear();
+  }
+  // Merge per-LP timelines in LP order — a fixed order, so traces are
+  // deterministic across thread counts (span *sets* match serial mode;
+  // within-window interleaving is not observable).
+  for (std::size_t d = 0; d < par_timelines_.size(); ++d) {
+    trace::Timeline& tl = par_timelines_[d];
+    if (tl.empty()) continue;
+    for (const trace::Span& span : tl.spans()) timeline_.record(span);
+    tl.clear();
+  }
+  if (telemetry::enabled()) {
+    for (int d = 0; d < platform_->device_count(); ++d) {
+      const sim::Engine& lp = platform_->device_engine(d);
+      telemetry::record_counter_sample(link_track_name(d),
+                                       static_cast<double>(platform_->device(d).link().inflight_bytes(lp.now())));
+    }
+  }
+}
+
+void Context::par_post(int device, sim::SimTime t, sim::Engine::Callback cb) {
+  // ParEngine LP 0 is the host shard; device d's shard is LP 1+d.
+  platform_->par().post(static_cast<std::size_t>(device) + 1, t, std::move(cb));
+}
+
+void Context::sample_counter_tracks() {
+  if (!telemetry::enabled()) return;
+  telemetry::record_counter_sample("depot.parked_bytes",
+                                   static_cast<double>(sim::detail::ChunkDepot::parked_bytes()));
+  for (int d = 0; d < platform_->device_count(); ++d) {
+    telemetry::record_counter_sample(
+        link_track_name(d),
+        static_cast<double>(platform_->device(d).link().inflight_bytes(platform_->now())));
+  }
 }
 
 void Context::flush_telemetry() noexcept {

@@ -31,6 +31,16 @@ struct ContextConfig {
   /// implicitly (in collection mode) while an analyze::Capture is installed
   /// on the constructing thread.
   bool analyze = false;
+  /// Run the simulation on the conservative parallel engine: one event-queue
+  /// shard per device, drained concurrently inside conservative time windows
+  /// (see sim::ParEngine). Virtual times, checksums and hazard verdicts are
+  /// bit-identical to the serial engine; only host wall-clock changes. Also
+  /// enabled by MS_PAR_ENGINE=1 in the environment.
+  bool parallel_engine = false;
+  /// Worker cap for parallel-engine windows: 0 = all hardware threads,
+  /// 1 = effectively serial windows (useful for determinism tests). Also
+  /// settable via MS_PAR_THREADS.
+  int parallel_threads = 0;
 };
 
 /// The streaming runtime: the public entry point of the library.
@@ -186,6 +196,9 @@ public:
   /// True when this context records its action graph for hazard analysis.
   [[nodiscard]] bool analyzing() const noexcept { return recorder_ != nullptr; }
 
+  /// True when this context simulates on the conservative parallel engine.
+  [[nodiscard]] bool parallel_engine() const noexcept { return par_mode_; }
+
   [[nodiscard]] sim::Platform& platform() noexcept { return *platform_; }
   [[nodiscard]] const sim::Platform& platform() const noexcept { return *platform_; }
   [[nodiscard]] const sim::CostModel& cost() const noexcept { return platform_->cost(); }
@@ -258,6 +271,42 @@ private:
   };
   void flush_telemetry() noexcept;
 
+  // --- Conservative parallel engine ------------------------------------------
+
+  /// Lower bound on the virtual time of the next cross-LP emission: the
+  /// minimum earliest-completion-time (ECT) over all pending cross-emitter
+  /// actions, chained per stream FIFO (ect_k = max(ect_{k-1}, ready_floor_k)
+  /// + minimum service duration of node k). Valid as a window bound because
+  /// the dependency graph of pending actions is fixed at enqueue time —
+  /// nothing enqueues during a drain — and every service-time estimate is a
+  /// true lower bound (transfers: PcieLink::transfer_duration, also a floor
+  /// for the chunked path; kernels: the exact precomputed duration;
+  /// barriers: zero). SimTime::max() when no cross-emitter is pending —
+  /// the common case, where one window drains everything.
+  [[nodiscard]] sim::SimTime par_emission_bound() const;
+  /// Window-barrier hook (coordinator thread): release actions the LP
+  /// workers deferred and merge per-LP timelines into the main one, in LP
+  /// order.
+  void par_barrier_flush();
+  /// Route a cross-LP arm to `device`'s shard at virtual time `t`.
+  void par_post(int device, sim::SimTime t, sim::Engine::Callback cb);
+  /// Defer an action release to the next barrier flush (LP workers must not
+  /// touch the single-threaded pools).
+  void par_defer_release(int device, detail::Action* a) {
+    par_release_[static_cast<std::size_t>(device)].push_back(a);
+  }
+  /// Record a trace span from device `d`'s LP (its private timeline in
+  /// parallel mode; the shared one otherwise).
+  void record_trace_span(int device, const trace::Span& span) {
+    if (par_mode_) {
+      par_timelines_[static_cast<std::size_t>(device)].record(span);
+    } else {
+      timeline_.record(span);
+    }
+  }
+  /// Sample depot/link occupancy counter tracks (telemetry-gated).
+  void sample_counter_tracks();
+
   std::unique_ptr<sim::Platform> platform_;
   trace::Timeline timeline_;
   bool tracing_ = true;
@@ -273,6 +322,15 @@ private:
   std::uint64_t next_buffer_ = 1;
   ActionPool::Store action_store_;
   TelTally tel_;
+  /// Conservative parallel engine state (par_mode_ only; empty otherwise).
+  bool par_mode_ = false;
+  /// Pending actions some cross-device dependent waits on. Zero means the
+  /// emission bound is trivially infinite (single-window drains). Maintained
+  /// on the coordinator thread only: set at enqueue, cleared at completion —
+  /// and cross-emitters complete only in micro-steps, never inside windows.
+  std::uint64_t par_cross_pending_ = 0;
+  std::vector<std::vector<detail::Action*>> par_release_;  ///< per device
+  std::vector<trace::Timeline> par_timelines_;             ///< per device
   std::shared_ptr<detail::StatePool::Store> state_pool_ = detail::StatePool::make_store();
   /// Present only when analyzing (ContextConfig::analyze / MS_ANALYZE=1 /
   /// installed analyze::Capture); the hot path pays one branch when absent.

@@ -35,6 +35,13 @@ struct ActionState {
   /// phantom handed to a *different* capture must be rejected rather than
   /// silently aliasing that graph's node of the same index.
   const void* capture_owner = nullptr;
+  /// Parallel-engine mode only: device of the producing stream (-1 = not
+  /// stamped / host). Lets a later enqueue detect a cross-device dependency.
+  std::int16_t lp = -1;
+  /// Parallel-engine mode only: some dependent on a *different* device waits
+  /// on this action, so its completion emits cross-LP. The conservative
+  /// window bound must stay below the completion of every such action.
+  bool cross_emitter = false;
   std::vector<Waiter> waiters;
 
   void complete(sim::SimTime t) {

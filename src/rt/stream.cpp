@@ -15,7 +15,7 @@ using detail::Action;
 
 Stream::Stream(Context& ctx, int index, int device, int partition)
     : ctx_(&ctx),
-      engine_(&ctx.platform().engine()),
+      engine_(&ctx.platform().device_engine(device)),
       dev_(&ctx.platform().device(device)),
       part_res_(&dev_->partition_resource(partition)),
       index_(index),
@@ -106,6 +106,8 @@ Event Stream::enqueue_common(Action* a, const std::vector<Event>& deps,
                              const KernelLaunch* launch) {
   if (ctx_->recorder_) record_enqueue(a, deps, launch);
   a->ready_floor = ctx_->host_issue();
+  const bool par = ctx_->par_mode_;
+  if (par) a->state->lp = static_cast<std::int16_t>(device_);
 
   // Wire cross-stream dependencies. Completed deps only raise the ready
   // floor; pending ones register a waiter that re-arms this action.
@@ -119,10 +121,17 @@ Event Stream::enqueue_common(Action* a, const std::vector<Event>& deps,
     // recycled after complete() has fired every waiter), so a raw pointer is
     // safe and skips two refcount round-trips per dependency.
     detail::ActionState* dep = e.state_.get();
+    if (par && dep->lp != static_cast<std::int16_t>(device_) && !dep->cross_emitter) {
+      // This pending dep lives on another LP shard (or predates sharding);
+      // its completion will emit a cross-shard arm, so the conservative
+      // lookahead bound must account for it until it fires.
+      dep->cross_emitter = true;
+      ++ctx_->par_cross_pending_;
+    }
     Stream* self = this;
     dep->waiters.push_back(detail::ActionState::Waiter([self, a, dep] {
       a->ready_floor = sim::max(a->ready_floor, dep->end);
-      if (--a->deps_pending == 0) self->maybe_arm(a);
+      if (--a->deps_pending == 0) self->arm_routed(a, dep->end);
     }));
   }
 
@@ -187,6 +196,20 @@ void Stream::maybe_arm(Action* a) {
   engine.schedule_at(ready, [this, a] { start(a); });
 }
 
+void Stream::arm_routed(Action* a, sim::SimTime t) {
+  if (!ctx_->par_mode_ || engine_->dispatching()) {
+    // Serial engine, or the dependency completed on this same shard: the
+    // waiter is firing inside that completion's dispatch, exactly as the
+    // serial engine would have it.
+    maybe_arm(a);
+    return;
+  }
+  // Cross-shard completion: this shard's clock may trail the completion time.
+  // Route through the mailbox; ParEngine delivers at `t` with dispatching
+  // set, restoring the serial inline-dispatch context on this shard.
+  ctx_->par_post(device_, t, [this, a] { maybe_arm(a); });
+}
+
 void Stream::start(Action* a) {
   sim::Engine& engine = *engine_;
   const sim::SimTime now = engine.now();
@@ -202,7 +225,7 @@ void Stream::start(Action* a) {
       span.start = now;
       span.end = now;
       span.label = a->label;
-      ctx_->timeline().record(span);
+      ctx_->record_trace_span(device_, span);
     }
     engine.schedule_at(now, [this, a] { on_complete(a); });
     return;
@@ -234,7 +257,7 @@ void Stream::start(Action* a) {
     span.end = grant.end;
     span.bytes = a->bytes;
     span.label = a->label;
-    ctx_->timeline().record(span);
+    ctx_->record_trace_span(device_, span);
   }
 
   engine.schedule_at(grant.end, [this, a] { on_complete(a); });
@@ -275,7 +298,7 @@ void Stream::start_transfer_chunked(detail::Action* a, sim::Direction dir, std::
         span.end = t;
         span.bytes = a->bytes;
         span.label = a->label;
-        ctx_->timeline().record(span);
+        ctx_->record_trace_span(device_, span);
       }
       on_complete(a);
       return;
@@ -289,6 +312,7 @@ void Stream::start_transfer_chunked(detail::Action* a, sim::Direction dir, std::
 }
 
 void Stream::push_compiled(Action* a) {
+  if (ctx_->par_mode_ && a->state) a->state->lp = static_cast<std::int16_t>(device_);
   queue_.push_back(a);
   a->pred_done = queue_.size() == 1;
   maybe_arm(a);
@@ -305,6 +329,7 @@ void Stream::on_complete(Action* a) {
   // the graph notification below may retire the run (freeing the slab) when
   // this was the batch's final action on an orphaned executor.
   const bool pooled = a->pooled;
+  const bool cross = a->cross_emitter || (a->state && a->state->cross_emitter);
 
   const sim::SimTime now = engine_->now();
   // Same notification order as the interpreted path: external waiters (the
@@ -321,21 +346,42 @@ void Stream::on_complete(Action* a) {
 
   // Notification and successor arming are done; recycle the action. Arena
   // actions stay in their slab — the owning batch refreshes them in place.
-  if (pooled) ctx_->release_action(a);
+  // In parallel mode the pool is coordinator-owned, so recycling is deferred
+  // to the next window barrier; cross emitters only complete in coordinator
+  // micro-steps, so the lookahead counter is safe to touch here.
+  if (ctx_->par_mode_) {
+    if (cross) --ctx_->par_cross_pending_;
+    if (pooled) ctx_->par_defer_release(device_, a);
+  } else if (pooled) {
+    ctx_->release_action(a);
+  }
 }
 
 void Stream::synchronize() {
   if (ctx_->capture_ != nullptr) {
     throw Error("Stream::synchronize: forbidden while capturing a graph");
   }
-  sim::Engine& engine = *engine_;
-  while (!queue_.empty()) {
-    if (!engine.step()) {
-      throw Error("Stream::synchronize: pending actions but no events (deadlock?)");
+  if (ctx_->par_mode_) {
+    // Predicate drain: fire globally-earliest events one at a time (windows
+    // would overshoot the predicate). Coordinator-only, so this is exactly
+    // the serial micro-step order.
+    sim::ParEngine& par = ctx_->platform().par();
+    while (!queue_.empty()) {
+      if (!par.step()) {
+        throw Error("Stream::synchronize: pending actions but no events (deadlock?)");
+      }
+    }
+    ctx_->par_barrier_flush();
+  } else {
+    sim::Engine& engine = *engine_;
+    while (!queue_.empty()) {
+      if (!engine.step()) {
+        throw Error("Stream::synchronize: pending actions but no events (deadlock?)");
+      }
     }
   }
   const sim::SimTime sync = ctx_->cost().sync_overhead(1, false);
-  ctx_->host_cursor_ = sim::max(ctx_->host_cursor_, engine.now()) + sync;
+  ctx_->host_cursor_ = sim::max(ctx_->host_cursor_, ctx_->platform().now()) + sync;
   // Later enqueues (any stream) happen-after everything this stream had
   // queued; its most recent action's completion subsumes the whole FIFO.
   if (ctx_->recorder_) {

@@ -84,6 +84,12 @@ void Engine::throw_past() {
   throw std::invalid_argument("Engine::schedule_at: event scheduled in the past");
 }
 
+void Engine::throw_sealed() {
+  throw std::logic_error(
+      "Engine::deliver: engine is sealed (cross-LP delivery attempted mid-window — "
+      "conservative lookahead bound violated)");
+}
+
 void Engine::schedule_at(SimTime when, Callback cb) {
   if (when < now_) throw_past();
   if (!cb) {
@@ -147,6 +153,14 @@ SimTime Engine::run_until(SimTime deadline) {
   return now_;
 }
 
+SimTime Engine::run_before(SimTime bound) {
+  const DrainProbe probe(*this, fired_);
+  while (!heap_.empty() && heap_[earliest_index()].when < bound) {
+    fire_next();
+  }
+  return now_;
+}
+
 bool Engine::step() {
   if (heap_.empty()) return false;
   fire_next();
@@ -171,6 +185,7 @@ void Engine::reset() {
   depth_hw_ = 0;
   dispatching_ = false;
   heapified_ = false;
+  delivery_open_ = true;
 }
 
 }  // namespace ms::sim

@@ -64,10 +64,67 @@ public:
   /// max(now, deadline) if the queue drained, or at the last fired event.
   SimTime run_until(SimTime deadline);
 
+  /// Run events with timestamp strictly < `bound` — the conservative-window
+  /// drain of the parallel engine. The clock rests at the last fired event
+  /// (never advanced to the bound: a later window or cross-engine delivery
+  /// may still land exactly at `bound`). Returns the final clock value.
+  SimTime run_before(SimTime bound);
+
   /// Fire exactly one event. Returns false (and leaves the clock untouched)
   /// when the queue is empty. Lets callers pump until a condition of their
   /// own holds (e.g. "this stream drained").
   bool step();
+
+  /// (timestamp, insertion sequence) of the earliest pending event — the
+  /// exact key the heap orders by, so a coordinator can merge several
+  /// engines into one global FIFO order. Valid only when !idle().
+  struct EventKey {
+    SimTime when;
+    std::uint64_t seq;
+  };
+  [[nodiscard]] EventKey next_key() const noexcept {
+    const Item& it = heap_[earliest_index()];
+    return EventKey{it.when, it.seq};
+  }
+  /// Timestamp of the earliest pending event, or SimTime::max() when idle.
+  [[nodiscard]] SimTime next_when() const noexcept {
+    return heap_.empty() ? SimTime::max() : heap_[earliest_index()].when;
+  }
+
+  /// Next sequence number this engine would assign.
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  /// Raise the sequence counter to at least `floor`. The parallel engine
+  /// syncs every shard to the global maximum at each window barrier so the
+  /// (when, seq) tie-break stays a single global FIFO order.
+  void bump_seq_floor(std::uint64_t floor) noexcept {
+    if (next_seq_ < floor) next_seq_ = floor;
+  }
+
+  /// Execute `fn` as if it were an event firing at time `t` on this engine:
+  /// the clock advances to max(now, t) and dispatching() is true for the
+  /// call. This is how cross-engine mailbox deliveries replicate the serial
+  /// engine's inline same-instant dispatch semantics. Throws
+  /// std::logic_error when the engine is sealed (mid-window foreign access —
+  /// a conservative-protocol violation).
+  template <typename F>
+  void deliver(SimTime t, F&& fn) {
+    if (!delivery_open_) throw_sealed();
+    if (now_ < t) now_ = t;
+    const bool prev = dispatching_;
+    dispatching_ = true;
+    try {
+      fn();
+    } catch (...) {
+      dispatching_ = prev;
+      throw;
+    }
+    dispatching_ = prev;
+  }
+
+  /// Seal/unseal the engine against foreign deliveries. Sealed engines are
+  /// being drained by a window worker; deliver() throws until reopened.
+  void set_delivery_open(bool open) noexcept { delivery_open_ = open; }
+  [[nodiscard]] bool delivery_open() const noexcept { return delivery_open_; }
 
   [[nodiscard]] bool idle() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
@@ -148,6 +205,7 @@ private:
   void fire_next();
   [[nodiscard]] Slot* acquire_empty_slot();
   [[noreturn]] static void throw_past();
+  [[noreturn]] static void throw_sealed();
 
   std::vector<Item> heap_;  // unsorted below kHeapThreshold, then a min-heap
   std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
@@ -158,6 +216,7 @@ private:
   std::uint64_t fired_ = 0;
   std::size_t depth_hw_ = 0;
   bool dispatching_ = false;
+  bool delivery_open_ = true;
 };
 
 }  // namespace ms::sim

@@ -1,0 +1,230 @@
+#include "sim/par_engine.hpp"
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/sweep.hpp"
+#include "telemetry/span.hpp"
+
+namespace ms::sim {
+
+namespace {
+
+telemetry::Counter& tel_windows() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_sim_pdes_windows_total", "Conservative time windows executed by ParEngine drains");
+  return c;
+}
+telemetry::Counter& tel_microsteps() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_sim_pdes_microsteps_total",
+      "Global-minimum micro-steps executed when no window was provably safe");
+  return c;
+}
+telemetry::Counter& tel_posts() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_sim_pdes_posts_total", "Cross-LP mailbox deliveries routed by ParEngine");
+  return c;
+}
+
+/// Stable storage for per-LP counter-track names ("pdes.lp3.queue_depth").
+/// Process-lifetime, like trace::intern_label, but local to the sim layer
+/// (which sits below trace in the link order).
+const char* lp_depth_name(std::size_t lp) {
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<std::string>> names;
+  std::lock_guard<std::mutex> lock(mu);
+  while (names.size() <= lp) {
+    names.push_back(std::make_unique<std::string>("pdes.lp" + std::to_string(names.size()) +
+                                                  ".queue_depth"));
+  }
+  return names[lp]->c_str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mailbox
+// ---------------------------------------------------------------------------
+
+Mailbox::Mailbox(std::size_t capacity) : ring_(capacity ? capacity : 1) {}
+
+void Mailbox::push(SimTime when, Engine::Callback fn) {
+  if (sealed_) {
+    throw std::logic_error(
+        "Mailbox::push: box is sealed (cross-LP delivery attempted mid-window — "
+        "conservative lookahead bound violated)");
+  }
+  if (count_ == ring_.size()) {
+    throw std::overflow_error("Mailbox::push: bounded mailbox overflow");
+  }
+  Msg& slot = ring_[(head_ + count_) % ring_.size()];
+  slot.when = when;
+  slot.fn = std::move(fn);
+  ++count_;
+}
+
+bool Mailbox::pop(Msg& out) {
+  if (count_ == 0) return false;
+  Msg& slot = ring_[head_];
+  out.when = slot.when;
+  out.fn = std::move(slot.fn);
+  slot.fn.reset();
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ParEngine
+// ---------------------------------------------------------------------------
+
+ParEngine::ParEngine(std::vector<Engine*> lps, int threads)
+    : lps_(std::move(lps)), threads_(threads < 0 ? 0 : threads) {
+  if (lps_.empty()) {
+    throw std::invalid_argument("ParEngine: need at least one logical process");
+  }
+  boxes_.reserve(lps_.size());
+  for (std::size_t i = 0; i < lps_.size(); ++i) boxes_.emplace_back();
+  pumping_.assign(lps_.size(), 0);
+}
+
+SimTime ParEngine::now() const noexcept {
+  SimTime t = SimTime::zero();
+  for (const Engine* e : lps_) t = max(t, e->now());
+  return t;
+}
+
+bool ParEngine::idle() const noexcept {
+  for (const Engine* e : lps_) {
+    if (!e->idle()) return false;
+  }
+  return true;
+}
+
+int ParEngine::min_lp() const noexcept {
+  int best = -1;
+  Engine::EventKey best_key{SimTime::max(), 0};
+  for (std::size_t i = 0; i < lps_.size(); ++i) {
+    if (lps_[i]->idle()) continue;
+    const Engine::EventKey key = lps_[i]->next_key();
+    if (best < 0 || key.when < best_key.when ||
+        (key.when == best_key.when && key.seq < best_key.seq)) {
+      best = static_cast<int>(i);
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+void ParEngine::sync_seq_floors() noexcept {
+  std::uint64_t floor = 0;
+  for (const Engine* e : lps_) {
+    if (e->next_seq() > floor) floor = e->next_seq();
+  }
+  for (Engine* e : lps_) e->bump_seq_floor(floor);
+}
+
+void ParEngine::sample_depths() noexcept {
+  if (!telemetry::enabled()) return;
+  for (std::size_t i = 0; i < lps_.size(); ++i) {
+    telemetry::record_counter_sample(lp_depth_name(i),
+                                     static_cast<double>(lps_[i]->pending()));
+  }
+}
+
+void ParEngine::run_window(SimTime bound) {
+  ++windows_;
+  // Seal before forking: any cross-LP interaction inside [T, bound) would
+  // falsify the conservative bound, so it must fail loudly, not reorder
+  // time. The plain flags are race-free because seal/unseal happen on the
+  // coordinator strictly before/after the pool's fork/join edges.
+  for (Mailbox& b : boxes_) b.seal();
+  for (Engine* e : lps_) e->set_delivery_open(false);
+  try {
+    ThreadPool::shared().run(
+        lps_.size(),
+        [this, bound](std::size_t i) {
+          const telemetry::ScopedSpan span("sim.pdes.window");
+          lps_[i]->run_before(bound);
+        },
+        threads_ == 0 ? 0 : static_cast<std::size_t>(threads_));
+  } catch (...) {
+    for (Engine* e : lps_) e->set_delivery_open(true);
+    for (Mailbox& b : boxes_) b.unseal();
+    throw;
+  }
+  for (Engine* e : lps_) e->set_delivery_open(true);
+  for (Mailbox& b : boxes_) b.unseal();
+  // One global FIFO order across shards: every LP's next event gets a seq
+  // later than everything fired anywhere this window.
+  sync_seq_floors();
+  sample_depths();
+  if (barrier_) barrier_();
+}
+
+void ParEngine::post(std::size_t lp, SimTime when, Engine::Callback fn) {
+  ++posts_;
+  boxes_[lp].push(when, std::move(fn));
+  drain_mailbox(lp);
+}
+
+void ParEngine::drain_mailbox(std::size_t lp) {
+  // Deliveries drain inline at post time — the exact point the serial
+  // engine would have fired the waiter — unless a drain for this LP is
+  // already on the stack (a delivery posting to its own LP): then the
+  // message queues behind the outer loop, preserving FIFO order.
+  if (pumping_[lp] != 0) return;
+  pumping_[lp] = 1;
+  Mailbox::Msg m;
+  try {
+    while (boxes_[lp].pop(m)) {
+      lps_[lp]->deliver(m.when, [&m] { m.fn(); });
+    }
+  } catch (...) {
+    pumping_[lp] = 0;
+    throw;
+  }
+  pumping_[lp] = 0;
+}
+
+SimTime ParEngine::run_until_idle() {
+  const std::uint64_t w0 = windows_;
+  const std::uint64_t m0 = microsteps_;
+  const std::uint64_t p0 = posts_;
+  for (;;) {
+    const int lp = min_lp();
+    if (lp < 0) break;
+    const SimTime t = lps_[static_cast<std::size_t>(lp)]->next_when();
+    const SimTime bound = bound_ ? bound_() : SimTime::max();
+    if (bound > t) {
+      run_window(bound);
+    } else {
+      // No window is provably safe at T: fire exactly the global minimum,
+      // replicating the serial order event-for-event. Cross-LP deliveries
+      // it triggers route through post() with the boxes unsealed.
+      ++microsteps_;
+      lps_[static_cast<std::size_t>(lp)]->step();
+    }
+  }
+  if (barrier_) barrier_();
+  if (telemetry::enabled()) {
+    tel_windows().add(windows_ - w0);
+    tel_microsteps().add(microsteps_ - m0);
+    tel_posts().add(posts_ - p0);
+  }
+  return now();
+}
+
+bool ParEngine::step() {
+  const int lp = min_lp();
+  if (lp < 0) return false;
+  ++microsteps_;
+  lps_[static_cast<std::size_t>(lp)]->step();
+  return true;
+}
+
+}  // namespace ms::sim

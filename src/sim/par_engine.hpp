@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/sim_time.hpp"
+
+namespace ms::sim {
+
+/// Bounded single-producer mailbox carrying cross-LP deliveries between the
+/// logical processes of a ParEngine. Messages are (timestamp, callback)
+/// pairs executed through Engine::deliver on the owning LP.
+///
+/// The conservative protocol makes the box effectively SPSC without atomics:
+/// every push happens either on the coordinator thread (between windows,
+/// during global micro-steps) or would be a protocol violation. During a
+/// window the box is *sealed* — a push from a worker means the lookahead
+/// bound was wrong, and throws immediately rather than corrupting time
+/// order. Seal/unseal happen on the coordinator strictly before/after the
+/// window's fork/join, so the flag needs no synchronization of its own.
+class Mailbox {
+public:
+  struct Msg {
+    SimTime when = SimTime::zero();
+    Engine::Callback fn;
+  };
+
+  explicit Mailbox(std::size_t capacity = kDefaultCapacity);
+
+  /// Enqueue a delivery. Throws std::logic_error when sealed (conservative
+  /// bound violated) and std::overflow_error when full.
+  void push(SimTime when, Engine::Callback fn);
+
+  /// Dequeue the oldest message into `out`; false when empty.
+  bool pop(Msg& out);
+
+  void seal() noexcept { sealed_ = true; }
+  void unseal() noexcept { sealed_ = false; }
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+private:
+  std::vector<Msg> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool sealed_ = false;
+};
+
+/// Conservative parallel discrete-event coordinator: one Engine per logical
+/// process (LP 0 is the host/link engine, LP 1+d is device d), synchronized
+/// by conservative time windows.
+///
+/// The protocol: let T be the globally earliest pending event and B the
+/// caller-supplied emission bound — a proven lower bound on the timestamp of
+/// the next *cross-LP* interaction (derived from pending transfer/kernel
+/// minimum durations; see rt::Context::par_emission_bound). When B > T,
+/// every event in [T, B) is LP-local by construction, so all LPs drain
+/// run_before(B) concurrently on the shared sim::ThreadPool — mailboxes
+/// sealed, engines closed for delivery, any cross-LP attempt throwing
+/// immediately. When B <= T no window is safe, and the coordinator fires
+/// exactly one event: the global (when, seq, lp) minimum, replicating the
+/// serial engine's order event-for-event (a micro-step). Cross-LP deliveries
+/// between windows go through the mailboxes and drain inline at push time
+/// via Engine::deliver, which reproduces the serial engine's inline
+/// same-instant dispatch semantics exactly.
+///
+/// Determinism: per-LP sequence counters are raised to the global maximum at
+/// every barrier, so the (when, seq, lp) key is a total order identical
+/// across thread counts — window job i always drains LP i and the barrier
+/// merge walks LPs in index order, making results bit-identical whether the
+/// pool runs 1, 2, or hardware_concurrency workers.
+class ParEngine {
+public:
+  /// `lps[0]` is the host LP. `threads` caps the pool workers per window
+  /// (0 = all hardware threads, 1 = effectively serial windows).
+  explicit ParEngine(std::vector<Engine*> lps, int threads = 0);
+
+  ParEngine(const ParEngine&) = delete;
+  ParEngine& operator=(const ParEngine&) = delete;
+
+  /// Lower bound on the next cross-LP emission time. Consulted once per
+  /// window decision; SimTime::max() means "no pending cross-LP work" and a
+  /// single window drains everything. Unset behaves as SimTime::max().
+  void set_bound_fn(std::function<SimTime()> fn) { bound_ = std::move(fn); }
+
+  /// Invoked on the coordinator thread after every window barrier and at
+  /// the end of each drain: the runtime flushes deferred action releases
+  /// and merges per-LP timelines here.
+  void set_barrier_fn(std::function<void()> fn) { barrier_ = std::move(fn); }
+
+  /// Drain every LP to idle via windows + micro-steps. Returns now().
+  SimTime run_until_idle();
+
+  /// Fire exactly one event — the global (when, seq, lp) minimum — exactly
+  /// as the serial engine's step() would. Predicate drains (Stream::
+  /// synchronize, Context::wait) use this so they never overshoot their
+  /// condition. Returns false when every LP is idle.
+  bool step();
+
+  /// Route a cross-LP delivery to `lp`: enqueue into its mailbox and drain
+  /// the box inline (unless a drain is already on the stack — nested posts
+  /// queue behind it), preserving the serial waiter firing order.
+  void post(std::size_t lp, SimTime when, Engine::Callback fn);
+
+  /// Global virtual clock: the maximum of all LP clocks.
+  [[nodiscard]] SimTime now() const noexcept;
+
+  [[nodiscard]] bool idle() const noexcept;
+  [[nodiscard]] std::size_t lp_count() const noexcept { return lps_.size(); }
+  [[nodiscard]] Engine& lp(std::size_t i) noexcept { return *lps_[i]; }
+  [[nodiscard]] Mailbox& mailbox(std::size_t i) noexcept { return boxes_[i]; }
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Protocol statistics (since construction).
+  [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+  [[nodiscard]] std::uint64_t microsteps() const noexcept { return microsteps_; }
+  [[nodiscard]] std::uint64_t posts() const noexcept { return posts_; }
+
+private:
+  /// Index of the LP holding the global (when, seq, lp) minimum; -1 if all
+  /// idle.
+  [[nodiscard]] int min_lp() const noexcept;
+  void run_window(SimTime bound);
+  void drain_mailbox(std::size_t lp);
+  void sync_seq_floors() noexcept;
+  void sample_depths() noexcept;
+
+  std::vector<Engine*> lps_;
+  std::vector<Mailbox> boxes_;
+  std::vector<char> pumping_;  ///< per-LP re-entrancy guard for drain_mailbox
+  std::function<SimTime()> bound_;
+  std::function<void()> barrier_;
+  int threads_;
+  std::uint64_t windows_ = 0;
+  std::uint64_t microsteps_ = 0;
+  std::uint64_t posts_ = 0;
+};
+
+}  // namespace ms::sim

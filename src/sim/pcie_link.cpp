@@ -1,6 +1,9 @@
 #include "sim/pcie_link.hpp"
 
+#include <algorithm>
 #include <utility>
+
+#include "telemetry/metrics.hpp"
 
 namespace ms::sim {
 
@@ -38,10 +41,26 @@ FifoResource::Grant PcieLink::reserve_chunk(Direction dir, SimTime ready, std::s
   const auto idx = static_cast<std::size_t>(dir);
   if (first_chunk) ++count_[idx];
   bytes_[idx] += bytes;
-  if (shared_) {
-    return shared_->reserve(ready, dur);
+  const FifoResource::Grant grant =
+      shared_ ? shared_->reserve(ready, dur)
+              : (dir == Direction::HostToDevice ? *h2d_ : *d2h_).reserve(ready, dur);
+  if (telemetry::enabled()) {
+    flights_.push_back(Flight{grant.start, grant.end, static_cast<std::uint64_t>(bytes)});
   }
-  return (dir == Direction::HostToDevice ? *h2d_ : *d2h_).reserve(ready, dur);
+  return grant;
+}
+
+std::uint64_t PcieLink::inflight_bytes(SimTime t) const noexcept {
+  // Prune windows already finished at t; what remains and has started is in
+  // flight. Observation only — the schedule never reads this.
+  flights_.erase(std::remove_if(flights_.begin(), flights_.end(),
+                                [t](const Flight& f) { return !(t < f.end); }),
+                 flights_.end());
+  std::uint64_t total = 0;
+  for (const Flight& f : flights_) {
+    if (!(t < f.start)) total += f.bytes;
+  }
+  return total;
 }
 
 std::uint64_t PcieLink::transfers(Direction dir) const noexcept {
@@ -63,6 +82,7 @@ void PcieLink::reset() {
   if (d2h_) d2h_->reset();
   count_[0] = count_[1] = 0;
   bytes_[0] = bytes_[1] = 0;
+  flights_.clear();
 }
 
 }  // namespace ms::sim

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/resource.hpp"
 #include "sim/sim_config.hpp"
@@ -47,9 +48,22 @@ public:
   [[nodiscard]] std::uint64_t bytes_moved(Direction dir) const noexcept;
   [[nodiscard]] SimTime busy_until() const noexcept;
 
+  /// Bytes whose reserved engine window is still open at virtual time `t`
+  /// (both directions). Tracked only while telemetry::enabled() — feeds the
+  /// Chrome-trace counter track, never the schedule. Completed windows are
+  /// pruned as a side effect.
+  [[nodiscard]] std::uint64_t inflight_bytes(SimTime t) const noexcept;
+
   void reset();
 
 private:
+  /// One telemetry-tracked reservation window.
+  struct Flight {
+    SimTime start;
+    SimTime end;
+    std::uint64_t bytes = 0;
+  };
+
   LinkSpec spec_;
   std::string name_;
   // Serialized mode uses `shared_`; duplex mode uses the per-direction pair.
@@ -58,6 +72,7 @@ private:
   std::unique_ptr<FifoResource> d2h_;
   std::uint64_t count_[2] = {0, 0};
   std::uint64_t bytes_[2] = {0, 0};
+  mutable std::vector<Flight> flights_;  ///< telemetry only; pruned on query
 };
 
 }  // namespace ms::sim

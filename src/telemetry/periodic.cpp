@@ -1,0 +1,116 @@
+#include "telemetry/periodic.hpp"
+
+#include "telemetry/metrics.hpp"
+
+#if MS_TELEMETRY_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "telemetry/export.hpp"
+
+namespace ms::telemetry {
+
+namespace {
+
+bool prometheus_path(const std::string& path) {
+  const auto ends_with = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  return ends_with(".prom") || ends_with(".txt");
+}
+
+}  // namespace
+
+struct PeriodicDumper::Impl {
+  std::string path;
+  bool prometheus = false;
+  std::chrono::duration<double> interval{1.0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stopping = false;
+  std::atomic<std::uint64_t> ticks{0};
+  std::thread worker;
+
+  void dump_once() {
+    if (path == "-") {
+      write_snapshot(std::cout, prometheus);
+      std::cout.flush();
+    } else if (prometheus) {
+      // Rewrite: scrapers want the latest exposition, not history.
+      std::ofstream f(path, std::ios::trunc);
+      if (!f) return;
+      write_snapshot(f, true);
+    } else {
+      // Append: each tick adds one snapshot object to the JSON stream.
+      std::ofstream f(path, std::ios::app);
+      if (!f) return;
+      write_snapshot(f, false);
+    }
+    ticks.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stopping) {
+      if (cv.wait_for(lock, interval, [this] { return stopping; })) break;
+      lock.unlock();
+      dump_once();
+      lock.lock();
+    }
+  }
+};
+
+PeriodicDumper::PeriodicDumper(std::string path, double interval_s) {
+  if (interval_s <= 0.0 || path.empty()) return;
+  impl_ = std::make_unique<Impl>();
+  impl_->path = std::move(path);
+  impl_->prometheus = prometheus_path(impl_->path);
+  impl_->interval = std::chrono::duration<double>(interval_s);
+  impl_->worker = std::thread([impl = impl_.get()] { impl->run(); });
+}
+
+PeriodicDumper::~PeriodicDumper() { stop(); }
+
+void PeriodicDumper::stop() noexcept {
+  if (!impl_ || !impl_->worker.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  impl_->worker.join();
+  try {
+    impl_->dump_once();  // final snapshot: short runs still leave a file
+  } catch (...) {        // NOLINT(bugprone-empty-catch) — best-effort flush
+  }
+}
+
+std::uint64_t PeriodicDumper::ticks() const noexcept {
+  return impl_ ? impl_->ticks.load(std::memory_order_relaxed) : 0;
+}
+
+}  // namespace ms::telemetry
+
+#else  // !MS_TELEMETRY_ENABLED
+
+namespace ms::telemetry {
+
+struct PeriodicDumper::Impl {};
+
+PeriodicDumper::PeriodicDumper(std::string, double) {}
+PeriodicDumper::~PeriodicDumper() = default;
+void PeriodicDumper::stop() noexcept {}
+std::uint64_t PeriodicDumper::ticks() const noexcept { return 0; }
+
+}  // namespace ms::telemetry
+
+#endif  // MS_TELEMETRY_ENABLED

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ms::telemetry {
+
+/// Background metrics publisher: every `interval_s` seconds a worker thread
+/// snapshots the process registry and writes it to `path`. Paths ending in
+/// .prom / .txt are rewritten in place in the Prometheus text format on each
+/// tick (the node-exporter textfile-collector contract); any other path gets
+/// one JSON snapshot object appended per tick, so a long run accumulates a
+/// parseable stream of samples. "-" streams snapshots to stdout.
+///
+/// The destructor (or stop()) joins the worker and writes one final snapshot,
+/// so even runs shorter than the interval leave a complete file behind. When
+/// the library is built with MS_TELEMETRY=OFF, or the interval is not
+/// positive, construction is a no-op and ticks() stays 0.
+class PeriodicDumper {
+ public:
+  PeriodicDumper(std::string path, double interval_s);
+  ~PeriodicDumper();
+
+  PeriodicDumper(const PeriodicDumper&) = delete;
+  PeriodicDumper& operator=(const PeriodicDumper&) = delete;
+
+  /// Join the worker and flush the final snapshot. Idempotent.
+  void stop() noexcept;
+
+  /// Number of snapshots written so far (including the final one).
+  [[nodiscard]] std::uint64_t ticks() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;  // null when inactive (stub build / interval<=0)
+};
+
+}  // namespace ms::telemetry

@@ -78,6 +78,34 @@ SpanRing& thread_ring() {
   return *ring;
 }
 
+/// Global overwrite-oldest ring of counter observations. Unlike spans these
+/// are recorded at barrier/sync cadence (not per event), so one shared
+/// mutex-guarded ring is cheaper than per-thread machinery.
+struct CounterRing {
+  std::mutex mu;
+  std::size_t head = 0;
+  std::size_t count = 0;
+  std::vector<CounterSample> slots;
+
+  static CounterRing& instance() {
+    static CounterRing* r = new CounterRing;  // immortal, like SpanSink
+    return *r;
+  }
+
+  void push(const CounterSample& s) noexcept {
+    std::lock_guard<std::mutex> lock(mu);
+    if (slots.size() < kCounterSampleCapacity && count == slots.size()) {
+      slots.push_back(s);
+      head = slots.size() % kCounterSampleCapacity;
+      ++count;
+      return;
+    }
+    slots[head] = s;
+    head = (head + 1) % kCounterSampleCapacity;
+    if (count < slots.size()) ++count;
+  }
+};
+
 }  // namespace
 
 std::uint64_t now_ns() noexcept {
@@ -117,6 +145,33 @@ void clear_spans() noexcept {
     rings = sink.rings;
   }
   for (const auto& ring : rings) ring->clear();
+}
+
+void record_counter_sample(const char* name, double value) noexcept {
+  CounterSample s;
+  s.name = name;
+  s.t_ns = now_ns();
+  s.value = value;
+  CounterRing::instance().push(s);
+}
+
+std::vector<CounterSample> collect_counter_samples() {
+  CounterRing& ring = CounterRing::instance();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  std::vector<CounterSample> out;
+  out.reserve(ring.count);
+  const std::size_t cap = ring.slots.size();
+  for (std::size_t i = 0; i < ring.count; ++i) {
+    out.push_back(ring.slots[(ring.head + cap - ring.count + i) % cap]);
+  }
+  return out;
+}
+
+void clear_counter_samples() noexcept {
+  CounterRing& ring = CounterRing::instance();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.head = 0;
+  ring.count = 0;
 }
 
 }  // namespace ms::telemetry

@@ -19,10 +19,34 @@ struct SpanRecord {
   [[nodiscard]] std::uint64_t duration_ns() const noexcept { return end_ns - start_ns; }
 };
 
+/// One time-stamped counter observation, feeding the Chrome-trace `ph:"C"`
+/// counter tracks (per-LP queue depth, parked depot bytes, in-flight link
+/// bytes). Like SpanRecord, `name` must point at storage that outlives the
+/// process slice being observed (string literals or interned strings).
+struct CounterSample {
+  const char* name = nullptr;
+  std::uint64_t t_ns = 0;  ///< steady-clock nanoseconds
+  double value = 0.0;
+};
+
 #if MS_TELEMETRY_ENABLED
 
 /// Monotonic wall-clock in nanoseconds (steady_clock).
 [[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// Record one counter observation (stamped with now_ns()). Samples live in a
+/// fixed-capacity overwrite-oldest ring shared by all threads; recording is
+/// expected at barrier/sync cadence, not per event, so one mutex suffices.
+void record_counter_sample(const char* name, double value) noexcept;
+
+/// Copy out every buffered counter sample, oldest-first. Does not clear.
+[[nodiscard]] std::vector<CounterSample> collect_counter_samples();
+
+/// Drop every buffered counter sample.
+void clear_counter_samples() noexcept;
+
+/// Global counter-sample ring capacity.
+inline constexpr std::size_t kCounterSampleCapacity = 16384;
 
 /// Record a completed span into the calling thread's ring buffer. Rings are
 /// fixed-capacity and overwrite their oldest entry, so a long run keeps the
@@ -64,6 +88,10 @@ inline void record_span(const char*, std::uint64_t, std::uint64_t) noexcept {}
 [[nodiscard]] inline std::vector<SpanRecord> collect_spans() { return {}; }
 inline void clear_spans() noexcept {}
 inline constexpr std::size_t kSpanRingCapacity = 0;
+inline void record_counter_sample(const char*, double) noexcept {}
+[[nodiscard]] inline std::vector<CounterSample> collect_counter_samples() { return {}; }
+inline void clear_counter_samples() noexcept {}
+inline constexpr std::size_t kCounterSampleCapacity = 0;
 
 class ScopedSpan {
 public:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <ostream>
 #include <set>
@@ -42,6 +43,12 @@ void write_chrome_trace(std::ostream& os, const Timeline& timeline) {
 
 void write_chrome_trace(std::ostream& os, const Timeline& timeline,
                         std::span<const telemetry::SpanRecord> host_spans) {
+  write_chrome_trace(os, timeline, host_spans, {});
+}
+
+void write_chrome_trace(std::ostream& os, const Timeline& timeline,
+                        std::span<const telemetry::SpanRecord> host_spans,
+                        std::span<const telemetry::CounterSample> counters) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
@@ -75,7 +82,7 @@ void write_chrome_trace(std::ostream& os, const Timeline& timeline,
     os << ",\"args\":{\"partition\":" << s.partition << ",\"bytes\":" << s.bytes << "}}";
   }
 
-  if (!host_spans.empty()) {
+  if (!host_spans.empty() || !counters.empty()) {
     sep();
     os << "{\"ph\":\"M\",\"pid\":" << kHostTracePid
        << ",\"name\":\"process_name\",\"args\":{\"name\":\"host (wall-clock)\"}}";
@@ -90,10 +97,12 @@ void write_chrome_trace(std::ostream& os, const Timeline& timeline,
          << ",\"name\":\"thread_name\",\"args\":{\"name\":\"host thread " << t << "\"}}";
     }
 
-    // Normalize so the earliest host span starts at 0 — steady-clock offsets
+    // Normalize so the earliest host event starts at 0 — steady-clock offsets
     // are since boot and would park the track light-years from the devices.
+    // Spans and counters share one origin so their tracks stay aligned.
     std::uint64_t t0 = std::numeric_limits<std::uint64_t>::max();
     for (const telemetry::SpanRecord& r : host_spans) t0 = std::min(t0, r.start_ns);
+    for (const telemetry::CounterSample& c : counters) t0 = std::min(t0, c.t_ns);
     for (const telemetry::SpanRecord& r : host_spans) {
       sep();
       os << "{\"ph\":\"X\",\"name\":";
@@ -104,6 +113,17 @@ void write_chrome_trace(std::ostream& os, const Timeline& timeline,
       os << ",\"dur\":";
       write_us(r.duration_ns());
       os << '}';
+    }
+    for (const telemetry::CounterSample& c : counters) {
+      sep();
+      os << "{\"ph\":\"C\",\"name\":";
+      write_escaped(os, c.name != nullptr ? std::string_view(c.name) : std::string_view("counter"));
+      os << ",\"cat\":\"counter\",\"pid\":" << kHostTracePid << ",\"ts\":";
+      write_us(c.t_ns - t0);
+      os << ",\"args\":{\"value\":";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", c.value);
+      os << buf << "}}";
     }
   }
   os << "\n]}\n";

@@ -27,4 +27,14 @@ void write_chrome_trace(std::ostream& os, const Timeline& timeline);
 void write_chrome_trace(std::ostream& os, const Timeline& timeline,
                         std::span<const telemetry::SpanRecord> host_spans);
 
+/// Full export: device timeline, host wall-clock spans, and counter tracks.
+/// Each CounterSample becomes a Chrome counter ("C") event on the host
+/// process, so queue depths, parked pool bytes, and link occupancy render as
+/// stacked area charts above the span tracks. Counter timestamps share the
+/// host spans' normalization (earliest of either starts at 0) so the tracks
+/// line up.
+void write_chrome_trace(std::ostream& os, const Timeline& timeline,
+                        std::span<const telemetry::SpanRecord> host_spans,
+                        std::span<const telemetry::CounterSample> counters);
+
 }  // namespace ms::trace

@@ -1,0 +1,121 @@
+// End-to-end invariant of the parallel engine: every app produces
+// bit-identical virtual times, checksums, and span counts on the sharded
+// engine — at 1, 2, and all hardware worker threads, and at 1..3 devices.
+// MS_PAR_ENGINE is the production switch, so that is what these tests flip.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "apps/cf_app.hpp"
+#include "apps/hotspot_app.hpp"
+#include "apps/kmeans_app.hpp"
+#include "apps/lu_app.hpp"
+#include "apps/mm_app.hpp"
+#include "apps/nn_app.hpp"
+#include "apps/srad_app.hpp"
+
+namespace ms::apps {
+namespace {
+
+sim::SimConfig cfg(int devices) {
+  sim::SimConfig c = sim::SimConfig::phi_31sp();
+  c.num_devices = devices;
+  return c;
+}
+
+/// RAII guard for the engine-selection environment.
+struct ParEnv {
+  explicit ParEnv(int threads) {
+    setenv("MS_PAR_ENGINE", "1", 1);
+    setenv("MS_PAR_THREADS", std::to_string(threads).c_str(), 1);
+  }
+  ~ParEnv() {
+    unsetenv("MS_PAR_ENGINE");
+    unsetenv("MS_PAR_THREADS");
+  }
+};
+
+/// Run `app` serially, then on the parallel engine at several worker counts;
+/// everything observable must match bit-for-bit.
+template <typename App, typename Config>
+void expect_parallel_matches_serial(const Config& app_cfg, int devices) {
+  const AppResult serial = App::run(cfg(devices), app_cfg);
+  for (int threads : {1, 2, 0}) {
+    ParEnv env(threads);
+    const AppResult par = App::run(cfg(devices), app_cfg);
+    EXPECT_DOUBLE_EQ(serial.ms, par.ms) << "devices=" << devices << " threads=" << threads;
+    EXPECT_DOUBLE_EQ(serial.checksum, par.checksum)
+        << "devices=" << devices << " threads=" << threads;
+    EXPECT_EQ(serial.timeline.size(), par.timeline.size())
+        << "devices=" << devices << " threads=" << threads;
+  }
+}
+
+TEST(ParallelApps, Mm) {
+  MmConfig mc;
+  mc.dim = 64;
+  mc.tile_grid = 2;
+  for (int devices : {1, 2, 3}) expect_parallel_matches_serial<MmApp>(mc, devices);
+}
+
+TEST(ParallelApps, Cf) {
+  CfConfig cc;
+  cc.dim = 48;
+  cc.tile = 16;
+  for (int devices : {1, 2}) expect_parallel_matches_serial<CfApp>(cc, devices);
+}
+
+TEST(ParallelApps, Lu) {
+  LuConfig lc;
+  lc.dim = 64;
+  lc.tile = 32;
+  for (int devices : {1, 2}) expect_parallel_matches_serial<LuApp>(lc, devices);
+}
+
+TEST(ParallelApps, Kmeans) {
+  KmeansConfig kc;
+  kc.points = 500;
+  kc.dims = 4;
+  kc.clusters = 3;
+  kc.iterations = 3;
+  kc.tiles = 2;
+  for (int devices : {1, 2}) expect_parallel_matches_serial<KmeansApp>(kc, devices);
+}
+
+TEST(ParallelApps, Hotspot) {
+  HotspotConfig hc;
+  hc.rows = hc.cols = 32;
+  hc.tile_rows = hc.tile_cols = 16;
+  hc.steps = 3;
+  for (int devices : {1, 2}) expect_parallel_matches_serial<HotspotApp>(hc, devices);
+}
+
+TEST(ParallelApps, Nn) {
+  NnConfig nc;
+  nc.records = 1000;
+  nc.tiles = 4;
+  for (int devices : {1, 2}) expect_parallel_matches_serial<NnApp>(nc, devices);
+}
+
+TEST(ParallelApps, Srad) {
+  SradConfig sc;
+  sc.rows = sc.cols = 32;
+  sc.tile_rows = sc.tile_cols = 16;
+  sc.iterations = 3;
+  for (int devices : {1, 2, 3}) expect_parallel_matches_serial<SradApp>(sc, devices);
+}
+
+/// Graph replay modes ride the same engine; compiled batches shard across
+/// LPs in parallel mode and must stay bit-identical too.
+TEST(ParallelApps, MmCompiledGraphMode) {
+  MmConfig mc;
+  mc.dim = 64;
+  mc.tile_grid = 2;
+  mc.common.graph = GraphMode::Compiled;
+  for (int devices : {1, 2}) expect_parallel_matches_serial<MmApp>(mc, devices);
+}
+
+}  // namespace
+}  // namespace ms::apps

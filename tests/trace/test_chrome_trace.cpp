@@ -71,5 +71,44 @@ TEST(ChromeTrace, MultipleEventsAreCommaSeparated) {
   EXPECT_NE(s.find("\"pid\":1"), std::string::npos);
 }
 
+TEST(ChromeTrace, CounterSamplesBecomeCounterEvents) {
+  Timeline t;
+  const telemetry::CounterSample samples[] = {
+      {"pdes.lp0.queue_depth", 5000, 3.0},
+      {"depot.parked_bytes", 7000, 1048576.0},
+  };
+  std::ostringstream os;
+  write_chrome_trace(os, t, {}, samples);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"pdes.lp0.queue_depth\""), std::string::npos);
+  EXPECT_NE(s.find("\"cat\":\"counter\""), std::string::npos);
+  EXPECT_NE(s.find("\"args\":{\"value\":3}"), std::string::npos);
+  EXPECT_NE(s.find("\"args\":{\"value\":1048576}"), std::string::npos);
+  // Counters land on the host process and get its metadata even without spans.
+  EXPECT_NE(s.find("\"pid\":1000"), std::string::npos);
+  EXPECT_NE(s.find("host (wall-clock)"), std::string::npos);
+  // Timestamps normalize to the earliest sample: 5000ns -> 0, 7000ns -> 2us.
+  EXPECT_NE(s.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_NE(s.find("\"ts\":2.000"), std::string::npos);
+}
+
+TEST(ChromeTrace, CountersShareOriginWithHostSpans) {
+  Timeline t;
+  telemetry::SpanRecord span;
+  span.name = "window";
+  span.start_ns = 1000;
+  span.end_ns = 9000;
+  span.thread = 7;
+  const telemetry::SpanRecord spans[] = {span};
+  const telemetry::CounterSample samples[] = {{"pdes.link0.inflight_bytes", 4000, 64.0}};
+  std::ostringstream os;
+  write_chrome_trace(os, t, spans, samples);
+  const std::string s = os.str();
+  // Span starts the track at 0; the counter sits 3us in on the same clock.
+  EXPECT_NE(s.find("\"ts\":0.000,\"dur\":8.000"), std::string::npos);
+  EXPECT_NE(s.find("\"ts\":3.000,\"args\":{\"value\":64}"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ms::trace

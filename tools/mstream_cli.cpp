@@ -27,6 +27,9 @@
 //   --metrics FILE                      enable host telemetry; write the snapshot
 //                                       (JSON, or Prometheus text for *.prom/*.txt;
 //                                       '-' = stdout)
+//   --metrics-interval SECS             with --metrics: publish the snapshot every
+//                                       SECS seconds while the run is in flight
+//                                       (*.prom rewritten in place, JSON appended)
 //   --json FILE                         (analyze) write the JSON hazard report ('-' = stdout)
 //   --dot FILE                          (analyze) write Graphviz dot of the racy subgraph
 //   --replays N                         (graph) protocol replays of the captured schedule
@@ -61,6 +64,7 @@
 #include "sim/sweep.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/periodic.hpp"
 #include "telemetry/span.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/energy.hpp"
@@ -83,6 +87,7 @@ struct Cli {
   std::string json_path;
   std::string dot_path;
   std::string metrics_path;
+  double metrics_interval = 0.0;  // seconds; 0 = single snapshot at exit
   double h2d_mib = 16.0;
   double d2h_mib = 16.0;
   double gflop = 0.0;
@@ -103,7 +108,8 @@ int usage() {
                "       mstream_cli devices\n"
                "flags: --device {31sp|31sp-x2|7120p} --partitions N --tiles N\n"
                "       --dim N --points N --iters N --baseline --functional\n"
-               "       --trace FILE --metrics FILE --utilization --energy ('-' = stdout)\n");
+               "       --trace FILE --metrics FILE --metrics-interval SECS\n"
+               "       --utilization --energy ('-' = stdout)\n");
   return 2;
 }
 
@@ -148,6 +154,9 @@ void calibration_probe() {
 /// gets JSON.
 void write_metrics(const Cli& cli) {
   if (cli.metrics_path.empty()) return;
+  // Periodic publishing owns the file: its final flush (on dumper stop) is
+  // the exit snapshot, and truncating here would clobber the appended stream.
+  if (cli.metrics_interval > 0.0) return;
   const bool prom = wants_prometheus(cli.metrics_path);
   if (with_output(cli.metrics_path,
                   [&](std::ostream& os) { ms::telemetry::write_snapshot(os, prom); }) &&
@@ -188,6 +197,14 @@ bool parse_flags(int argc, char** argv, int first, Cli* cli) {
       const char* v = next("--metrics");
       if (v == nullptr) return false;
       cli->metrics_path = v;
+    } else if (flag == "--metrics-interval") {
+      const char* v = next("--metrics-interval");
+      if (v == nullptr) return false;
+      cli->metrics_interval = std::atof(v);
+      if (cli->metrics_interval <= 0.0) {
+        std::fprintf(stderr, "--metrics-interval wants a positive seconds value\n");
+        return false;
+      }
     } else if (flag == "--device") {
       const char* v = next("--device");
       if (v == nullptr) return false;
@@ -289,14 +306,17 @@ void report(const ms::apps::AppResult& r, const Cli& cli, const ms::sim::SimConf
   }
   if (!cli.trace_path.empty()) {
     // With telemetry on, the export carries the wall-clock host track next
-    // to the virtual device timeline (one combined Perfetto view).
+    // to the virtual device timeline (one combined Perfetto view), plus the
+    // counter tracks (queue depth, pool bytes, link occupancy) the parallel
+    // engine samples at its window barriers.
     const auto host_spans = ms::telemetry::collect_spans();
+    const auto counters = ms::telemetry::collect_counter_samples();
     const bool ok = with_output(cli.trace_path, [&](std::ostream& os) {
-      ms::trace::write_chrome_trace(os, r.timeline, host_spans);
+      ms::trace::write_chrome_trace(os, r.timeline, host_spans, counters);
     });
     if (ok && cli.trace_path != "-") {
-      std::printf("trace: %zu spans (+%zu host) -> %s\n", r.timeline.size(), host_spans.size(),
-                  cli.trace_path.c_str());
+      std::printf("trace: %zu spans (+%zu host, %zu counter samples) -> %s\n", r.timeline.size(),
+                  host_spans.size(), counters.size(), cli.trace_path.c_str());
     }
   }
 }
@@ -633,6 +653,15 @@ int main(int argc, char** argv) {
   if (!cli.metrics_path.empty() || cmd == "stats" || cmd == "graph") {
     ms::telemetry::set_enabled(true);
     calibration_probe();
+  }
+  if (cli.metrics_interval > 0.0 && cli.metrics_path.empty()) {
+    std::fprintf(stderr, "--metrics-interval needs --metrics FILE; ignoring\n");
+  }
+  // Live publisher: snapshots land while the run is still in flight, and the
+  // destructor's final flush doubles as the exit snapshot.
+  std::optional<ms::telemetry::PeriodicDumper> dumper;
+  if (cli.metrics_interval > 0.0 && !cli.metrics_path.empty()) {
+    dumper.emplace(cli.metrics_path, cli.metrics_interval);
   }
 
   try {
