@@ -7,7 +7,10 @@
 #      releases pooled actions), undefined (every UB report fatal)
 #   4. native kernel leg (-O3 -march=native numerics stay bit-stable)
 #   5. static analysis (clang-tidy, or the strict -Werror fallback)
-#   6. bench-regression smoke (report-only: fresh medians vs BENCH_*.json)
+#   6. performance lint: every app + hbench pattern under `mstream_cli lint`,
+#      failing on findings outside scripts/lint_waivers.txt (SARIF artifacts
+#      in <prefix>/lint-sarif/)
+#   7. bench-regression smoke (report-only: fresh medians vs BENCH_*.json)
 #
 #   scripts/ci_all.sh [build-dir-prefix]
 set -euo pipefail
@@ -35,6 +38,9 @@ echo "==> native kernels"
 
 echo "==> static analysis"
 "${SOURCE_DIR}/scripts/ci_tidy.sh" "${PREFIX}-tidy"
+
+echo "==> performance lint (apps + hbench)"
+"${SOURCE_DIR}/scripts/ci_lint.sh" "${PREFIX}"
 
 echo "==> bench regression smoke (report-only)"
 "${SOURCE_DIR}/scripts/ci_bench_regress.sh" "${PREFIX}"

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Performance-lint CI leg: every ported app plus the hBench patterns run
+# under `mstream_cli lint`, which records the scheduled action graph and
+# checks it against the platform cost model (docs/lint.md). Findings fail
+# the leg unless scripts/lint_waivers.txt waives that (workload, rule) pair —
+# waivers are documented true positives, and a stale waiver (one that no
+# longer fires) is reported so the list cannot rot silently.
+#
+# SARIF 2.1.0 logs for every workload land in <build-dir>/lint-sarif/ as the
+# leg's artifact.
+#
+#   scripts/ci_lint.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build-ci}"
+SOURCE_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+CLI="${BUILD_DIR}/tools/mstream_cli"
+WAIVERS="${SOURCE_DIR}/scripts/lint_waivers.txt"
+ARTIFACTS="${BUILD_DIR}/lint-sarif"
+
+if [[ ! -x "${CLI}" ]]; then
+  echo "ci_lint: ${CLI} not built (run the tier-1 leg first)" >&2
+  exit 2
+fi
+mkdir -p "${ARTIFACTS}"
+
+# workload-id  CLI-subcommand-and-args
+WORKLOADS=(
+  "app:mm        app mm"
+  "app:cf        app cf"
+  "app:lu        app lu"
+  "app:kmeans    app kmeans"
+  "app:kmeans-async app kmeans-async"
+  "app:hotspot   app hotspot"
+  "app:nn        app nn"
+  "app:srad      app srad"
+  "hbench:fig5   hbench fig5"
+  "hbench:fig6   hbench fig6"
+  "hbench:fig7   hbench fig7"
+)
+
+waived() {  # waived <workload-id> <rule>
+  grep -Eq "^${1}[[:space:]]+${2}([[:space:]]|$)" <(grep -v '^#' "${WAIVERS}")
+}
+
+fail=0
+declare -A waiver_hit
+for entry in "${WORKLOADS[@]}"; do
+  id="${entry%% *}"
+  read -r -a cmd <<< "${entry#* }"
+  sarif="${ARTIFACTS}/${id/:/-}.sarif"
+  json="${ARTIFACTS}/${id/:/-}.json"
+
+  echo "==> lint ${id}"
+  rc=0
+  "${CLI}" lint "${cmd[@]}" --sarif "${sarif}" --json "${json}" >/dev/null || rc=$?
+  if [[ ${rc} -ge 2 ]]; then
+    echo "ci_lint: ${id}: mstream_cli exited ${rc}" >&2
+    fail=1
+    continue
+  fi
+
+  # Findings (if any) are in the JSON report; check each rule against waivers.
+  mapfile -t rules < <(grep -o '"rule": "[a-z0-9-]*"' "${json}" | cut -d'"' -f4 | sort -u)
+  for rule in "${rules[@]}"; do
+    if waived "${id}" "${rule}"; then
+      echo "    waived: ${rule}"
+      waiver_hit["${id} ${rule}"]=1
+    else
+      echo "ci_lint: ${id}: non-waivered finding '${rule}' (see ${sarif})" >&2
+      fail=1
+    fi
+  done
+done
+
+# Stale-waiver report: entries that never fired (informational, not fatal —
+# a waiver can be config-dependent, but it should not rot unnoticed).
+while read -r id rule _; do
+  [[ -z "${id}" || "${id}" == \#* ]] && continue
+  if [[ -z "${waiver_hit["${id} ${rule}"]:-}" ]]; then
+    echo "ci_lint: note: stale waiver '${id} ${rule}' (no such finding fired)"
+  fi
+done < "${WAIVERS}"
+
+if [[ ${fail} -ne 0 ]]; then
+  echo "ci_lint: FAILED (non-waivered findings above; SARIF in ${ARTIFACTS})" >&2
+  exit 1
+fi
+echo "ci_lint: OK (SARIF artifacts in ${ARTIFACTS})"

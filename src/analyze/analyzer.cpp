@@ -99,6 +99,32 @@ void IntervalSet::insert(std::size_t begin, std::size_t end) {
   runs_.emplace(begin, end);
 }
 
+void IntervalSet::erase(std::size_t begin, std::size_t end) {
+  if (begin >= end) return;
+  auto it = runs_.upper_bound(begin);
+  if (it != runs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > begin) {
+      const std::size_t prev_end = prev->second;
+      prev->second = begin;  // keep the left remainder
+      if (prev->second == prev->first) runs_.erase(prev);
+      if (prev_end > end) {
+        runs_.emplace(end, prev_end);  // right remainder of a straddling run
+        return;
+      }
+    }
+  }
+  while (it != runs_.end() && it->first < end) {
+    if (it->second <= end) {
+      it = runs_.erase(it);
+    } else {
+      runs_.emplace(end, it->second);
+      runs_.erase(it);
+      return;
+    }
+  }
+}
+
 bool IntervalSet::covers(std::size_t begin, std::size_t end) const {
   auto [gb, ge] = first_gap(begin, end);
   return gb == ge;
@@ -256,6 +282,11 @@ Analysis analyze(const GraphRecord& record, Coverage* carry) {
     };
     std::unordered_map<std::uint64_t, std::vector<Entry>> by_location;
     for (std::size_t i = 0; i < n; ++i) {
+      // HostWrite nodes are linter annotations (Context::host_write), not
+      // recorded memory operations — they carry no ordering guarantees the
+      // race scan could use, so including them would only manufacture
+      // false races against in-flight transfers the host already waited on.
+      if (nodes[i].kind == NodeKind::HostWrite) continue;
       for (std::size_t a = 0; a < nodes[i].accesses.size(); ++a) {
         const Access& acc = nodes[i].accesses[a];
         by_location[Coverage::key(acc.buffer.value, acc.space)].push_back({i, a});
@@ -333,6 +364,7 @@ Analysis analyze(const GraphRecord& record, Coverage* carry) {
 
   for (std::size_t i = 0; i < n && out.hazards.size() < kMaxHazards; ++i) {
     const ActionNode& node = nodes[i];
+    if (node.kind == NodeKind::HostWrite) continue;  // lint annotation only
 
     if (node.kind == NodeKind::Free) {
       auto [it, fresh] = freed.try_emplace(node.buffer);

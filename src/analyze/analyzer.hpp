@@ -19,7 +19,11 @@ namespace ms::analyze {
 class IntervalSet {
 public:
   void insert(std::size_t begin, std::size_t end);
+  /// Remove [begin, end), splitting runs that straddle the boundary. Used by
+  /// the performance linter to invalidate clean-upload ranges on host writes.
+  void erase(std::size_t begin, std::size_t end);
   [[nodiscard]] bool covers(std::size_t begin, std::size_t end) const;
+  [[nodiscard]] bool empty() const noexcept { return runs_.empty(); }
   /// First sub-interval of [begin, end) not covered (begin==end when covered).
   [[nodiscard]] std::pair<std::size_t, std::size_t> first_gap(std::size_t begin,
                                                               std::size_t end) const;

@@ -13,7 +13,7 @@ namespace ms::analyze {
 /// >= 0 is that device's instantiation of the buffer.
 inline constexpr int kHostSpace = -1;
 
-enum class NodeKind : std::uint8_t { H2D, D2H, Kernel, Barrier, HostSync, Free };
+enum class NodeKind : std::uint8_t { H2D, D2H, Kernel, Barrier, HostSync, Free, HostWrite };
 
 [[nodiscard]] std::string_view to_string(NodeKind k) noexcept;
 

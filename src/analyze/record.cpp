@@ -12,6 +12,7 @@ std::string_view to_string(NodeKind k) noexcept {
     case NodeKind::Barrier: return "barrier";
     case NodeKind::HostSync: return "host-sync";
     case NodeKind::Free: return "free";
+    case NodeKind::HostWrite: return "host-write";
   }
   return "?";
 }
@@ -85,12 +86,13 @@ std::uint64_t GraphRecord::add_d2h(int stream, int device, rt::BufferId buf, std
 
 std::uint64_t GraphRecord::add_kernel(int stream, int device, std::string label,
                                       const std::vector<rt::BufferAccess>& accesses,
-                                      std::vector<std::uint64_t> deps) {
+                                      std::vector<std::uint64_t> deps, sim::SimTime duration) {
   ActionNode n;
   n.kind = NodeKind::Kernel;
   n.stream = stream;
   n.device = device;
   n.label = std::move(label);
+  n.duration = duration;
   n.accesses.reserve(accesses.size());
   for (const rt::BufferAccess& a : accesses) {
     n.accesses.push_back({a.buffer, device, a.mode, a.range});
@@ -122,6 +124,18 @@ std::uint64_t GraphRecord::add_free(rt::BufferId buf) {
   n.stream = -1;
   n.label = "free";
   n.buffer = buf.value;
+  return add_node(std::move(n), {});
+}
+
+std::uint64_t GraphRecord::add_host_write(rt::BufferId buf, std::size_t offset,
+                                          std::size_t bytes) {
+  ActionNode n;
+  n.kind = NodeKind::HostWrite;
+  n.stream = -1;
+  n.label = "host-write";
+  n.buffer = buf.value;
+  n.accesses.push_back(
+      {buf, kHostSpace, rt::AccessMode::Write, rt::MemRange::flat(offset, bytes)});
   return add_node(std::move(n), {});
 }
 

@@ -10,6 +10,7 @@
 #include "analyze/hazard.hpp"
 #include "rt/access.hpp"
 #include "rt/buffer.hpp"
+#include "sim/sim_time.hpp"
 
 namespace ms::analyze {
 
@@ -32,6 +33,10 @@ struct ActionNode {
   std::uint64_t buffer = 0;  ///< Free nodes: the destroyed buffer
   std::vector<std::uint64_t> deps;  ///< explicit ordering edges (event waits)
   std::vector<Access> accesses;
+  /// Kernel nodes: the cost-model duration stamped at enqueue time (already
+  /// resolved against the stream's partition width). Zero for transfers —
+  /// the linter derives their floor from the link spec and byte count.
+  sim::SimTime duration{};
 };
 
 struct BufferInfo {
@@ -63,12 +68,18 @@ public:
                         std::size_t bytes, std::vector<std::uint64_t> deps = {});
   std::uint64_t add_kernel(int stream, int device, std::string label,
                            const std::vector<rt::BufferAccess>& accesses,
-                           std::vector<std::uint64_t> deps = {});
+                           std::vector<std::uint64_t> deps = {},
+                           sim::SimTime duration = {});
   std::uint64_t add_barrier(int stream, std::vector<std::uint64_t> deps = {});
   /// Host-side join: the host blocked until `joined` completed, so every node
   /// added afterwards happens-after them (Stream::synchronize, Context::wait).
   std::uint64_t add_host_sync(std::vector<std::uint64_t> joined, std::string label = "wait");
   std::uint64_t add_free(rt::BufferId buf);
+  /// Host-side mutation annotation (`Context::host_write`): the host rewrote
+  /// `[offset, offset+bytes)` of the buffer's registered range between
+  /// enqueues. Consumed by the performance linter's `redundant-h2d` rule;
+  /// carries no ordering edges and no hazard-scan accesses.
+  std::uint64_t add_host_write(rt::BufferId buf, std::size_t offset, std::size_t bytes);
 
   /// Drop the segment's nodes after a global barrier; the buffer table, the
   /// id counter, and the stream count survive. Post-barrier nodes need no
@@ -85,6 +96,11 @@ public:
   std::unordered_map<std::uint64_t, BufferInfo> buffers;
   std::unordered_map<std::uint64_t, std::size_t> id_to_index;
   int stream_count = 0;
+
+  /// Partition count active while this segment ran (Context::setup stamps it
+  /// through the recorder; 0 = unknown, fixtures may set it directly).
+  /// Survives reset_segment like the buffer table.
+  int partitions = 0;
 
   /// OR-ed into every assigned id. The runtime recorder sets a per-recorder
   /// serial here so ids never collide across contexts; fixtures leave 0.

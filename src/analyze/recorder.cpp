@@ -22,8 +22,15 @@ telemetry::Counter& tel_recorded() {
 }
 }  // namespace
 
-Recorder::Recorder() : capture_(Capture::current()) {
+Recorder::Recorder() : Recorder(std::nullopt) {}
+
+Recorder::Recorder(std::optional<sim::SimConfig> config)
+    : capture_(Capture::current()), lint_capture_(LintCapture::current()) {
   graph_.id_base = g_next_serial.fetch_add(1, std::memory_order_relaxed) << 40;
+  if (lint_capture_ != nullptr && config.has_value()) {
+    lint_options_ = lint_capture_->options();
+    lint_options_->config = *config;
+  }
 }
 
 std::uint64_t Recorder::on_transfer(bool h2d, int stream, int device, rt::BufferId buf,
@@ -36,9 +43,9 @@ std::uint64_t Recorder::on_transfer(bool h2d, int stream, int device, rt::Buffer
 
 std::uint64_t Recorder::on_kernel(int stream, int device, std::string label,
                                   const std::vector<rt::BufferAccess>& accesses,
-                                  std::vector<std::uint64_t> deps) {
+                                  std::vector<std::uint64_t> deps, sim::SimTime duration) {
   tel_recorded().add(1);
-  return graph_.add_kernel(stream, device, std::move(label), accesses, std::move(deps));
+  return graph_.add_kernel(stream, device, std::move(label), accesses, std::move(deps), duration);
 }
 
 std::uint64_t Recorder::on_barrier(int stream, std::vector<std::uint64_t> deps) {
@@ -62,9 +69,43 @@ void Recorder::on_host_wait(std::uint64_t joined) {
   graph_.add_host_sync(std::move(deps));
 }
 
+void Recorder::on_host_write(rt::BufferId id, std::size_t offset, std::size_t bytes) {
+  graph_.add_host_write(id, offset, bytes);
+}
+
+void Recorder::on_setup(int partitions) { graph_.partitions = partitions; }
+
+void Recorder::on_protocol_sample() { lint_carry_.begin_protocol_sample(); }
+
+void Recorder::on_clock(sim::SimTime now) {
+  clock_ = now;
+  synced_ = true;
+}
+
 void Recorder::flush(bool may_throw) {
-  if (graph_.empty()) return;
+  if (graph_.empty()) {
+    // Nothing to analyze, but keep the elapsed-time baseline current so the
+    // next segment is not charged for idle/setup intervals before it.
+    if (synced_) {
+      flushed_clock_ = clock_;
+      synced_ = false;
+    }
+    return;
+  }
   Analysis analysis = analyze(graph_, &coverage_);
+
+  if (lint_capture_ != nullptr && lint_options_.has_value()) {
+    const LintReport report = lint(graph_, *lint_options_, &lint_carry_, analysis.hazards.size());
+    // A flush without a preceding host drain (finalize of a context that was
+    // never synchronized) has actions still in flight: its segment has no
+    // completed wall span to compare the bound against.
+    lint_capture_->add_segment(report, synced_ ? clock_ - flushed_clock_ : sim::SimTime::zero(),
+                               synced_);
+  }
+  if (synced_) {
+    flushed_clock_ = clock_;
+    synced_ = false;
+  }
 
   // The destroys of this segment take effect for the next one.
   for (const ActionNode& n : graph_.nodes) {
@@ -96,6 +137,10 @@ void Recorder::finalize() noexcept {
   try {
     const std::size_t before = accumulated_.hazards.size();
     flush(/*may_throw=*/false);
+    if (lint_capture_ != nullptr && lint_options_.has_value() && !lint_finalized_) {
+      lint_finalized_ = true;
+      lint_capture_->add_findings(finalize_lint(lint_carry_, *lint_options_));
+    }
     if (capture_ == nullptr && accumulated_.hazards.size() > before) {
       Analysis tail;
       tail.nodes_analyzed = accumulated_.nodes_analyzed;

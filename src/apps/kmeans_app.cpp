@@ -146,6 +146,10 @@ AppResult KmeansApp::run(const sim::SimConfig& cfg, const KmeansConfig& kc) {
         }
         kern::kmeans_update(total_sums.data(), total_counts.data(), centroids.data(), k, dims);
       }
+      // The host rewrites the centroids between iterations (the reduction
+      // above; modeled but not executed in timing mode), so the next
+      // iteration's centroid upload is not redundant.
+      ctx.host_write(bcent, 0, k * dims * sizeof(float));
     }
 
     // Final membership readback.

@@ -174,6 +174,10 @@ AppResult KmeansAsyncApp::run(const sim::SimConfig& cfg, const KmeansConfig& kc)
           // v(it-1) becomes the input of iteration it+1 (same parity slot).
           kern::kmeans_update(total.data(), counts.data(), cent_host[prev].data(), k, dims);
         }
+        // The reduction rewrites the previous parity's host centroids
+        // (modeled but not executed in timing mode): the next same-parity
+        // upload is not redundant.
+        ctx.host_write(bcent[prev], 0, cent_elems * sizeof(float));
       }
     }
   });

@@ -88,8 +88,14 @@ AppResult SradApp::run(const sim::SimConfig& cfg, const SradConfig& sc) {
   // ordering those events express is already implied by stream FIFO order
   // (and a phantom event must not leak into a different capture anyway).
   const bool graphed = sc.common.graph != GraphMode::Direct;
-  const std::string tag = "#" + std::to_string(rows) + "x" + std::to_string(cols) + "#" +
-                          std::to_string(tiles.size());
+  // Appends, not chained operator+: GCC 12's -Wrestrict misfires on the
+  // inlined concat chain (GCC PR105651) and the tidy leg builds with -Werror.
+  std::string tag = "#";
+  tag += std::to_string(rows);
+  tag += 'x';
+  tag += std::to_string(cols);
+  tag += '#';
+  tag += std::to_string(tiles.size());
   const bool cache = !sc.common.functional;
   GraphPhase extract_phase(ctx, sc.common.graph, "srad-extract" + tag, cache,
                            sc.common.graph_batch);

@@ -114,8 +114,10 @@ KnnTuner KnnTuner::train(const sim::SimConfig& cfg, int samples, std::uint32_t s
   // Label samples across the sweep pool: each sample's pruned-space search
   // runs serially inside one worker (its simulations share nothing), and
   // samples are added back in index order, so the trained tuner is
-  // bit-identical to a serial run. The validated search hazard-checks every
-  // candidate pipeline before trusting its virtual time as a label.
+  // bit-identical to a serial run. The lint pre-prune statically drops
+  // split-core partition shapes before any simulation; the validated search
+  // then hazard-checks every surviving candidate pipeline before trusting
+  // its virtual time as a label.
   struct Labeled {
     OffloadShape shape;
     rt::Tuner::Candidate best;
@@ -123,9 +125,12 @@ KnnTuner KnnTuner::train(const sim::SimConfig& cfg, int samples, std::uint32_t s
   const auto labeled = sim::parallel_map<Labeled>(
       static_cast<std::size_t>(samples), [&](std::size_t i) {
         const OffloadShape shape = random_shape(seed + static_cast<std::uint32_t>(i));
-        const auto result = rt::Tuner::search_validated(space, [&](rt::Tuner::Candidate c) {
-          return simulate_streamed_ms(cfg, shape, c.partitions, c.tiles);
-        });
+        const auto result = rt::Tuner::search_validated(
+            space,
+            [&](rt::Tuner::Candidate c) {
+              return simulate_streamed_ms(cfg, shape, c.partitions, c.tiles);
+            },
+            cfg.device);
         return Labeled{shape, result.best};
       });
   for (const Labeled& l : labeled) {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analyze/analyzer.hpp"
+#include "analyze/perf_lint.hpp"
 #include "analyze/record.hpp"
 #include "rt/context.hpp"
 #include "rt/errors.hpp"
@@ -157,6 +158,7 @@ CompiledGraph::CompiledGraph(const Graph& g, Context& ctx, const CompileOptions&
   plan->source = g;
 
   if (opts.analyze) run_hazard_pass(g, ctx);
+  if (opts.lint) run_lint_pass(g, ctx);
 
   plan->replays_metric = &tel_replays().with(plan->name);
   plan->launch_ns_metric = &tel_launch_ns().with(plan->name);
@@ -168,9 +170,10 @@ CompiledGraph::CompiledGraph(const Graph& g, Context& ctx, const CompileOptions&
   plan_ = std::move(plan);
 }
 
-void CompiledGraph::run_hazard_pass(const Graph& g, Context& ctx) {
+analyze::GraphRecord CompiledGraph::build_record(const Graph& g, Context& ctx) {
   analyze::GraphRecord rec;
   rec.stream_count = ctx.stream_count();
+  rec.partitions = ctx.partitions_per_device();
   std::unordered_set<std::uint64_t> declared;
   const auto declare = [&](BufferId buf) {
     if (declared.insert(buf.value).second) {
@@ -188,7 +191,8 @@ void CompiledGraph::run_hazard_pass(const Graph& g, Context& ctx) {
     deps.clear();
     deps.reserve(src.deps.size());
     for (const Graph::NodeId d : src.deps) deps.push_back(ids[d]);
-    const int device = ctx.stream(src.stream).device();
+    Stream& s = ctx.stream(src.stream);
+    const int device = s.device();
     switch (src.kind) {
       case ActionKind::H2D:
         declare(src.buffer);
@@ -198,21 +202,48 @@ void CompiledGraph::run_hazard_pass(const Graph& g, Context& ctx) {
         declare(src.buffer);
         ids.push_back(rec.add_d2h(src.stream, device, src.buffer, src.offset, src.bytes, deps));
         break;
-      case ActionKind::Kernel:
+      case ActionKind::Kernel: {
         for (const BufferAccess& a : src.launch.accesses) declare(a.buffer);
+        // Partition-resolved duration: the linter's critical-path weight for
+        // this node, identical to what launch() would charge on this layout.
+        const sim::SimTime duration = ctx.cost().kernel_duration(
+            src.launch.work, ctx.platform().device(device).partition(s.partition()));
         ids.push_back(rec.add_kernel(src.stream, device,
                                      src.launch.label.empty() ? "kernel" : src.launch.label,
-                                     src.launch.accesses, deps));
+                                     src.launch.accesses, deps, duration));
         break;
+      }
       case ActionKind::Barrier:
         ids.push_back(rec.add_barrier(src.stream, deps));
         break;
     }
   }
+  return rec;
+}
 
-  const analyze::Analysis result = analyze::analyze(rec);
+void CompiledGraph::run_hazard_pass(const Graph& g, Context& ctx) {
+  const analyze::Analysis result = analyze::analyze(build_record(g, ctx));
   if (!result.clean()) {
     throw Error("Graph::compile: hazard in recorded graph:\n" + result.hazards.front().message);
+  }
+}
+
+void CompiledGraph::run_lint_pass(const Graph& g, Context& ctx) {
+  analyze::LintOptions opt;
+  opt.config = ctx.platform().config();
+  // A compiled fragment is replayed inside a larger schedule: its outputs are
+  // consumed after replay (dead-action meaningless) and its single round says
+  // nothing about the enclosing iteration structure.
+  opt.disabled_rules.emplace_back(analyze::rule::kDeadAction);
+  opt.disabled_rules.emplace_back(analyze::rule::kSingleStreamPipeline);
+  const analyze::LintReport report = analyze::lint(build_record(g, ctx), opt);
+  if (!report.clean()) {
+    std::string what = "Graph::compile: lint finding(s) in recorded graph:\n";
+    for (const analyze::LintFinding& f : report.findings) {
+      what += "  [" + f.rule + "] " + f.message + "\n";
+      if (!f.fixit.empty()) what += "    fix: " + f.fixit + "\n";
+    }
+    throw Error(std::move(what));
   }
 }
 

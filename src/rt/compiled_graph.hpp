@@ -19,6 +19,10 @@
 #include "sim/sim_time.hpp"
 #include "telemetry/metrics.hpp"
 
+namespace ms::analyze {
+class GraphRecord;
+}  // namespace ms::analyze
+
 namespace ms::rt {
 
 class Context;
@@ -39,6 +43,12 @@ struct CompileOptions {
   /// graph may legitimately read state produced before it). Throws rt::Error
   /// on the first hazard.
   bool analyze = false;
+  /// Run the static performance linter over the flattened DAG at compile time
+  /// (critical-path bound plus the anti-pattern rule gallery of
+  /// analyze/perf_lint.hpp, evaluated against this context's platform).
+  /// Throws rt::Error listing every finding. dead-action is disabled here: a
+  /// replayable fragment's outputs are legitimately consumed after replay.
+  bool lint = false;
   /// Telemetry label: compiled-graph metrics are labeled families keyed by
   /// this name (`ms_rt_graph_replays_total{graph="..."}`).
   std::string name = "graph";
@@ -236,7 +246,13 @@ private:
   void build_arena(Run& run, Context& ctx);
   Event issue_batch(Context& ctx, Run& run);
   static void notify(void* run, std::uint32_t node, sim::SimTime now);
+  /// Flatten the graph into an analyzer record against `ctx`'s layout:
+  /// devices resolved through the stream table, kernel durations stamped from
+  /// the cost model (the linter's critical-path weights), buffers assumed
+  /// device-resident (a replayable graph may read pre-existing state).
+  static analyze::GraphRecord build_record(const Graph& g, Context& ctx);
   static void run_hazard_pass(const Graph& g, Context& ctx);
+  static void run_lint_pass(const Graph& g, Context& ctx);
 
   std::shared_ptr<const Plan> plan_;
   Exec exec_;

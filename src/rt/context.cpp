@@ -70,8 +70,9 @@ Context::Context(const sim::SimConfig& cfg, const ContextConfig& ctx_cfg)
     : platform_(std::make_unique<sim::Platform>(
           cfg, ctx_cfg.parallel_engine || env_par_engine(),
           ctx_cfg.parallel_threads != 0 ? ctx_cfg.parallel_threads : env_par_threads())) {
-  if (ctx_cfg.analyze || env_analyze() || analyze::Capture::current() != nullptr) {
-    recorder_ = std::make_unique<analyze::Recorder>();
+  if (ctx_cfg.analyze || env_analyze() || analyze::Capture::current() != nullptr ||
+      analyze::LintCapture::current() != nullptr) {
+    recorder_ = std::make_unique<analyze::Recorder>(std::optional<sim::SimConfig>(cfg));
   }
   if (platform_->parallel()) {
     par_mode_ = true;
@@ -118,8 +119,13 @@ void Context::setup(int partitions_per_device) {
   }
   ++layout_epoch_;
   // All streams idle = every recorded action completed before anything that
-  // will be enqueued on the new layout: a segment boundary.
-  if (recorder_) recorder_->flush(/*may_throw=*/true);
+  // will be enqueued on the new layout: a segment boundary. The new partition
+  // count is stamped after the flush — it applies to the next segment.
+  if (recorder_) {
+    recorder_->on_clock(sim::max(host_cursor_, platform_->now()));
+    recorder_->flush(/*may_throw=*/true);
+    recorder_->on_setup(partitions_per_device);
+  }
 
   const int devices = platform_->device_count();
   for (int d = 0; d < devices; ++d) {
@@ -219,6 +225,22 @@ void Context::assume_device_resident(BufferId id) {
   recorder_->on_assume_resident(id);
 }
 
+void Context::host_write(BufferId id, std::size_t offset, std::size_t bytes) {
+  if (!recorder_) return;
+  const BufferRec& rec = buffer_rec(id);
+  if (offset > rec.bytes || bytes > rec.bytes - offset) {
+    throw Error("Context::host_write: range out of bounds");
+  }
+  if (bytes == 0) return;
+  recorder_->on_host_write(id, offset, bytes);
+}
+
+void Context::host_write(BufferId id) { host_write(id, 0, buffer_rec(id).bytes); }
+
+void Context::mark_protocol_sample() {
+  if (recorder_) recorder_->on_protocol_sample();
+}
+
 void Context::destroy_buffer(BufferId id) {
   if (capture_ != nullptr) {
     throw Error("Context::destroy_buffer: forbidden while capturing a graph");
@@ -274,8 +296,12 @@ void Context::synchronize() {
   host_cursor_ = sim::max(host_cursor_, platform_->now()) +
                  platform_->cost().sync_overhead(stream_count(), cross);
   // Everything enqueued so far completed before anything enqueued next: a
-  // segment boundary. Abort mode throws HazardError here.
-  if (recorder_) recorder_->flush(/*may_throw=*/true);
+  // segment boundary. Abort mode throws HazardError here. The clock feeds the
+  // linter's per-segment elapsed time (its bound must stay <= this span).
+  if (recorder_) {
+    recorder_->on_clock(host_cursor_);
+    recorder_->flush(/*may_throw=*/true);
+  }
   sample_counter_tracks();
   if (t0 != 0) tel_sync_ns().observe(telemetry::now_ns() - t0);
   flush_telemetry();

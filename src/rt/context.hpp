@@ -121,6 +121,24 @@ public:
   /// are not produced by any recorded kernel. No-op when not analyzing.
   void assume_device_resident(BufferId id);
 
+  /// Declare that the host mutated `[offset, offset+bytes)` of the buffer's
+  /// registered range (a reduction result, fresh input data, ...). Consumed
+  /// by the performance linter's redundant-h2d rule, which otherwise proves a
+  /// re-upload of unchanged bytes pointless; never affects timing, hazard
+  /// analysis, or the schedule. No-op when the context is not analyzing.
+  void host_write(BufferId id, std::size_t offset, std::size_t bytes);
+  /// Whole-buffer convenience overload.
+  void host_write(BufferId id);
+
+  /// Declare that the measurement protocol is starting a fresh sample of the
+  /// same workload (apps::measure_ms calls this at each iteration boundary).
+  /// The performance linter resets the state that would otherwise read the
+  /// harness's deliberate repetition as an app-level loop — re-uploading
+  /// unchanged inputs in sample N+1 is protocol, not redundancy. Never
+  /// affects timing, hazard analysis, or the schedule; no-op when the
+  /// context is not analyzing.
+  void mark_protocol_sample();
+
   [[nodiscard]] std::size_t buffer_size(BufferId id) const;
 
   /// Raw device-side shadow storage (for kernel functors).

@@ -163,10 +163,13 @@ void Stream::record_enqueue(Action* a, const std::vector<Event>& deps,
       break;
     case ActionKind::Kernel: {
       static const std::vector<BufferAccess> kNoAccesses;
+      // a->duration is already resolved against this stream's partition
+      // (enqueue_kernel stamps it before enqueue_common); the linter uses it
+      // as the node's critical-path weight.
       id = rec.on_kernel(index_, device_,
                          launch != nullptr && !launch->label.empty() ? launch->label : "kernel",
                          launch != nullptr ? launch->accesses : kNoAccesses,
-                         std::move(dep_ids));
+                         std::move(dep_ids), a->duration);
       break;
     }
     case ActionKind::Barrier:

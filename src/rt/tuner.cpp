@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "analyze/capture.hpp"
+#include "analyze/perf_lint.hpp"
 #include "rt/errors.hpp"
 #include "telemetry/span.hpp"
 
@@ -69,6 +70,35 @@ Tuner::Result validated_reduce(const std::vector<Tuner::Candidate>& candidates,
     throw Error("Tuner::search_validated: every candidate configuration reported hazards");
   }
   return r;
+}
+
+telemetry::Counter& tel_lint_pruned() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "ms_analyze_lint_pruned_candidates_total",
+      "Tuner candidates statically rejected by the performance linter before simulation");
+  return c;
+}
+
+/// Drop every candidate the static linter rejects against `spec`, counting
+/// them into *pruned. The relative order of survivors is preserved, so the
+/// downstream ranking and tie-breaks match a hand-filtered list.
+std::vector<Tuner::Candidate> lint_prune(const std::vector<Tuner::Candidate>& candidates,
+                                         const sim::CoprocessorSpec& spec, std::size_t* pruned) {
+  std::vector<Tuner::Candidate> kept;
+  kept.reserve(candidates.size());
+  for (const Tuner::Candidate& c : candidates) {
+    if (analyze::check_partition_shape(spec, c.partitions).empty()) {
+      kept.push_back(c);
+    } else {
+      ++*pruned;
+    }
+  }
+  tel_lint_pruned().add(static_cast<std::uint64_t>(*pruned));
+  if (kept.empty()) {
+    throw Error("Tuner::search_validated: the lint pre-prune rejected every candidate "
+                "(no partition count fits the device's core granularity)");
+  }
+  return kept;
 }
 
 }  // namespace
@@ -225,6 +255,33 @@ Tuner::Result Tuner::search_validated(const std::vector<Candidate>& candidates,
       },
       sweep);
   return validated_reduce(candidates, values, hazardous);
+}
+
+Tuner::Result Tuner::search_validated(const std::vector<Candidate>& candidates,
+                                      const std::function<double(Candidate)>& metric,
+                                      const sim::CoprocessorSpec& spec) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("Tuner::search_validated: empty candidate list");
+  }
+  std::size_t pruned = 0;
+  const std::vector<Candidate> kept = lint_prune(candidates, spec, &pruned);
+  Result r = search_validated(kept, metric);
+  r.pruned = pruned;
+  return r;
+}
+
+Tuner::Result Tuner::search_validated(const std::vector<Candidate>& candidates,
+                                      const std::function<double(Candidate)>& metric,
+                                      const sim::CoprocessorSpec& spec,
+                                      const sim::SweepOptions& sweep) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("Tuner::search_validated: empty candidate list");
+  }
+  std::size_t pruned = 0;
+  const std::vector<Candidate> kept = lint_prune(candidates, spec, &pruned);
+  Result r = search_validated(kept, metric, sweep);
+  r.pruned = pruned;
+  return r;
 }
 
 }  // namespace ms::rt

@@ -40,6 +40,10 @@ public:
     /// Candidates whose pipelines the hazard analyzer rejected (only
     /// search_validated() fills this; they never become `best`).
     std::size_t hazardous = 0;
+    /// Candidates the static performance linter rejected before any
+    /// simulation ran (only the spec-taking search_validated() overloads
+    /// fill this; they are never evaluated, never `best`).
+    std::size_t pruned = 0;
   };
 
   /// H1: the pruned partition-count candidates for `spec` — all divisors of
@@ -86,6 +90,21 @@ public:
                                                const std::function<double(Candidate)>& metric);
   [[nodiscard]] static Result search_validated(const std::vector<Candidate>& candidates,
                                                const std::function<double(Candidate)>& metric,
+                                               const sim::SweepOptions& sweep);
+
+  /// Like search_validated(), but first pre-prunes the candidate list with
+  /// the static performance linter: shapes `analyze::check_partition_shape`
+  /// rejects against `spec` (split-core partitions, paper Section V) are
+  /// skipped without ever building a Context or running the simulator, and
+  /// counted in Result::pruned. Throws rt::Error when the linter rejects
+  /// every candidate. The surviving candidates go through the exact
+  /// hazard-validated search above.
+  [[nodiscard]] static Result search_validated(const std::vector<Candidate>& candidates,
+                                               const std::function<double(Candidate)>& metric,
+                                               const sim::CoprocessorSpec& spec);
+  [[nodiscard]] static Result search_validated(const std::vector<Candidate>& candidates,
+                                               const std::function<double(Candidate)>& metric,
+                                               const sim::CoprocessorSpec& spec,
                                                const sim::SweepOptions& sweep);
 };
 

@@ -20,9 +20,19 @@ PcieLink::PcieLink(const LinkSpec& spec, std::string name) : spec_(spec), name_(
   }
 }
 
-SimTime PcieLink::transfer_duration(std::size_t bytes) const noexcept {
+SimTime transfer_floor(const LinkSpec& spec, std::size_t bytes) noexcept {
   const double gib = static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
-  return spec_.per_transfer_latency + SimTime::seconds(gib / spec_.bandwidth_gib_s);
+  return spec.per_transfer_latency + SimTime::seconds(gib / spec.bandwidth_gib_s);
+}
+
+std::size_t bandwidth_knee_bytes(const LinkSpec& spec) noexcept {
+  // bytes such that bytes / bandwidth == per_transfer_latency
+  const double bytes_per_second = spec.bandwidth_gib_s * 1024.0 * 1024.0 * 1024.0;
+  return static_cast<std::size_t>(bytes_per_second * spec.per_transfer_latency.seconds());
+}
+
+SimTime PcieLink::transfer_duration(std::size_t bytes) const noexcept {
+  return transfer_floor(spec_, bytes);
 }
 
 FifoResource::Grant PcieLink::reserve(Direction dir, SimTime ready, std::size_t bytes) {

@@ -16,6 +16,18 @@ enum class Direction : std::uint8_t { HostToDevice, DeviceToHost };
 
 [[nodiscard]] const char* to_string(Direction d) noexcept;
 
+/// Pure wire cost of moving `bytes` over `spec` in one DMA command: per-command
+/// setup latency + bytes / bandwidth. This is a true lower bound on what any
+/// schedule (including chunked DMA, which pays the latency once and splits only
+/// the bandwidth term) can achieve, so the static linter uses it as its
+/// transfer floor.
+[[nodiscard]] SimTime transfer_floor(const LinkSpec& spec, std::size_t bytes) noexcept;
+
+/// The bandwidth-efficiency knee (paper Fig. 5 calibration): the transfer size
+/// whose wire time equals the per-command setup latency. Below it a DMA spends
+/// more than half its occupancy on setup; ~82.5 KiB for the 31SP link.
+[[nodiscard]] std::size_t bandwidth_knee_bytes(const LinkSpec& spec) noexcept;
+
 /// The PCIe connection between the host and one coprocessor.
 ///
 /// The paper's first finding (Fig. 5) is that the MPSS DMA engine performs

@@ -11,6 +11,8 @@
 //   mstream_cli tune --h2d-mib 32 --d2h-mib 32 --gflop 5
 //   mstream_cli analyze app srad --dim 2000 --tiles 16 --json hazards.json
 //   mstream_cli analyze hbench fig6 --dot racy.dot
+//   mstream_cli lint app mm --dim 2000 --tiles 16 --sarif lint.sarif
+//   mstream_cli lint hbench fig5 --json -
 //   mstream_cli stats app cf --dim 4800
 //   mstream_cli devices
 //
@@ -30,7 +32,8 @@
 //   --metrics-interval SECS             with --metrics: publish the snapshot every
 //                                       SECS seconds while the run is in flight
 //                                       (*.prom rewritten in place, JSON appended)
-//   --json FILE                         (analyze) write the JSON hazard report ('-' = stdout)
+//   --json FILE                         (analyze/lint) write the JSON report ('-' = stdout)
+//   --sarif FILE                        (lint) write the SARIF 2.1.0 report ('-' = stdout)
 //   --dot FILE                          (analyze) write Graphviz dot of the racy subgraph
 //   --replays N                         (graph) protocol replays of the captured schedule
 //   --batch M                           (graph) instances per replay via launch_batch
@@ -85,6 +88,7 @@ struct Cli {
   bool energy = false;
   std::string trace_path;
   std::string json_path;
+  std::string sarif_path;
   std::string dot_path;
   std::string metrics_path;
   double metrics_interval = 0.0;  // seconds; 0 = single snapshot at exit
@@ -102,6 +106,7 @@ int usage() {
                "usage: mstream_cli app {mm|cf|lu|kmeans|kmeans-async|hotspot|nn|srad} [flags]\n"
                "       mstream_cli hbench {fig5|fig6|fig7} [flags]\n"
                "       mstream_cli analyze {app|hbench} <name> [flags] [--json FILE] [--dot FILE]\n"
+               "       mstream_cli lint {app|hbench} <name> [flags] [--json FILE] [--sarif FILE]\n"
                "       mstream_cli graph app <name> --replays N [--batch M] [--no-compile] [flags]\n"
                "       mstream_cli stats [{app|hbench} <name> [flags]]\n"
                "       mstream_cli tune [--h2d-mib N --d2h-mib N --gflop N | --gelem N]\n"
@@ -217,6 +222,10 @@ bool parse_flags(int argc, char** argv, int first, Cli* cli) {
       const char* v = next("--json");
       if (v == nullptr) return false;
       cli->json_path = v;
+    } else if (flag == "--sarif") {
+      const char* v = next("--sarif");
+      if (v == nullptr) return false;
+      cli->sarif_path = v;
     } else if (flag == "--dot") {
       const char* v = next("--dot");
       if (v == nullptr) return false;
@@ -548,6 +557,49 @@ int run_analyze(const std::string& sub, const std::string& name, const Cli& cli)
   return capture.clean() ? 0 : 1;
 }
 
+// Run any app/hbench config under the static performance linter: the runtime
+// records each barrier-delimited segment and the linter checks it against the
+// platform's cost model — anti-pattern findings with fix-its, the per-device
+// critical-path/link makespan lower bound, and the overlap-efficiency score
+// (static bound / simulated elapsed time). A hazard Capture rides along so
+// racy configs report instead of aborting. Exit 1 when findings exist.
+int run_lint(const std::string& sub, const std::string& name, const Cli& cli) {
+  ms::analyze::Capture hazards;
+  ms::analyze::LintCapture capture;
+  int rc;
+  if (sub == "app") {
+    rc = run_app(name, cli);
+  } else if (sub == "hbench") {
+    rc = run_hbench(name, cli);
+  } else {
+    std::fprintf(stderr, "lint: expected 'app' or 'hbench', got '%s'\n", sub.c_str());
+    return 2;
+  }
+  if (rc != 0) return rc;
+
+  std::printf("%s", ms::analyze::text_report(capture).c_str());
+  if (!hazards.clean()) {
+    std::printf("note: %zu hazard(s) found alongside — run `mstream_cli analyze` for details\n",
+                hazards.result().hazards.size());
+  }
+  if (!cli.json_path.empty()) {
+    if (!with_output(cli.json_path,
+                     [&](std::ostream& os) { os << ms::analyze::json_report(capture); })) {
+      return 2;
+    }
+    if (cli.json_path != "-") std::printf("json report -> %s\n", cli.json_path.c_str());
+  }
+  if (!cli.sarif_path.empty()) {
+    if (!with_output(cli.sarif_path, [&](std::ostream& os) {
+          os << ms::analyze::sarif_report(capture.findings());
+        })) {
+      return 2;
+    }
+    if (cli.sarif_path != "-") std::printf("sarif report -> %s\n", cli.sarif_path.c_str());
+  }
+  return capture.clean() ? 0 : 1;
+}
+
 int run_tune(const Cli& cli) {
   ms::sim::SimConfig cfg;
   if (!pick_config(cli, &cfg)) return 2;
@@ -641,8 +693,8 @@ int main(int argc, char** argv) {
   Cli cli;
   int flag_start = 3;
   if (cmd == "tune") flag_start = 2;
-  if (cmd == "analyze" || cmd == "stats" || cmd == "graph") {
-    flag_start = 4;  // {analyze|stats|graph} {app|hbench} <name>
+  if (cmd == "analyze" || cmd == "lint" || cmd == "stats" || cmd == "graph") {
+    flag_start = 4;  // {analyze|lint|stats|graph} {app|hbench} <name>
   }
   if (flag_start > argc) return usage();
   if (!parse_flags(argc, argv, flag_start, &cli)) return usage();
@@ -672,6 +724,8 @@ int main(int argc, char** argv) {
       rc = run_hbench(argv[2], cli);
     } else if (cmd == "analyze") {
       rc = run_analyze(argv[2], argv[3], cli);
+    } else if (cmd == "lint") {
+      rc = run_lint(argv[2], argv[3], cli);
     } else if (cmd == "graph") {
       rc = run_graph(argv[2], argv[3], cli);
     } else if (cmd == "stats") {
