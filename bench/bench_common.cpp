@@ -10,6 +10,7 @@
 
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/obs_server.hpp"
 
 namespace ms::bench {
 
@@ -89,9 +90,15 @@ Options parse(int argc, char** argv) {
       opt.metrics_file = argv[++i];
       telemetry::set_enabled(true);
       metrics_sink().path = opt.metrics_file;
+    } else if (std::strcmp(argv[i], "--serve-obs") == 0 && i + 1 < argc) {
+      opt.obs_addr = argv[++i];
+      telemetry::set_enabled(true);
+      if (telemetry::ObsServer* obs = telemetry::ensure_obs_server(opt.obs_addr)) {
+        std::cout << "obs: serving http://" << obs->address() << "\n" << std::flush;
+      }
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--quick] [--csv DIR] [--json FILE] [--metrics FILE]\n";
+                << " [--quick] [--csv DIR] [--json FILE] [--metrics FILE] [--serve-obs ADDR]\n";
     }
   }
   return opt;

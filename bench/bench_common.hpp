@@ -15,11 +15,16 @@ namespace ms::bench {
 ///   --metrics FILE  enable host telemetry for the whole run and write the
 ///                   registry snapshot at exit (JSON, or Prometheus text for
 ///                   *.prom/*.txt paths; "-" = stdout)
+///   --serve-obs ADDR  enable host telemetry and serve the live observability
+///                   endpoint (/metrics, /healthz, ...) on ADDR while the
+///                   sweeps run; the bound address is printed (port 0 =
+///                   ephemeral)
 struct Options {
   bool quick = false;
   std::string csv_dir;
   std::string json_file;
   std::string metrics_file;
+  std::string obs_addr;
 };
 
 Options parse(int argc, char** argv);

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # The whole CI surface in one command, in severity order:
 #   1. tier-1: Release build + full ctest suite
-#   2. MS_TELEMETRY=OFF: the stub build must compile and pass everything
+#   2. observability endpoint smoke: scrape a live --serve-obs run over TCP
+#      (/healthz readiness + monotone Prometheus /metrics)
+#   3. MS_TELEMETRY=OFF: the stub build must compile and pass everything
 #      (proves instrumented call sites do not depend on live telemetry)
-#   3. sanitizers: thread, address (leak check proves the hazard-abort path
+#   4. sanitizers: thread, address (leak check proves the hazard-abort path
 #      releases pooled actions), undefined (every UB report fatal)
-#   4. native kernel leg (-O3 -march=native numerics stay bit-stable)
-#   5. static analysis (clang-tidy, or the strict -Werror fallback)
-#   6. performance lint: every app + hbench pattern under `mstream_cli lint`,
+#   5. native kernel leg (-O3 -march=native numerics stay bit-stable)
+#   6. static analysis (clang-tidy, or the strict -Werror fallback)
+#   7. performance lint: every app + hbench pattern under `mstream_cli lint`,
 #      failing on findings outside scripts/lint_waivers.txt (SARIF artifacts
 #      in <prefix>/lint-sarif/)
-#   7. bench-regression smoke (report-only: fresh medians vs BENCH_*.json)
+#   8. bench-regression smoke (report-only: fresh medians vs BENCH_*.json)
 #
 #   scripts/ci_all.sh [build-dir-prefix]
 set -euo pipefail
@@ -22,6 +24,9 @@ echo "==> tier-1 build + ctest"
 cmake -S "${SOURCE_DIR}" -B "${PREFIX}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${PREFIX}" -j
 ctest --test-dir "${PREFIX}" --output-on-failure -j "$(nproc)"
+
+echo "==> observability endpoint smoke (--serve-obs)"
+"${SOURCE_DIR}/scripts/ci_obs_smoke.sh" "${PREFIX}"
 
 echo "==> telemetry compiled out (MS_TELEMETRY=OFF)"
 cmake -S "${SOURCE_DIR}" -B "${PREFIX}-notel" -DCMAKE_BUILD_TYPE=Release -DMS_TELEMETRY=OFF

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Report-only bench-regression smoke: re-run the host-cost microbenchmarks
-# (bench_simcore, bench_graph) with 3 repetitions and compare the fresh
-# medians against the checked-in BENCH_*.json baselines. A benchmark slower
+# (bench_simcore, bench_graph, bench_telemetry) with 3 repetitions and
+# compare the fresh medians against the checked-in BENCH_*.json baselines. A benchmark slower
 # than 2x its recorded median is reported as a regression — generous enough
 # that shared-runner noise stays quiet, loud enough that an accidental
 # O(n^2) in the engine shows up. Never fails the build: perf baselines are
@@ -55,7 +55,8 @@ print(f"bench-regress:   {compared} benchmarks compared, {regressions} over the 
 EOF
 }
 
-for pair in "bench_simcore:BENCH_SIMCORE.json" "bench_graph:BENCH_GRAPH.json"; do
+for pair in "bench_simcore:BENCH_SIMCORE.json" "bench_graph:BENCH_GRAPH.json" \
+            "bench_telemetry:BENCH_TELEMETRY.json"; do
   bin="${pair%%:*}"
   baseline="${SOURCE_DIR}/${pair##*:}"
   if [[ ! -f "${baseline}" ]]; then

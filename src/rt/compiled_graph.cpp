@@ -56,6 +56,14 @@ namespace detail {
 void compiled_graph_notify(void* run, std::uint32_t node, sim::SimTime now) {
   CompiledGraph::notify(run, node, now);
 }
+
+std::uint64_t compiled_graph_replay_id(void* run, std::uint32_t node) noexcept {
+  const auto* r = static_cast<const CompiledGraph::Run*>(run);
+  const std::size_t count = r->plan->nodes.size();
+  // Arena actions carry batch-global node ids; node / count recovers the
+  // instance index (0 for single runs, whose ids stay instance-local).
+  return r->replay_base + (count != 0 ? node / count : 0);
+}
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -494,9 +502,11 @@ Event CompiledGraph::issue_batch(Context& ctx, Run& run) {
   return Event{last.state};
 }
 
-Event CompiledGraph::issue_instance(Context& ctx, int rotation, bool want_event) {
+Event CompiledGraph::issue_instance(Context& ctx, int rotation, bool want_event,
+                                    std::uint64_t replay_id) {
   const Plan& plan = *plan_;
   Run* run = acquire_run();
+  run->replay_base = replay_id;
 
   const int span = plan.stream_count;
   for (int s = 0; s < span; ++s) {
@@ -596,10 +606,17 @@ Event CompiledGraph::launch(Context& ctx) {
   }
   const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
   validate_for(ctx);
-  Event ev = issue_instance(ctx, /*rotation=*/0, /*want_event=*/true);
+  const std::uint64_t rid = telemetry::next_replay_id();
+  Event ev = issue_instance(ctx, /*rotation=*/0, /*want_event=*/true, rid);
   ++replays_;
   plan_->replays_metric->add(1);
-  if (t0 != 0) plan_->launch_ns_metric->observe(telemetry::now_ns() - t0);
+  if (t0 != 0) {
+    const std::uint64_t t1 = telemetry::now_ns();
+    // Exemplar + host span carry the same replay id the device actions were
+    // stamped with: scrape -> span ring -> trace joins end-to-end.
+    plan_->launch_ns_metric->observe(t1 - t0, rid);
+    telemetry::record_span("rt.graph.launch", t0, t1, rid);
+  }
   return ev;
 }
 
@@ -625,23 +642,33 @@ Event CompiledGraph::launch_batch(Context& ctx, int instances, int stream_rotati
   const int span = plan_->stream_count;
   const int rot_step = ((stream_rotation % span) + span) % span;
   if (rot_step != 0) check_rotation(ctx);
+  // One consecutive id block per batch: instance k is replay rid + k, in
+  // both the arena and rotated paths.
+  const std::uint64_t rid = telemetry::next_replay_id(static_cast<std::uint64_t>(instances));
   Event last;
   if (rot_step == 0 && instances > 1) {
     // Arena fast path: the batch's actions were materialised once; refresh
     // their scheduling fields in place and re-push. Virtual charges are the
     // per-instance / per-node loop either way, so the cost (and the whole
     // schedule) is bit-identical to `instances` separate launch() calls.
-    last = issue_batch(ctx, *acquire_arena(ctx, instances));
+    Run* arena = acquire_arena(ctx, instances);
+    arena->replay_base = rid;
+    last = issue_batch(ctx, *arena);
   } else {
     int rotation = 0;
     for (int k = 0; k < instances; ++k) {
-      last = issue_instance(ctx, rotation, /*want_event=*/k == instances - 1);
+      last = issue_instance(ctx, rotation, /*want_event=*/k == instances - 1,
+                            rid + static_cast<std::uint64_t>(k));
       rotation = (rotation + rot_step) % span;
     }
   }
   replays_ += static_cast<std::uint64_t>(instances);
   plan_->replays_metric->add(static_cast<std::uint64_t>(instances));
-  if (t0 != 0) plan_->launch_ns_metric->observe(telemetry::now_ns() - t0);
+  if (t0 != 0) {
+    const std::uint64_t t1 = telemetry::now_ns();
+    plan_->launch_ns_metric->observe(t1 - t0, rid);
+    telemetry::record_span("rt.graph.launch_batch", t0, t1, rid);
+  }
   return last;
 }
 

@@ -33,6 +33,12 @@ namespace detail {
 /// compiled graph: walks the plan's dependent list of the finished node and
 /// arms whichever dependents just became ready. Defined by CompiledGraph.
 void compiled_graph_notify(void* run, std::uint32_t node, sim::SimTime now);
+
+/// Replay id of the batch instance a compiled-graph action belongs to:
+/// the run's base id plus the instance index encoded in the batch-global
+/// node id. Stamped into trace spans so device actions, the host launch
+/// span, and the latency-histogram exemplar join on one id.
+[[nodiscard]] std::uint64_t compiled_graph_replay_id(void* run, std::uint32_t node) noexcept;
 }  // namespace detail
 
 /// Options for Graph::compile().
@@ -136,6 +142,7 @@ private:
   friend class Graph;
   friend class GraphCache;
   friend void detail::compiled_graph_notify(void* run, std::uint32_t node, sim::SimTime now);
+  friend std::uint64_t detail::compiled_graph_replay_id(void* run, std::uint32_t node) noexcept;
 
   static constexpr std::uint32_t kNoFn = std::numeric_limits<std::uint32_t>::max();
 
@@ -189,6 +196,8 @@ private:
     /// (same-shard edges only; the retire transition is observed once).
     std::atomic<std::size_t> completed{0};
     std::size_t target = 0;                  ///< completions that retire this run
+    /// First replay id of this run; instance k of a batch is replay_base + k.
+    std::uint64_t replay_base = 0;
     // Batch arenas only:
     std::uint32_t instances = 1;
     bool idle = false;                       ///< arena not in flight, reusable
@@ -240,7 +249,7 @@ private:
   void orphan_runs() noexcept;
   void validate_for(Context& ctx);
   void check_rotation(Context& ctx);
-  Event issue_instance(Context& ctx, int rotation, bool want_event);
+  Event issue_instance(Context& ctx, int rotation, bool want_event, std::uint64_t replay_id);
   Run* acquire_run();
   Run* acquire_arena(Context& ctx, int instances);
   void build_arena(Run& run, Context& ctx);

@@ -10,6 +10,7 @@
 #include "rt/errors.hpp"
 #include "rt/graph.hpp"
 #include "sim/chunk_depot.hpp"
+#include "telemetry/obs_server.hpp"
 #include "telemetry/span.hpp"
 
 namespace ms::rt {
@@ -31,17 +32,39 @@ int env_par_threads() {
   return std::atoi(v);
 }
 
-/// Stable storage for per-device link counter-track names.
-const char* link_track_name(int device) {
+/// Per-device link in-flight bytes as a labeled gauge family; its track()
+/// names (`ms_rt_link_inflight_bytes{device="0"}`) are registry-owned and
+/// stable, shared by the scrape exporters and the Chrome counter track.
+telemetry::GaugeFamily& tel_link_inflight() {
+  static telemetry::GaugeFamily& f = telemetry::registry().gauge_family(
+      "ms_rt_link_inflight_bytes", "Bytes in flight on each device's PCIe link at sample points",
+      "device");
+  return f;
+}
+
+telemetry::Gauge& tel_depot_parked() {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "ms_sim_depot_parked_bytes", "Bytes parked in the thread-local chunk depots");
+  return g;
+}
+
+/// Cached (gauge, track-name) pair per device index, resolved once per
+/// process; after the first sample the hot path is two pointer dereferences.
+struct LinkTrack {
+  telemetry::Gauge* gauge = nullptr;
+  const char* name = nullptr;
+};
+
+LinkTrack link_track(int device) {
   static std::mutex mu;
-  static std::vector<std::unique_ptr<std::string>> names;
+  static std::vector<LinkTrack> tracks;
   const auto d = static_cast<std::size_t>(device);
   std::lock_guard<std::mutex> lock(mu);
-  while (names.size() <= d) {
-    names.push_back(std::make_unique<std::string>(
-        "pdes.link" + std::to_string(names.size()) + ".inflight_bytes"));
+  while (tracks.size() <= d) {
+    const std::string v = std::to_string(tracks.size());
+    tracks.push_back(LinkTrack{&tel_link_inflight().with(v), tel_link_inflight().track(v)});
   }
-  return names[d]->c_str();
+  return tracks[d];
 }
 
 telemetry::Counter& tel_enqueues() {
@@ -70,6 +93,10 @@ Context::Context(const sim::SimConfig& cfg, const ContextConfig& ctx_cfg)
     : platform_(std::make_unique<sim::Platform>(
           cfg, ctx_cfg.parallel_engine || env_par_engine(),
           ctx_cfg.parallel_threads != 0 ? ctx_cfg.parallel_threads : env_par_threads())) {
+  // Long-running entry point: bring up the process-wide observability
+  // endpoint if configured (explicit obs_addr wins over MS_OBS_ADDR; no-op
+  // when neither is set or a server already listens).
+  telemetry::ensure_obs_server(ctx_cfg.obs_addr);
   if (ctx_cfg.analyze || env_analyze() || analyze::Capture::current() != nullptr ||
       analyze::LintCapture::current() != nullptr) {
     recorder_ = std::make_unique<analyze::Recorder>(std::optional<sim::SimConfig>(cfg));
@@ -487,8 +514,10 @@ void Context::par_barrier_flush() {
   if (telemetry::enabled()) {
     for (int d = 0; d < platform_->device_count(); ++d) {
       const sim::Engine& lp = platform_->device_engine(d);
-      telemetry::record_counter_sample(link_track_name(d),
-                                       static_cast<double>(platform_->device(d).link().inflight_bytes(lp.now())));
+      const auto bytes = platform_->device(d).link().inflight_bytes(lp.now());
+      const LinkTrack t = link_track(d);
+      t.gauge->set(static_cast<std::int64_t>(bytes));
+      telemetry::record_counter_sample(t.name, static_cast<double>(bytes));
     }
   }
 }
@@ -500,12 +529,14 @@ void Context::par_post(int device, sim::SimTime t, sim::Engine::Callback cb) {
 
 void Context::sample_counter_tracks() {
   if (!telemetry::enabled()) return;
-  telemetry::record_counter_sample("depot.parked_bytes",
-                                   static_cast<double>(sim::detail::ChunkDepot::parked_bytes()));
+  const auto parked = sim::detail::ChunkDepot::parked_bytes();
+  tel_depot_parked().set(static_cast<std::int64_t>(parked));
+  telemetry::record_counter_sample("ms_sim_depot_parked_bytes", static_cast<double>(parked));
   for (int d = 0; d < platform_->device_count(); ++d) {
-    telemetry::record_counter_sample(
-        link_track_name(d),
-        static_cast<double>(platform_->device(d).link().inflight_bytes(platform_->now())));
+    const auto bytes = platform_->device(d).link().inflight_bytes(platform_->now());
+    const LinkTrack t = link_track(d);
+    t.gauge->set(static_cast<std::int64_t>(bytes));
+    telemetry::record_counter_sample(t.name, static_cast<double>(bytes));
   }
 }
 

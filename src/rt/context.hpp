@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +42,11 @@ struct ContextConfig {
   /// 1 = effectively serial windows (useful for determinism tests). Also
   /// settable via MS_PAR_THREADS.
   int parallel_threads = 0;
+  /// Start the embedded observability endpoint (telemetry::ObsServer) on
+  /// this address ("HOST:PORT" | ":PORT" | "PORT") when constructing the
+  /// first context. Empty = consult MS_OBS_ADDR; unset either way = no
+  /// listener. The server is process-wide and outlives the context.
+  std::string obs_addr;
 };
 
 /// The streaming runtime: the public entry point of the library.

@@ -228,6 +228,9 @@ void Stream::start(Action* a) {
       span.start = now;
       span.end = now;
       span.label = a->label;
+      if (a->graph_run != nullptr) {
+        span.replay_id = detail::compiled_graph_replay_id(a->graph_run, a->graph_node);
+      }
       ctx_->record_trace_span(device_, span);
     }
     engine.schedule_at(now, [this, a] { on_complete(a); });
@@ -260,6 +263,9 @@ void Stream::start(Action* a) {
     span.end = grant.end;
     span.bytes = a->bytes;
     span.label = a->label;
+    if (a->graph_run != nullptr) {
+      span.replay_id = detail::compiled_graph_replay_id(a->graph_run, a->graph_node);
+    }
     ctx_->record_trace_span(device_, span);
   }
 
@@ -301,6 +307,9 @@ void Stream::start_transfer_chunked(detail::Action* a, sim::Direction dir, std::
         span.end = t;
         span.bytes = a->bytes;
         span.label = a->label;
+        if (a->graph_run != nullptr) {
+          span.replay_id = detail::compiled_graph_replay_id(a->graph_run, a->graph_node);
+        }
         ctx_->record_trace_span(device_, span);
       }
       on_complete(a);

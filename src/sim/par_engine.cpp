@@ -1,7 +1,5 @@
 #include "sim/par_engine.hpp"
 
-#include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -30,18 +28,15 @@ telemetry::Counter& tel_posts() {
   return c;
 }
 
-/// Stable storage for per-LP counter-track names ("pdes.lp3.queue_depth").
-/// Process-lifetime, like trace::intern_label, but local to the sim layer
-/// (which sits below trace in the link order).
-const char* lp_depth_name(std::size_t lp) {
-  static std::mutex mu;
-  static std::vector<std::unique_ptr<std::string>> names;
-  std::lock_guard<std::mutex> lock(mu);
-  while (names.size() <= lp) {
-    names.push_back(std::make_unique<std::string>("pdes.lp" + std::to_string(names.size()) +
-                                                  ".queue_depth"));
-  }
-  return names[lp]->c_str();
+/// Per-LP queue depth as a labeled gauge family. The family's track() names
+/// (`ms_sim_pdes_queue_depth{lp="3"}`) are registry-owned and
+/// process-lifetime-stable, replacing the old per-LP name arena — one series
+/// string shared by the Prometheus/JSON exporters and the Chrome counter
+/// track.
+telemetry::GaugeFamily& tel_queue_depth() {
+  static telemetry::GaugeFamily& f = telemetry::registry().gauge_family(
+      "ms_sim_pdes_queue_depth", "Pending events per logical process at window barriers", "lp");
+  return f;
 }
 
 }  // namespace
@@ -130,9 +125,18 @@ void ParEngine::sync_seq_floors() noexcept {
 
 void ParEngine::sample_depths() noexcept {
   if (!telemetry::enabled()) return;
+  if (depth_tracks_.size() < lps_.size()) {
+    depth_tracks_.resize(lps_.size());
+    for (std::size_t i = 0; i < lps_.size(); ++i) {
+      const std::string lp = std::to_string(i);
+      depth_tracks_[i].gauge = &tel_queue_depth().with(lp);
+      depth_tracks_[i].name = tel_queue_depth().track(lp);
+    }
+  }
   for (std::size_t i = 0; i < lps_.size(); ++i) {
-    telemetry::record_counter_sample(lp_depth_name(i),
-                                     static_cast<double>(lps_[i]->pending()));
+    const auto depth = static_cast<std::int64_t>(lps_[i]->pending());
+    depth_tracks_[i].gauge->set(depth);
+    telemetry::record_counter_sample(depth_tracks_[i].name, static_cast<double>(depth));
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/sim_time.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ms::sim {
 
@@ -133,9 +134,18 @@ private:
   void sync_seq_floors() noexcept;
   void sample_depths() noexcept;
 
+  /// Per-LP child of the ms_sim_pdes_queue_depth gauge family plus its
+  /// registry-owned track name — resolved once in sample_depths(), then the
+  /// sampling loop is label-lookup-free.
+  struct DepthTrack {
+    telemetry::Gauge* gauge = nullptr;
+    const char* name = nullptr;
+  };
+
   std::vector<Engine*> lps_;
   std::vector<Mailbox> boxes_;
   std::vector<char> pumping_;  ///< per-LP re-entrancy guard for drain_mailbox
+  std::vector<DepthTrack> depth_tracks_;
   std::function<SimTime()> bound_;
   std::function<void()> barrier_;
   int threads_;

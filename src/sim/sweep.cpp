@@ -48,11 +48,15 @@ telemetry::Histogram& tel_queue_wait_ns() {
       "ms_pool_queue_wait_ns", "Submit-to-first-claim wall latency per draining thread");
   return h;
 }
-telemetry::Counter& tel_caller_busy() {
-  static telemetry::Counter& c = telemetry::registry().counter(
-      "ms_pool_worker_busy_ns_caller", "Wall nanoseconds the submitting thread spent in job bodies");
-  return c;
+/// Per-worker busy time as one labeled family: worker threads are children
+/// "0".."N-1", the submitting thread is child "caller".
+telemetry::CounterFamily& tel_worker_busy() {
+  static telemetry::CounterFamily& f = telemetry::registry().counter_family(
+      "ms_pool_worker_busy_ns", "Wall nanoseconds each pool worker spent in job bodies",
+      "worker");
+  return f;
 }
+telemetry::Counter& tel_caller_busy() { return tel_worker_busy().with("caller"); }
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -141,11 +145,9 @@ struct ThreadPool::Impl {
 
   void worker_loop(unsigned idx) {
     t_in_pool_batch = true;
-    // Per-worker busy counter: registered once per index, shared by every
+    // Per-worker busy counter: one family child per index, shared by every
     // pool that ever runs a worker with this index (the registry dedupes).
-    telemetry::Counter& busy = telemetry::registry().counter(
-        "ms_pool_worker_busy_ns_w" + std::to_string(idx),
-        "Wall nanoseconds this pool worker spent in job bodies");
+    telemetry::Counter& busy = tel_worker_busy().with(std::to_string(idx));
     std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Batch> batch;

@@ -43,19 +43,10 @@ void write_json_string(std::ostream& os, const std::string& s) {
 }
 
 /// Rendered `{key="value"}` selector of a labeled snapshot ("" if unlabeled).
+/// Delegates to the registry's shared renderer so exporters and family
+/// track() names agree byte-for-byte.
 std::string label_selector(const MetricSnapshot& m) {
-  if (m.label_key.empty()) return {};
-  std::string out = "{" + m.label_key + "=\"";
-  for (const char c : m.label_value) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '"': out += "\\\""; break;
-      default: out += c;
-    }
-  }
-  out += "\"}";
-  return out;
+  return render_selector(m.label_key, m.label_value);
 }
 
 }  // namespace
@@ -96,7 +87,15 @@ void write_prometheus(std::ostream& os, const Registry::Snapshot& snap) {
           os << m.name << "_bucket" << pre << HistogramSnapshot::bucket_upper(b) << "\"} " << cum
              << '\n';
         }
-        os << m.name << "_bucket" << pre << "+Inf\"} " << m.histogram.count() << '\n';
+        os << m.name << "_bucket" << pre << "+Inf\"} " << m.histogram.count();
+        if (m.histogram.exemplar_replay != 0) {
+          // OpenMetrics-style exemplar: joins this series to the replay that
+          // produced its most recent observation (span ring / Chrome trace
+          // carry the same id).
+          os << " # {replay_id=\"" << m.histogram.exemplar_replay << "\"} "
+             << m.histogram.exemplar_value;
+        }
+        os << '\n';
         os << m.name << "_sum" << sel << ' ' << m.histogram.sum << '\n';
         os << m.name << "_count" << sel << ' ' << m.histogram.count() << '\n';
         break;
@@ -136,7 +135,12 @@ void write_json(std::ostream& os, const Registry::Snapshot& snap) {
     write_json_string(os, m.name + label_selector(m));
     os << ": {\"count\": " << m.histogram.count() << ", \"sum\": " << m.histogram.sum
        << ", \"p50\": " << m.histogram.quantile(0.50) << ", \"p95\": " << m.histogram.quantile(0.95)
-       << ", \"p99\": " << m.histogram.quantile(0.99) << ", \"buckets\": [";
+       << ", \"p99\": " << m.histogram.quantile(0.99);
+    if (m.histogram.exemplar_replay != 0) {
+      os << ", \"exemplar\": {\"replay_id\": " << m.histogram.exemplar_replay
+         << ", \"value\": " << m.histogram.exemplar_value << '}';
+    }
+    os << ", \"buckets\": [";
     bool bfirst = true;
     for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
       if (m.histogram.buckets[b] == 0) continue;

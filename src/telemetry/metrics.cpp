@@ -31,6 +31,27 @@ std::uint64_t HistogramSnapshot::quantile(double p) const noexcept {
 void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
   for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
   sum += other.sum;
+  if (other.exemplar_replay > exemplar_replay) {
+    exemplar_replay = other.exemplar_replay;
+    exemplar_value = other.exemplar_value;
+  }
+}
+
+std::string render_selector(std::string_view key, std::string_view value) {
+  if (key.empty()) return {};
+  std::string out = "{";
+  out += key;
+  out += "=\"";
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '"': out += "\\\""; break;
+      default: out += c;
+    }
+  }
+  out += "\"}";
+  return out;
 }
 
 const char* to_string(MetricKind k) noexcept {
@@ -68,6 +89,10 @@ struct Registry::Entry {
   /// Family children record their label pair; empty key = unlabeled.
   std::string label_key;
   std::string label_value;
+  /// Fully rendered series name (`name` or `name{key="value"}`); immutable
+  /// after creation and owned by the immortal registry, so its c_str() is a
+  /// process-lifetime-stable track name for counter samples and spans.
+  std::string rendered;
   // Exactly one is set, matching `kind`; unique_ptr keeps addresses stable
   // as the registry grows (call sites hold references for the process life).
   std::unique_ptr<Counter> counter;
@@ -83,6 +108,7 @@ struct Registry::Impl {
   /// name + '\x1f' + label value (no valid metric name contains '\x1f').
   std::unordered_map<std::string, std::size_t> index;
   std::unordered_map<std::string, std::unique_ptr<CounterFamily>> counter_families;
+  std::unordered_map<std::string, std::unique_ptr<GaugeFamily>> gauge_families;
   std::unordered_map<std::string, std::unique_ptr<HistogramFamily>> histogram_families;
 };
 
@@ -115,6 +141,7 @@ Registry::Entry& Registry::find_or_create(std::string_view name, std::string_vie
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
   if (im.counter_families.count(std::string(name)) != 0 ||
+      im.gauge_families.count(std::string(name)) != 0 ||
       im.histogram_families.count(std::string(name)) != 0) {
     throw std::logic_error("telemetry: metric '" + std::string(name) +
                            "' is registered as a labeled family");
@@ -131,6 +158,7 @@ Registry::Entry& Registry::find_or_create(std::string_view name, std::string_vie
   entry->name = std::string(name);
   entry->help = std::string(help);
   entry->kind = kind;
+  entry->rendered = entry->name;
   switch (kind) {
     case MetricKind::Counter: entry->counter = std::make_unique<Counter>(); break;
     case MetricKind::Gauge: entry->gauge = std::make_unique<Gauge>(); break;
@@ -157,10 +185,12 @@ Registry::Entry& Registry::find_or_create_labeled(const std::string& name, const
   entry->kind = kind;
   entry->label_key = key;
   entry->label_value = std::string(value);
-  if (kind == MetricKind::Counter) {
-    entry->counter = std::make_unique<Counter>();
-  } else {
-    entry->histogram = std::make_unique<Histogram>();
+  entry->rendered = name + render_selector(key, value);
+  switch (kind) {
+    case MetricKind::Counter: entry->counter = std::make_unique<Counter>(); break;
+    case MetricKind::Gauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::MaxGauge: entry->max_gauge = std::make_unique<MaxGauge>(); break;
+    case MetricKind::Histogram: entry->histogram = std::make_unique<Histogram>(); break;
   }
   im.entries.push_back(std::move(entry));
   im.index.emplace(idx, im.entries.size() - 1);
@@ -180,8 +210,9 @@ CounterFamily& Registry::counter_family(std::string_view name, std::string_view 
     }
     return *it->second;
   }
-  if (im.histogram_families.count(n) != 0) {
-    throw std::logic_error("telemetry: family '" + n + "' registered as histogram, requested as counter");
+  if (im.histogram_families.count(n) != 0 || im.gauge_families.count(n) != 0) {
+    throw std::logic_error("telemetry: family '" + n +
+                           "' registered with a different kind, requested as counter");
   }
   if (im.index.count(n) != 0) {
     throw std::logic_error("telemetry: '" + n + "' already registered as an unlabeled metric");
@@ -189,6 +220,33 @@ CounterFamily& Registry::counter_family(std::string_view name, std::string_view 
   auto fam = std::unique_ptr<CounterFamily>(
       new CounterFamily(*this, n, std::string(help), std::string(label_key)));
   auto [it, inserted] = im.counter_families.emplace(n, std::move(fam));
+  (void)inserted;
+  return *it->second;
+}
+
+GaugeFamily& Registry::gauge_family(std::string_view name, std::string_view help,
+                                    std::string_view label_key) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const std::string n(name);
+  if (auto it = im.gauge_families.find(n); it != im.gauge_families.end()) {
+    if (it->second->label_key() != label_key) {
+      throw std::logic_error("telemetry: family '" + n + "' registered with label key '" +
+                             it->second->label_key() + "', requested '" + std::string(label_key) +
+                             "'");
+    }
+    return *it->second;
+  }
+  if (im.counter_families.count(n) != 0 || im.histogram_families.count(n) != 0) {
+    throw std::logic_error("telemetry: family '" + n +
+                           "' registered with a different kind, requested as gauge");
+  }
+  if (im.index.count(n) != 0) {
+    throw std::logic_error("telemetry: '" + n + "' already registered as an unlabeled metric");
+  }
+  auto fam = std::unique_ptr<GaugeFamily>(
+      new GaugeFamily(*this, n, std::string(help), std::string(label_key)));
+  auto [it, inserted] = im.gauge_families.emplace(n, std::move(fam));
   (void)inserted;
   return *it->second;
 }
@@ -206,8 +264,9 @@ HistogramFamily& Registry::histogram_family(std::string_view name, std::string_v
     }
     return *it->second;
   }
-  if (im.counter_families.count(n) != 0) {
-    throw std::logic_error("telemetry: family '" + n + "' registered as counter, requested as histogram");
+  if (im.counter_families.count(n) != 0 || im.gauge_families.count(n) != 0) {
+    throw std::logic_error("telemetry: family '" + n +
+                           "' registered with a different kind, requested as histogram");
   }
   if (im.index.count(n) != 0) {
     throw std::logic_error("telemetry: '" + n + "' already registered as an unlabeled metric");
@@ -224,9 +283,28 @@ Counter& CounterFamily::with(std::string_view label_value) {
               .counter;
 }
 
+const char* CounterFamily::track(std::string_view label_value) {
+  return reg_->find_or_create_labeled(name_, help_, key_, label_value, MetricKind::Counter)
+      .rendered.c_str();
+}
+
+Gauge& GaugeFamily::with(std::string_view label_value) {
+  return *reg_->find_or_create_labeled(name_, help_, key_, label_value, MetricKind::Gauge).gauge;
+}
+
+const char* GaugeFamily::track(std::string_view label_value) {
+  return reg_->find_or_create_labeled(name_, help_, key_, label_value, MetricKind::Gauge)
+      .rendered.c_str();
+}
+
 Histogram& HistogramFamily::with(std::string_view label_value) {
   return *reg_->find_or_create_labeled(name_, help_, key_, label_value, MetricKind::Histogram)
               .histogram;
+}
+
+const char* HistogramFamily::track(std::string_view label_value) {
+  return reg_->find_or_create_labeled(name_, help_, key_, label_value, MetricKind::Histogram)
+      .rendered.c_str();
 }
 
 Counter& Registry::counter(std::string_view name, std::string_view help) {
@@ -303,6 +381,7 @@ Gauge g_stub_gauge;
 MaxGauge g_stub_max_gauge;
 Histogram g_stub_histogram;
 CounterFamily g_stub_counter_family;
+GaugeFamily g_stub_gauge_family;
 HistogramFamily g_stub_histogram_family;
 }  // namespace
 
@@ -317,10 +396,14 @@ Histogram& Registry::histogram(std::string_view, std::string_view) { return g_st
 CounterFamily& Registry::counter_family(std::string_view, std::string_view, std::string_view) {
   return g_stub_counter_family;
 }
+GaugeFamily& Registry::gauge_family(std::string_view, std::string_view, std::string_view) {
+  return g_stub_gauge_family;
+}
 HistogramFamily& Registry::histogram_family(std::string_view, std::string_view, std::string_view) {
   return g_stub_histogram_family;
 }
 Counter& CounterFamily::with(std::string_view) { return g_stub_counter; }
+Gauge& GaugeFamily::with(std::string_view) { return g_stub_gauge; }
 Histogram& HistogramFamily::with(std::string_view) { return g_stub_histogram; }
 
 namespace {
@@ -330,8 +413,13 @@ const std::string g_stub_label;
 }  // namespace
 const std::string& CounterFamily::name() const noexcept { return g_stub_label; }
 const std::string& CounterFamily::label_key() const noexcept { return g_stub_label; }
+const char* CounterFamily::track(std::string_view) { return g_stub_label.c_str(); }
+const std::string& GaugeFamily::name() const noexcept { return g_stub_label; }
+const std::string& GaugeFamily::label_key() const noexcept { return g_stub_label; }
+const char* GaugeFamily::track(std::string_view) { return g_stub_label.c_str(); }
 const std::string& HistogramFamily::name() const noexcept { return g_stub_label; }
 const std::string& HistogramFamily::label_key() const noexcept { return g_stub_label; }
+const char* HistogramFamily::track(std::string_view) { return g_stub_label.c_str(); }
 
 #endif  // MS_TELEMETRY_ENABLED
 

@@ -5,6 +5,7 @@
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,6 +40,10 @@ struct HistogramSnapshot {
 
   std::array<std::uint64_t, kBuckets> buckets{};
   std::uint64_t sum = 0;
+  /// Last exemplar-carrying observation (see Histogram::observe(x, replay)):
+  /// the raw value and the replay id it belongs to. replay 0 = no exemplar.
+  std::uint64_t exemplar_value = 0;
+  std::uint64_t exemplar_replay = 0;
 
   [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t x) noexcept {
     return static_cast<std::size_t>(std::bit_width(x));
@@ -62,9 +67,16 @@ struct HistogramSnapshot {
   /// 0 when the histogram is empty.
   [[nodiscard]] std::uint64_t quantile(double p) const noexcept;
 
-  /// Bucket-wise accumulate: *this += other.
+  /// Bucket-wise accumulate: *this += other. The exemplar with the larger
+  /// replay id wins (ids are monotonic, so larger = more recent).
   void merge(const HistogramSnapshot& other) noexcept;
 };
+
+/// Rendered Prometheus `{key="value"}` selector ("" when key is empty), with
+/// label-value escaping. The one definition shared by the exporters and the
+/// family track() names, so Prometheus, JSON, and Chrome counter tracks all
+/// render a labeled series identically.
+[[nodiscard]] std::string render_selector(std::string_view key, std::string_view value);
 
 #if MS_TELEMETRY_ENABLED
 
@@ -182,23 +194,48 @@ public:
     sum_.fetch_add(x, std::memory_order_relaxed);
   }
 
+  /// Observe with an exemplar: in addition to the bucket counts, remember
+  /// this (value, replay_id) pair as the histogram's most recent exemplar so
+  /// a scrape can be joined back to the replay that produced the sample.
+  /// The pair is mutex-guarded — never torn; exemplar-carrying observations
+  /// happen at launch cadence (not per event), so the lock is uncontended.
+  /// replay_id 0 is treated as "no exemplar" and only updates the buckets.
+  void observe(std::uint64_t x, std::uint64_t replay_id) noexcept {
+    observe(x);
+    if (!enabled() || replay_id == 0) return;
+    const std::lock_guard<std::mutex> lock(ex_mu_);
+    ex_value_ = x;
+    ex_replay_ = replay_id;
+  }
+
   [[nodiscard]] Snapshot snapshot() const noexcept {
     Snapshot s;
     for (std::size_t b = 0; b < kBuckets; ++b) {
       s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
     }
     s.sum = sum_.load(std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(ex_mu_);
+      s.exemplar_value = ex_value_;
+      s.exemplar_replay = ex_replay_;
+    }
     return s;
   }
 
   void reset() noexcept {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(ex_mu_);
+    ex_value_ = 0;
+    ex_replay_ = 0;
   }
 
 private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> sum_{0};
+  mutable std::mutex ex_mu_;
+  std::uint64_t ex_value_ = 0;
+  std::uint64_t ex_replay_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -218,6 +255,12 @@ class CounterFamily {
 public:
   [[nodiscard]] Counter& with(std::string_view label_value);
 
+  /// Stable rendered series name `name{key="value"}` for one child, owned by
+  /// the registry for the life of the process — usable directly as a
+  /// record_counter_sample / span name, so the Chrome counter track and the
+  /// Prometheus/JSON series carry the identical string.
+  [[nodiscard]] const char* track(std::string_view label_value);
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const std::string& label_key() const noexcept { return key_; }
 
@@ -231,10 +274,31 @@ private:
   std::string key_;
 };
 
+/// Gauge counterpart of CounterFamily (instantaneous per-child values:
+/// per-LP queue depth, per-device link in-flight bytes, ...).
+class GaugeFamily {
+public:
+  [[nodiscard]] Gauge& with(std::string_view label_value);
+  [[nodiscard]] const char* track(std::string_view label_value);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& label_key() const noexcept { return key_; }
+
+private:
+  friend class Registry;
+  GaugeFamily(Registry& r, std::string name, std::string help, std::string key)
+      : reg_(&r), name_(std::move(name)), help_(std::move(help)), key_(std::move(key)) {}
+  Registry* reg_;
+  std::string name_;
+  std::string help_;
+  std::string key_;
+};
+
 /// Histogram counterpart of CounterFamily.
 class HistogramFamily {
 public:
   [[nodiscard]] Histogram& with(std::string_view label_value);
+  [[nodiscard]] const char* track(std::string_view label_value);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const std::string& label_key() const noexcept { return key_; }
@@ -290,6 +354,8 @@ public:
   /// `name{label_key="value"}`.
   CounterFamily& counter_family(std::string_view name, std::string_view help,
                                 std::string_view label_key);
+  GaugeFamily& gauge_family(std::string_view name, std::string_view help,
+                            std::string_view label_key);
   HistogramFamily& histogram_family(std::string_view name, std::string_view help,
                                     std::string_view label_key);
 
@@ -310,6 +376,7 @@ public:
 
 private:
   friend class CounterFamily;
+  friend class GaugeFamily;
   friend class HistogramFamily;
   Registry() = default;
   struct Entry;
@@ -353,6 +420,7 @@ public:
   using Snapshot = HistogramSnapshot;
   static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
   void observe(std::uint64_t) noexcept {}
+  void observe(std::uint64_t, std::uint64_t) noexcept {}
   [[nodiscard]] Snapshot snapshot() const noexcept { return {}; }
   void reset() noexcept {}
 };
@@ -375,6 +443,15 @@ struct MetricSnapshot {
 class CounterFamily {
 public:
   [[nodiscard]] Counter& with(std::string_view);
+  [[nodiscard]] const char* track(std::string_view);
+  [[nodiscard]] const std::string& name() const noexcept;
+  [[nodiscard]] const std::string& label_key() const noexcept;
+};
+
+class GaugeFamily {
+public:
+  [[nodiscard]] Gauge& with(std::string_view);
+  [[nodiscard]] const char* track(std::string_view);
   [[nodiscard]] const std::string& name() const noexcept;
   [[nodiscard]] const std::string& label_key() const noexcept;
 };
@@ -382,6 +459,7 @@ public:
 class HistogramFamily {
 public:
   [[nodiscard]] Histogram& with(std::string_view);
+  [[nodiscard]] const char* track(std::string_view);
   [[nodiscard]] const std::string& name() const noexcept;
   [[nodiscard]] const std::string& label_key() const noexcept;
 };
@@ -394,6 +472,7 @@ public:
   MaxGauge& max_gauge(std::string_view, std::string_view);
   Histogram& histogram(std::string_view, std::string_view);
   CounterFamily& counter_family(std::string_view, std::string_view, std::string_view);
+  GaugeFamily& gauge_family(std::string_view, std::string_view, std::string_view);
   HistogramFamily& histogram_family(std::string_view, std::string_view, std::string_view);
 
   struct Snapshot {

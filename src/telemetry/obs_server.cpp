@@ -1,0 +1,377 @@
+#include "telemetry/obs_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace ms::telemetry {
+
+const char* to_string(ObsState s) noexcept {
+  switch (s) {
+    case ObsState::Starting: return "starting";
+    case ObsState::Serving: return "serving";
+    case ObsState::Draining: return "draining";
+  }
+  return "?";
+}
+
+namespace {
+
+CounterFamily& tel_requests() {
+  static CounterFamily& f = registry().counter_family(
+      "ms_obs_http_requests_total", "HTTP requests answered by the observability endpoint",
+      "route");
+  return f;
+}
+
+struct ParsedAddr {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+/// "HOST:PORT" | ":PORT" | "PORT"; "localhost" aliases 127.0.0.1.
+ParsedAddr parse_addr(const std::string& addr) {
+  ParsedAddr out;
+  std::string port_s;
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    port_s = addr;
+  } else {
+    if (colon > 0) out.host = addr.substr(0, colon);
+    port_s = addr.substr(colon + 1);
+  }
+  if (out.host == "localhost") out.host = "127.0.0.1";
+  if (port_s.empty()) throw std::runtime_error("obs: empty port in address '" + addr + "'");
+  char* end = nullptr;
+  const long p = std::strtol(port_s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || p < 0 || p > 65535) {
+    throw std::runtime_error("obs: bad port in address '" + addr + "'");
+  }
+  out.port = static_cast<int>(p);
+  return out;
+}
+
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; s != nullptr && *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Span-ring snapshot as a JSON array, oldest-first per thread.
+std::string render_spans_json() {
+  const std::vector<SpanRecord> spans = collect_spans();
+  std::string out = "{\"spans\": [";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  {\"name\": ";
+    append_json_string(out, s.name);
+    out += ", \"thread\": " + std::to_string(s.thread);
+    out += ", \"start_ns\": " + std::to_string(s.start_ns);
+    out += ", \"end_ns\": " + std::to_string(s.end_ns);
+    out += ", \"replay_id\": " + std::to_string(s.replay_id);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+/// Chrome-trace fragment of the host-side telemetry: span rings as "X"
+/// slices and counter samples as "C" tracks, normalized to the earliest
+/// timestamp. Self-contained JSON — loadable in a trace viewer as-is.
+std::string render_trace_json() {
+  const std::vector<SpanRecord> spans = collect_spans();
+  const std::vector<CounterSample> samples = collect_counter_samples();
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const SpanRecord& s : spans) t0 = std::min(t0, s.start_ns);
+  for (const CounterSample& c : samples) t0 = std::min(t0, c.t_ns);
+  if (spans.empty() && samples.empty()) t0 = 0;
+
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  {\"name\": ";
+    append_json_string(out, s.name);
+    out += ", \"ph\": \"X\", \"pid\": 0, \"tid\": " + std::to_string(s.thread) + ", \"ts\": ";
+    append_us(out, s.start_ns - t0);
+    out += ", \"dur\": ";
+    append_us(out, s.end_ns - s.start_ns);
+    if (s.replay_id != 0) {
+      out += ", \"args\": {\"replay_id\": " + std::to_string(s.replay_id) + '}';
+    }
+    out += '}';
+  }
+  for (const CounterSample& c : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  {\"name\": ";
+    append_json_string(out, c.name);
+    out += ", \"ph\": \"C\", \"pid\": 0, \"ts\": ";
+    append_us(out, c.t_ns - t0);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", c.value);
+    out += ", \"args\": {\"value\": ";
+    out += buf;
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+struct Response {
+  int status = 200;
+  const char* content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+const char* status_text(int code) noexcept {
+  switch (code) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+  }
+  return "OK";
+}
+
+bool send_all(int fd, const char* data, std::size_t n) noexcept {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct ObsServer::Impl {
+  int listen_fd = -1;
+  int port = 0;
+  std::string host;
+  std::atomic<int> state{static_cast<int>(ObsState::Starting)};
+  std::atomic<bool> running{false};
+  std::atomic<std::uint64_t> requests{0};
+  std::thread worker;
+
+  Response dispatch(const std::string& method, const std::string& path) {
+    if (method != "GET") {
+      return Response{405, "text/plain; charset=utf-8", "method not allowed\n"};
+    }
+    if (path == "/healthz") {
+      const auto s = static_cast<ObsState>(state.load(std::memory_order_relaxed));
+      const bool ready = s == ObsState::Serving;
+      std::string body = std::string(to_string(s)) + "\n";
+      return Response{ready ? 200 : 503, "text/plain; charset=utf-8", std::move(body)};
+    }
+    if (path == "/metrics") {
+      std::ostringstream os;
+      write_snapshot(os, /*prometheus=*/true);
+      return Response{200, "text/plain; version=0.0.4; charset=utf-8", os.str()};
+    }
+    if (path == "/metrics.json") {
+      std::ostringstream os;
+      write_snapshot(os, /*prometheus=*/false);
+      return Response{200, "application/json", os.str()};
+    }
+    if (path == "/spans") {
+      return Response{200, "application/json", render_spans_json()};
+    }
+    if (path == "/trace") {
+      return Response{200, "application/json", render_trace_json()};
+    }
+    return Response{404, "text/plain; charset=utf-8", "not found\n"};
+  }
+
+  void handle(int fd) {
+    // Bounded, timed read of the request head; a stalled client cannot wedge
+    // the (serial) accept loop.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::string req;
+    char buf[2048];
+    while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
+      const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+      if (r <= 0) break;
+      req.append(buf, static_cast<std::size_t>(r));
+    }
+    const std::size_t sp1 = req.find(' ');
+    const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos : req.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos) {
+      ::close(fd);
+      return;
+    }
+    const std::string method = req.substr(0, sp1);
+    std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const std::size_t q = path.find('?'); q != std::string::npos) path.resize(q);
+
+    const Response resp = dispatch(method, path);
+    requests.fetch_add(1, std::memory_order_relaxed);
+    // Bound the label cardinality: unknown paths all count under "other".
+    const bool known = path == "/metrics" || path == "/metrics.json" || path == "/healthz" ||
+                       path == "/spans" || path == "/trace";
+    tel_requests().with(known ? std::string_view(path) : std::string_view("other")).add(1);
+
+    std::string head = "HTTP/1.1 " + std::to_string(resp.status) + ' ' +
+                       status_text(resp.status) + "\r\nContent-Type: " + resp.content_type +
+                       "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    if (send_all(fd, head.data(), head.size())) {
+      send_all(fd, resp.body.data(), resp.body.size());
+    }
+    ::close(fd);
+  }
+
+  void run() {
+    while (running.load(std::memory_order_relaxed)) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // listener shut down (stop()) or fatal
+      }
+      handle(fd);
+    }
+  }
+};
+
+ObsServer::ObsServer(const std::string& addr) : impl_(std::make_unique<Impl>()) {
+  const ParsedAddr pa = parse_addr(addr);
+  impl_->host = pa.host;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("obs: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(pa.port));
+  if (::inet_pton(AF_INET, pa.host.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("obs: bad host '" + pa.host + "' (numeric IPv4 expected)");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 || ::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("obs: cannot listen on '" + addr + "': " + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen);
+  impl_->port = static_cast<int>(ntohs(bound.sin_port));
+  impl_->listen_fd = fd;
+  impl_->running.store(true, std::memory_order_relaxed);
+  impl_->worker = std::thread([this] { impl_->run(); });
+}
+
+ObsServer::~ObsServer() { stop(); }
+
+int ObsServer::bound_port() const noexcept { return impl_->port; }
+
+std::string ObsServer::address() const {
+  return impl_->host + ':' + std::to_string(impl_->port);
+}
+
+void ObsServer::set_state(ObsState s) noexcept {
+  impl_->state.store(static_cast<int>(s), std::memory_order_relaxed);
+}
+
+ObsState ObsServer::state() const noexcept {
+  return static_cast<ObsState>(impl_->state.load(std::memory_order_relaxed));
+}
+
+std::uint64_t ObsServer::requests_served() const noexcept {
+  return impl_->requests.load(std::memory_order_relaxed);
+}
+
+void ObsServer::stop() noexcept {
+  if (!impl_->running.exchange(false, std::memory_order_relaxed)) return;
+  // shutdown() wakes the blocked accept(); close() releases the fd.
+  ::shutdown(impl_->listen_fd, SHUT_RDWR);
+  if (impl_->worker.joinable()) impl_->worker.join();
+  ::close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+}
+
+namespace {
+std::mutex g_obs_mu;
+ObsServer* g_obs = nullptr;  // immortal once created, like Registry::impl()
+}  // namespace
+
+ObsServer* ensure_obs_server(const std::string& addr) {
+  std::lock_guard<std::mutex> lock(g_obs_mu);
+  if (g_obs != nullptr) return g_obs;
+  std::string a = addr;
+  if (a.empty()) {
+    const char* env = std::getenv("MS_OBS_ADDR");
+    if (env != nullptr) a = env;
+  }
+  if (a.empty()) return nullptr;
+  try {
+    g_obs = new ObsServer(a);
+    g_obs->set_state(ObsState::Serving);
+  } catch (const std::exception& e) {
+    std::cerr << "warning: observability endpoint disabled: " << e.what() << '\n';
+    g_obs = nullptr;
+  }
+  return g_obs;
+}
+
+ObsServer* obs_server() noexcept {
+  std::lock_guard<std::mutex> lock(g_obs_mu);
+  return g_obs;
+}
+
+}  // namespace ms::telemetry

@@ -7,9 +7,11 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <sstream>
 #include <string_view>
 #include <thread>
 #include <utility>
@@ -34,11 +36,16 @@ struct PeriodicDumper::Impl {
   std::string path;
   bool prometheus = false;
   std::chrono::duration<double> interval{1.0};
+  std::size_t max_keep = PeriodicDumper::kDefaultMaxKeep;
   std::mutex mu;
   std::condition_variable cv;
   bool stopping = false;
   std::atomic<std::uint64_t> ticks{0};
   std::thread worker;
+  /// Rolling window of rendered JSON snapshots (newest at the back); the
+  /// file is rewritten from this window each tick, so it holds at most
+  /// max_keep snapshots no matter how long the process runs.
+  std::deque<std::string> window;
 
   void dump_once() {
     if (path == "-") {
@@ -50,10 +57,14 @@ struct PeriodicDumper::Impl {
       if (!f) return;
       write_snapshot(f, true);
     } else {
-      // Append: each tick adds one snapshot object to the JSON stream.
-      std::ofstream f(path, std::ios::app);
+      // JSON: keep the last max_keep snapshots, oldest rotated out.
+      std::ostringstream os;
+      write_snapshot(os, false);
+      window.push_back(os.str());
+      while (window.size() > max_keep) window.pop_front();
+      std::ofstream f(path, std::ios::trunc);
       if (!f) return;
-      write_snapshot(f, false);
+      for (const std::string& s : window) f << s;
     }
     ticks.fetch_add(1, std::memory_order_relaxed);
   }
@@ -69,12 +80,13 @@ struct PeriodicDumper::Impl {
   }
 };
 
-PeriodicDumper::PeriodicDumper(std::string path, double interval_s) {
+PeriodicDumper::PeriodicDumper(std::string path, double interval_s, std::size_t max_keep) {
   if (interval_s <= 0.0 || path.empty()) return;
   impl_ = std::make_unique<Impl>();
   impl_->path = std::move(path);
   impl_->prometheus = prometheus_path(impl_->path);
   impl_->interval = std::chrono::duration<double>(interval_s);
+  impl_->max_keep = max_keep == 0 ? 1 : max_keep;
   impl_->worker = std::thread([impl = impl_.get()] { impl->run(); });
 }
 
@@ -106,7 +118,7 @@ namespace ms::telemetry {
 
 struct PeriodicDumper::Impl {};
 
-PeriodicDumper::PeriodicDumper(std::string, double) {}
+PeriodicDumper::PeriodicDumper(std::string, double, std::size_t) {}
 PeriodicDumper::~PeriodicDumper() = default;
 void PeriodicDumper::stop() noexcept {}
 std::uint64_t PeriodicDumper::ticks() const noexcept { return 0; }

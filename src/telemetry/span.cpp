@@ -116,10 +116,16 @@ std::uint64_t now_ns() noexcept {
 }
 
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) noexcept {
+  record_span(name, start_ns, end_ns, 0);
+}
+
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 std::uint64_t replay_id) noexcept {
   SpanRecord r;
   r.name = name;
   r.start_ns = start_ns;
   r.end_ns = end_ns;
+  r.replay_id = replay_id;
   SpanRing& ring = thread_ring();
   r.thread = ring.thread_id;
   ring.push(r);

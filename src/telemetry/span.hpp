@@ -15,9 +15,22 @@ struct SpanRecord {
   std::uint32_t thread = 0;    ///< dense telemetry thread id
   std::uint64_t start_ns = 0;  ///< steady-clock nanoseconds
   std::uint64_t end_ns = 0;
+  std::uint64_t replay_id = 0;  ///< correlates with a CompiledGraph replay; 0 = none
 
   [[nodiscard]] std::uint64_t duration_ns() const noexcept { return end_ns - start_ns; }
 };
+
+namespace detail {
+inline constinit std::atomic<std::uint64_t> g_next_replay{1};
+}  // namespace detail
+
+/// Allocate `count` consecutive replay ids and return the first. Ids are
+/// process-wide, monotonic, and start at 1 (0 means "no replay"). Available
+/// in both telemetry flavors: replay correlation also stamps the simulator
+/// trace, which is not gated by MS_TELEMETRY.
+[[nodiscard]] inline std::uint64_t next_replay_id(std::uint64_t count = 1) noexcept {
+  return detail::g_next_replay.fetch_add(count, std::memory_order_relaxed);
+}
 
 /// One time-stamped counter observation, feeding the Chrome-trace `ph:"C"`
 /// counter tracks (per-LP queue depth, parked depot bytes, in-flight link
@@ -50,8 +63,12 @@ inline constexpr std::size_t kCounterSampleCapacity = 16384;
 
 /// Record a completed span into the calling thread's ring buffer. Rings are
 /// fixed-capacity and overwrite their oldest entry, so a long run keeps the
-/// freshest window instead of growing without bound.
+/// freshest window instead of growing without bound. The three-argument form
+/// records with replay_id 0; the four-argument form stamps the span with the
+/// CompiledGraph replay it belongs to.
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) noexcept;
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 std::uint64_t replay_id) noexcept;
 
 /// Copy out every buffered span (all threads, oldest-first within each
 /// thread). Does not clear; safe to call while other threads keep recording.
@@ -85,6 +102,7 @@ private:
 
 [[nodiscard]] inline std::uint64_t now_ns() noexcept { return 0; }
 inline void record_span(const char*, std::uint64_t, std::uint64_t) noexcept {}
+inline void record_span(const char*, std::uint64_t, std::uint64_t, std::uint64_t) noexcept {}
 [[nodiscard]] inline std::vector<SpanRecord> collect_spans() { return {}; }
 inline void clear_spans() noexcept {}
 inline constexpr std::size_t kSpanRingCapacity = 0;

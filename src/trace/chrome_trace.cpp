@@ -79,7 +79,9 @@ void write_chrome_trace(std::ostream& os, const Timeline& timeline,
     os << ",\"cat\":\"" << to_string(s.kind) << "\"";
     os << ",\"pid\":" << s.device << ",\"tid\":" << s.stream;
     os << ",\"ts\":" << s.start.micros() << ",\"dur\":" << s.duration().micros();
-    os << ",\"args\":{\"partition\":" << s.partition << ",\"bytes\":" << s.bytes << "}}";
+    os << ",\"args\":{\"partition\":" << s.partition << ",\"bytes\":" << s.bytes;
+    if (s.replay_id != 0) os << ",\"replay_id\":" << s.replay_id;
+    os << "}}";
   }
 
   if (!host_spans.empty() || !counters.empty()) {
@@ -112,6 +114,7 @@ void write_chrome_trace(std::ostream& os, const Timeline& timeline,
       write_us(r.start_ns - t0);
       os << ",\"dur\":";
       write_us(r.duration_ns());
+      if (r.replay_id != 0) os << ",\"args\":{\"replay_id\":" << r.replay_id << '}';
       os << '}';
     }
     for (const telemetry::CounterSample& c : counters) {

@@ -39,6 +39,9 @@ struct Span {
   sim::SimTime end;
   std::uint64_t bytes = 0;   ///< transfer payload (0 for kernels)
   std::string_view label;
+  /// CompiledGraph replay this span belongs to (0 = not a compiled replay);
+  /// joins device actions to the host launch span and histogram exemplar.
+  std::uint64_t replay_id = 0;
 
   [[nodiscard]] sim::SimTime duration() const noexcept { return end - start; }
 };

@@ -120,6 +120,94 @@ TEST_F(MetricFamilies, JsonKeysIncludeTheSelector) {
   EXPECT_NE(out.find("ms_test_fam_json_total{app=\\\"srad\\\"}"), std::string::npos) << out;
 }
 
+TEST_F(MetricFamilies, GaugeFamilyMirrorsCounterFamilySemantics) {
+  auto& fam = registry().gauge_family("ms_test_fam_gauge", "labeled gauge", "lp");
+  Gauge& a1 = fam.with("0");
+  Gauge& a2 = fam.with("0");
+  Gauge& b = fam.with("1");
+  EXPECT_EQ(&a1, &a2);
+  EXPECT_NE(&a1, &b);
+  EXPECT_EQ(fam.label_key(), "lp");
+
+  a1.set(17);
+  b.set(4);
+  EXPECT_EQ(a2.value(), 17u);
+
+  std::ostringstream os;
+  write_prometheus(os, registry().snapshot());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ms_test_fam_gauge{lp=\"0\"} 17"), std::string::npos) << out;
+  EXPECT_NE(out.find("# TYPE ms_test_fam_gauge gauge"), std::string::npos) << out;
+}
+
+TEST_F(MetricFamilies, GaugeFamilyKindClashesThrow) {
+  registry().gauge_family("ms_test_fam_gkind", "as gauge family", "lp");
+  EXPECT_THROW(registry().counter_family("ms_test_fam_gkind", "as counter", "lp"),
+               std::logic_error);
+  EXPECT_THROW(registry().gauge_family("ms_test_fam_gkind", "other key", "device"),
+               std::logic_error);
+  registry().counter_family("ms_test_fam_ckind_total", "as counter family", "app");
+  EXPECT_THROW(registry().gauge_family("ms_test_fam_ckind_total", "as gauge", "app"),
+               std::logic_error);
+}
+
+TEST_F(MetricFamilies, TrackReturnsTheRenderedSeriesName) {
+  auto& fam = registry().gauge_family("ms_test_fam_track", "track identity", "lp");
+  const char* t1 = fam.track("3");
+  const char* t2 = fam.track("3");
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t1, t2) << "same label value must resolve to the same interned name";
+  EXPECT_EQ(std::string(t1), "ms_test_fam_track{lp=\"3\"}");
+
+  // The interned name is byte-identical to the Prometheus exposition series,
+  // so counter-sample tracks and scrapes join without translation.
+  fam.with("3").set(9);
+  std::ostringstream os;
+  write_prometheus(os, registry().snapshot());
+  EXPECT_NE(os.str().find(std::string(t1) + " 9"), std::string::npos) << os.str();
+
+  const char* c = registry()
+                      .counter_family("ms_test_fam_track_total", "counter track", "app")
+                      .track("mm");
+  EXPECT_EQ(std::string(c), "ms_test_fam_track_total{app=\"mm\"}");
+  const char* h =
+      registry().histogram_family("ms_test_fam_track_ns", "histogram track", "graph").track("g");
+  EXPECT_EQ(std::string(h), "ms_test_fam_track_ns{graph=\"g\"}");
+}
+
+TEST_F(MetricFamilies, TrackEscapesLabelValues) {
+  auto& fam = registry().gauge_family("ms_test_fam_escape", "selector escaping", "k");
+  EXPECT_EQ(std::string(fam.track("a\"b\\c\nd")), "ms_test_fam_escape{k=\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST_F(MetricFamilies, HistogramExemplarCarriesTheLatestReplayId) {
+  auto& fam = registry().histogram_family("ms_test_fam_ex_ns", "exemplar rendering", "graph");
+  Histogram& h = fam.with("pipeline");
+  h.observe(100, /*replay_id=*/7);
+  h.observe(250, /*replay_id=*/9);
+  h.observe(50);  // exemplar-free observation must not clear the exemplar
+
+  const auto snap = registry().snapshot();
+  const MetricSnapshot* m = nullptr;
+  for (const auto& it : snap.metrics) {
+    if (it.name == "ms_test_fam_ex_ns") m = &it;
+  }
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->histogram.exemplar_replay, 9u);
+  EXPECT_EQ(m->histogram.exemplar_value, 250u);
+
+  std::ostringstream prom;
+  write_prometheus(prom, snap);
+  EXPECT_NE(prom.str().find("le=\"+Inf\"} 3 # {replay_id=\"9\"} 250"), std::string::npos)
+      << prom.str();
+
+  std::ostringstream json;
+  write_json(json, snap);
+  EXPECT_NE(json.str().find("\"exemplar\": {\"replay_id\": 9, \"value\": 250}"),
+            std::string::npos)
+      << json.str();
+}
+
 TEST_F(MetricFamilies, DisabledChildrenRecordNothing) {
   auto& fam = registry().counter_family("ms_test_fam_disabled_total", "gating", "app");
   set_enabled(false);

@@ -41,6 +41,14 @@ TEST(PeriodicDumper, InactiveWhenIntervalIsNotPositive) {
   EXPECT_EQ(d.ticks(), 0u);
 }
 
+TEST(PeriodicDumper, RotationCtorLinksInEitherFlavour) {
+  // The 3-arg constructor exists in both telemetry flavors; the stub build
+  // constructs a no-op exactly like the 2-arg form.
+  PeriodicDumper d("somewhere.json", 0.0, /*max_keep=*/4);
+  d.stop();
+  EXPECT_EQ(d.ticks(), 0u);
+}
+
 #if MS_TELEMETRY_ENABLED
 
 TEST(PeriodicDumper, StopFlushesAFinalSnapshotEvenBeforeFirstTick) {
@@ -68,6 +76,26 @@ TEST(PeriodicDumper, JsonModeAppendsOneSnapshotPerTick) {
     ++snapshots;
   }
   EXPECT_EQ(snapshots, d.ticks());
+}
+
+TEST(PeriodicDumper, JsonRotationKeepsOnlyTheNewestSnapshots) {
+  set_enabled(true);
+  registry().counter("periodic_rotate_total", "rotation marker counter").add();
+  TempFile out("periodic_rotate.json");
+  PeriodicDumper d(out.path, /*interval_s=*/0.005, /*max_keep=*/2);
+  while (d.ticks() < 6) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  d.stop();
+  ASSERT_GE(d.ticks(), 7u);  // >=6 interval ticks + the final flush
+  const std::string s = slurp(out.path);
+  // The window is capped: only the newest 2 snapshots survive, however many
+  // ticks elapsed. Each snapshot carries exactly one "counters" object.
+  std::size_t snapshots = 0;
+  for (std::size_t at = s.find("\"counters\""); at != std::string::npos;
+       at = s.find("\"counters\"", at + 1)) {
+    ++snapshots;
+  }
+  EXPECT_EQ(snapshots, 2u);
+  EXPECT_NE(s.find("periodic_rotate_total"), std::string::npos);
 }
 
 TEST(PeriodicDumper, PrometheusModeRewritesInPlace) {

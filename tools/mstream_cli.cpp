@@ -31,7 +31,15 @@
 //                                       '-' = stdout)
 //   --metrics-interval SECS             with --metrics: publish the snapshot every
 //                                       SECS seconds while the run is in flight
-//                                       (*.prom rewritten in place, JSON appended)
+//                                       (*.prom rewritten in place, JSON appended;
+//                                       the file keeps at most the newest 64
+//                                       snapshots)
+//   --serve-obs ADDR                    serve the live observability endpoint
+//                                       (/metrics, /metrics.json, /healthz,
+//                                       /spans, /trace) on ADDR for the whole
+//                                       run; ADDR is HOST:PORT, :PORT or PORT
+//                                       (port 0 = ephemeral, bound address is
+//                                       printed). Implies host telemetry.
 //   --json FILE                         (analyze/lint) write the JSON report ('-' = stdout)
 //   --sarif FILE                        (lint) write the SARIF 2.1.0 report ('-' = stdout)
 //   --dot FILE                          (analyze) write Graphviz dot of the racy subgraph
@@ -67,6 +75,7 @@
 #include "sim/sweep.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/obs_server.hpp"
 #include "telemetry/periodic.hpp"
 #include "telemetry/span.hpp"
 #include "trace/chrome_trace.hpp"
@@ -92,6 +101,7 @@ struct Cli {
   std::string dot_path;
   std::string metrics_path;
   double metrics_interval = 0.0;  // seconds; 0 = single snapshot at exit
+  std::string obs_addr;           // --serve-obs; empty = no endpoint
   double h2d_mib = 16.0;
   double d2h_mib = 16.0;
   double gflop = 0.0;
@@ -114,7 +124,7 @@ int usage() {
                "flags: --device {31sp|31sp-x2|7120p} --partitions N --tiles N\n"
                "       --dim N --points N --iters N --baseline --functional\n"
                "       --trace FILE --metrics FILE --metrics-interval SECS\n"
-               "       --utilization --energy ('-' = stdout)\n");
+               "       --serve-obs ADDR --utilization --energy ('-' = stdout)\n");
   return 2;
 }
 
@@ -210,6 +220,10 @@ bool parse_flags(int argc, char** argv, int first, Cli* cli) {
         std::fprintf(stderr, "--metrics-interval wants a positive seconds value\n");
         return false;
       }
+    } else if (flag == "--serve-obs") {
+      const char* v = next("--serve-obs");
+      if (v == nullptr) return false;
+      cli->obs_addr = v;
     } else if (flag == "--device") {
       const char* v = next("--device");
       if (v == nullptr) return false;
@@ -699,12 +713,22 @@ int main(int argc, char** argv) {
   if (flag_start > argc) return usage();
   if (!parse_flags(argc, argv, flag_start, &cli)) return usage();
 
-  // --metrics (and the stats/graph subcommands) switch host telemetry on for
-  // the whole run; the calibration probe gives the pool metrics a baseline
-  // even for timing-only runs that never sweep.
-  if (!cli.metrics_path.empty() || cmd == "stats" || cmd == "graph") {
+  // --metrics / --serve-obs (and the stats/graph subcommands) switch host
+  // telemetry on for the whole run; the calibration probe gives the pool
+  // metrics a baseline even for timing-only runs that never sweep.
+  if (!cli.metrics_path.empty() || !cli.obs_addr.empty() || cmd == "stats" || cmd == "graph") {
     ms::telemetry::set_enabled(true);
     calibration_probe();
+  }
+  // Live endpoint: bound before the run so scrapers can watch it in flight.
+  // The bound address is printed (port 0 resolves to an ephemeral port) so
+  // scripts can discover where to curl.
+  if (!cli.obs_addr.empty()) {
+    if (ms::telemetry::ObsServer* obs = ms::telemetry::ensure_obs_server(cli.obs_addr)) {
+      std::printf("obs: serving http://%s (/metrics /metrics.json /healthz /spans /trace)\n",
+                  obs->address().c_str());
+      std::fflush(stdout);
+    }
   }
   if (cli.metrics_interval > 0.0 && cli.metrics_path.empty()) {
     std::fprintf(stderr, "--metrics-interval needs --metrics FILE; ignoring\n");
@@ -734,6 +758,11 @@ int main(int argc, char** argv) {
       rc = run_tune(cli);
     }
     if (rc == -1) return usage();
+    // The run is over: flip /healthz to Draining (503) so scrapers stop
+    // treating the process as a live target while the exit snapshot lands.
+    if (ms::telemetry::ObsServer* obs = ms::telemetry::obs_server()) {
+      obs->set_state(ms::telemetry::ObsState::Draining);
+    }
     write_metrics(cli);
     return rc;
   } catch (const std::exception& e) {
